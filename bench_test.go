@@ -1,0 +1,472 @@
+// Benchmark harness: one benchmark per paper artifact (figures, tables,
+// worked examples) plus micro-benchmarks for the core operations and
+// ablation benchmarks for the design decisions called out in DESIGN.md
+// (D1 stopping rule, D2 conditional weighting).
+//
+// The per-artifact benchmarks run the same code as cmd/experiments with
+// reduced configurations so `go test -bench=.` finishes in minutes; the
+// rendered tables land in io.Discard — run cmd/experiments to see them.
+package skewsim_test
+
+import (
+	"io"
+	"math"
+	"testing"
+
+	"skewsim/internal/bitvec"
+	"skewsim/internal/bruteforce"
+	"skewsim/internal/chosenpath"
+	"skewsim/internal/core"
+	"skewsim/internal/datagen"
+	"skewsim/internal/dist"
+	"skewsim/internal/experiments"
+	"skewsim/internal/hashing"
+	"skewsim/internal/lsf"
+	"skewsim/internal/minhash"
+	"skewsim/internal/prefix"
+	"skewsim/internal/splitsearch"
+)
+
+// --- paper artifacts -------------------------------------------------------
+
+func BenchmarkFig1(b *testing.B) {
+	cfg := experiments.DefaultFig1Config()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := t.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2(b *testing.B) {
+	cfg := experiments.DefaultFig2Config()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := t.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	cfg := experiments.Table1Config{N: 500, Samples: 100, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Table1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := t.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSec7Adv(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Sec7Adv()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := t.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSec7Corr(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Sec7Corr()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := t.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMotivating(b *testing.B) {
+	cfg := experiments.DefaultMotivatingConfig()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Motivating(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := t.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScaling(b *testing.B) {
+	cfg := experiments.ScalingConfig{
+		Ns:          []int{300, 600, 1200},
+		B1:          1.0 / 3,
+		C:           15,
+		PA:          0.25,
+		RareExp:     0.9,
+		Queries:     10,
+		Repetitions: 4,
+		Seed:        7,
+	}
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Scaling(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := t.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecall(b *testing.B) {
+	cfg := experiments.RecallConfig{
+		N: 300, Queries: 20, C: 25,
+		Alphas: []float64{2.0 / 3}, Seed: 9,
+	}
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Recall(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := t.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks ------------------------------------------------------
+
+// benchWorkload builds a standard correlated workload once per benchmark.
+func benchWorkload(b *testing.B, n int) (*dist.Product, *datagen.CorrelatedWorkload) {
+	b.Helper()
+	d := dist.MustProduct(dist.Fig1Profile(600, 0.25))
+	w, err := datagen.NewCorrelatedWorkload(d, n, 50, 2.0/3, 13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d, w
+}
+
+func BenchmarkBuildSkewSearch(b *testing.B) {
+	d, w := benchWorkload(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildCorrelated(d, w.Data, 2.0/3, core.Options{Seed: uint64(i), Repetitions: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildChosenPath(b *testing.B) {
+	d, w := benchWorkload(b, 1000)
+	b2 := d.ExpectedBraunBlanquet()
+	b1 := d.ExpectedCorrelatedBraunBlanquet(2.0 / 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chosenpath.Build(w.Data, b1*0.85, b2, chosenpath.Options{Seed: uint64(i), Repetitions: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuerySkewSearch(b *testing.B) {
+	d, w := benchWorkload(b, 1000)
+	ix, err := core.BuildCorrelated(d, w.Data, 2.0/3, core.Options{Seed: 1, Repetitions: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Query(w.Queries[i%len(w.Queries)])
+	}
+}
+
+func BenchmarkQueryChosenPath(b *testing.B) {
+	d, w := benchWorkload(b, 1000)
+	b2 := d.ExpectedBraunBlanquet()
+	b1 := d.ExpectedCorrelatedBraunBlanquet(2.0 / 3)
+	ix, err := chosenpath.Build(w.Data, b1*0.85, b2, chosenpath.Options{Seed: 1, Repetitions: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Query(w.Queries[i%len(w.Queries)])
+	}
+}
+
+func BenchmarkQueryMinHash(b *testing.B) {
+	d, w := benchWorkload(b, 1000)
+	_ = d
+	ix, err := minhash.Build(w.Data, minhash.Params{K: 3, L: 16}, minhash.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.QueryBest(w.Queries[i%len(w.Queries)])
+	}
+}
+
+func BenchmarkQueryPrefixFilter(b *testing.B) {
+	d, w := benchWorkload(b, 1000)
+	ix, err := prefix.Build(w.Data, d.Probs(), 0.5, prefix.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.QueryBest(w.Queries[i%len(w.Queries)])
+	}
+}
+
+func BenchmarkQueryBruteForce(b *testing.B) {
+	_, w := benchWorkload(b, 1000)
+	ix, err := bruteforce.Build(w.Data, bruteforce.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.QueryBest(w.Queries[i%len(w.Queries)])
+	}
+}
+
+func BenchmarkSampleProduct(b *testing.B) {
+	d := dist.MustProduct(dist.TwoBlock(400, 0.25, 100000, 0.001))
+	rng := hashing.NewSplitMix64(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Sample(rng)
+	}
+}
+
+func BenchmarkSampleCorrelated(b *testing.B) {
+	d := dist.MustProduct(dist.TwoBlock(400, 0.25, 100000, 0.001))
+	rng := hashing.NewSplitMix64(3)
+	x := d.Sample(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.SampleCorrelated(rng, x, 2.0/3)
+	}
+}
+
+func BenchmarkIntersectionSize(b *testing.B) {
+	d := dist.MustProduct(dist.Uniform(4000, 0.05))
+	rng := hashing.NewSplitMix64(5)
+	x := d.Sample(rng)
+	y := d.Sample(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.IntersectionSize(y)
+	}
+}
+
+// --- ablations (DESIGN.md D1, D2) -----------------------------------------
+
+// ablationEngines builds two engines sharing the correlated thresholds
+// but differing in the stopping rule: the paper's product rule vs a
+// Chosen-Path-style fixed depth.
+func ablationEngines(b *testing.B, d *dist.Product, n int, alpha float64, seed uint64) (productRule, fixedDepth *lsf.Engine) {
+	b.Helper()
+	clogn := d.ExpectedSize()
+	c := d.C(n)
+	delta := 3 / math.Sqrt(alpha*c)
+	phat := d.ConditionalProbs(alpha)
+	threshold := func(_ bitvec.Vector, j int, i uint32) float64 {
+		ph := alpha
+		if int(i) < len(phat) {
+			ph = phat[i]
+		}
+		denom := ph*clogn - float64(j)
+		if denom <= 1+delta {
+			return 1
+		}
+		return (1 + delta) / denom
+	}
+	b2 := d.ExpectedBraunBlanquet()
+	k := chosenpath.PathLength(n, b2)
+	mk := func(stop lsf.StopRule, depth int) *lsf.Engine {
+		e, err := lsf.NewEngine(n, lsf.Params{
+			Seed: seed, Probs: d.Probs(), Threshold: threshold, Stop: stop, MaxDepth: depth,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return e
+	}
+	return mk(lsf.ProductStopRule(n), 0), mk(lsf.FixedDepthStopRule(k), k+1)
+}
+
+// BenchmarkAblationStoppingRule (D1): the paper's per-branch stopping
+// rule against a fixed depth, measuring index filter volume (reported as
+// filters/op) — the rule is what keeps rare-element branches short.
+func BenchmarkAblationStoppingRule(b *testing.B) {
+	const n, alpha = 800, 2.0 / 3
+	d := dist.MustProduct(dist.Fig1Profile(500, 0.25))
+	w, err := datagen.NewCorrelatedWorkload(d, n, 1, alpha, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, variant := range []struct {
+		name  string
+		fixed bool
+	}{{"product-rule", false}, {"fixed-depth", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			total := 0
+			for i := 0; i < b.N; i++ {
+				prodE, fixE := ablationEngines(b, d, n, alpha, uint64(i))
+				e := prodE
+				if variant.fixed {
+					e = fixE
+				}
+				ix, err := lsf.BuildIndex(e, w.Data[:200])
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += ix.Stats().TotalFilters
+			}
+			b.ReportMetric(float64(total)/float64(b.N), "filters/op")
+		})
+	}
+}
+
+// BenchmarkAblationConditionalWeighting (D2): correlated workloads
+// answered by the correlated thresholds (p̂-weighted) vs the adversarial
+// thresholds (uniform 1/(b1|x|−j)); reports candidates/op.
+func BenchmarkAblationConditionalWeighting(b *testing.B) {
+	const n, alpha = 800, 2.0 / 3
+	d := dist.MustProduct(dist.Fig1Profile(500, 0.25))
+	w, err := datagen.NewCorrelatedWorkload(d, n, 20, alpha, 19)
+	if err != nil {
+		b.Fatal(err)
+	}
+	build := func(seed uint64, correlated bool) *core.Index {
+		var ix *core.Index
+		var err error
+		if correlated {
+			ix, err = core.BuildCorrelated(d, w.Data, alpha, core.Options{Seed: seed, Repetitions: 4})
+		} else {
+			ix, err = core.BuildAdversarial(d, w.Data, alpha/1.3, core.Options{Seed: seed, Repetitions: 4})
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		return ix
+	}
+	for _, variant := range []struct {
+		name       string
+		correlated bool
+	}{{"phat-weighted", true}, {"uniform-thresholds", false}} {
+		b.Run(variant.name, func(b *testing.B) {
+			candidates, hits := 0, 0
+			for i := 0; i < b.N; i++ {
+				ix := build(uint64(i), variant.correlated)
+				for k, q := range w.Queries {
+					res := ix.Query(q)
+					candidates += res.Stats.Candidates
+					if res.Found && res.ID == w.Targets[k] {
+						hits++
+					}
+				}
+			}
+			b.ReportMetric(float64(candidates)/float64(b.N*len(w.Queries)), "candidates/query")
+			b.ReportMetric(float64(hits)/float64(b.N*len(w.Queries)), "recall")
+		})
+	}
+}
+
+// --- extension subsystems ---------------------------------------------------
+
+func BenchmarkBuildParallelSpeedup(b *testing.B) {
+	d, w := benchWorkload(b, 2000)
+	for _, workers := range []int{0, -1} {
+		name := "serial"
+		if workers != 0 {
+			name = "gomaxprocs"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BuildCorrelated(d, w.Data, 2.0/3, core.Options{
+					Seed: 3, Repetitions: 4, Workers: workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSerializeIndex(b *testing.B) {
+	d, w := benchWorkload(b, 1000)
+	ix, err := core.BuildCorrelated(d, w.Data, 2.0/3, core.Options{Seed: 1, Repetitions: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var bytesOut int64
+	for i := 0; i < b.N; i++ {
+		n, err := ix.WriteTo(io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytesOut = n
+	}
+	b.ReportMetric(float64(bytesOut), "bytes")
+}
+
+func BenchmarkSplitSearchVsSingle(b *testing.B) {
+	const b1 = 0.6
+	d := dist.MustProduct(dist.TwoBlock(200, 0.3, 6000, 0.01))
+	w, err := datagen.NewAdversarialWorkload(d, 600, 30, b1, 23)
+	if err != nil {
+		b.Fatal(err)
+	}
+	single, err := core.BuildAdversarial(d, w.Data, b1, core.Options{Seed: 2, Repetitions: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	split, err := splitsearch.Build(d, w.Data, b1, splitsearch.Options{Seed: 2, Repetitions: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("skewsearch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			single.Query(w.Queries[i%len(w.Queries)])
+		}
+	})
+	b.Run("splitsearch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			split.Query(w.Queries[i%len(w.Queries)])
+		}
+	})
+}
+
+func BenchmarkClusterWeigher(b *testing.B) {
+	probs := make([]float64, 800)
+	cluster := make([]int32, 800)
+	for j := 0; j < 100; j++ {
+		for k := 0; k < 8; k++ {
+			probs[j*8+k] = 0.02
+			cluster[j*8+k] = int32(j)
+		}
+	}
+	cw, err := lsf.NewClusterWeigher(probs, cluster, 0.999)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := []uint32{0, 1, 8, 16}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cw.LogInvP(path, uint32(i%800))
+	}
+}

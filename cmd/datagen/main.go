@@ -1,0 +1,63 @@
+// Command datagen emits synthetic datasets in the library's text format.
+//
+// Usage:
+//
+//	datagen -profile SPOTIFY -n 2000 > spotify.txt     # dataset analog
+//	datagen -uniform 0.1 -dim 1000 -n 500 > unif.txt   # product profile
+//	datagen -list                                      # available analogs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"skewsim/internal/datagen"
+	"skewsim/internal/dataio"
+	"skewsim/internal/dist"
+	"skewsim/internal/hashing"
+)
+
+func main() {
+	profile := flag.String("profile", "", "dataset analog name (see -list)")
+	list := flag.Bool("list", false, "list analog names and exit")
+	n := flag.Int("n", 1000, "number of vectors")
+	seed := flag.Uint64("seed", 1, "random seed")
+	uniform := flag.Float64("uniform", 0, "uniform item probability (alternative to -profile)")
+	dim := flag.Int("dim", 1000, "dimension for -uniform")
+	flag.Parse()
+
+	if *list {
+		for _, p := range datagen.Profiles() {
+			fmt.Printf("%s\tdim=%d\tpair-ratio=%.1f\n", p.Name, p.Dim, p.PairRatio)
+		}
+		return
+	}
+
+	rng := hashing.NewSplitMix64(*seed)
+	switch {
+	case *profile != "":
+		p, err := datagen.ProfileByName(*profile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := dataio.Write(os.Stdout, p.Generate(rng, *n)); err != nil {
+			fatal(err)
+		}
+	case *uniform > 0:
+		d, err := dist.NewProduct(dist.Uniform(*dim, *uniform))
+		if err != nil {
+			fatal(err)
+		}
+		if err := dataio.Write(os.Stdout, d.SampleN(rng, *n)); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("need -profile or -uniform (or -list)"))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

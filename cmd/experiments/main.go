@@ -1,0 +1,46 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-csv] [-list] [experiment ids...]
+//
+// With no ids, every registered experiment runs in order. Ids are the
+// paper artifact names used in DESIGN.md: fig1, fig2, table1, sec7adv,
+// sec7corr, motivating, scaling, recall.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"skewsim/internal/experiments"
+)
+
+func main() {
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text tables")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		if err := experiments.RunAll(os.Stdout, *csv); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, id := range ids {
+		if err := experiments.Run(id, os.Stdout, *csv); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+}

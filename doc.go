@@ -1,0 +1,19 @@
+// Package skewsim is a from-scratch Go reproduction of "Set Similarity
+// Search for Skewed Data" (McCauley, Mikkelsen, Pagh — PODS 2018,
+// arXiv:1804.03054).
+//
+// The paper's data structure — a skew-adaptive locality-sensitive
+// filtering scheme — lives in internal/core (SkewSearch), built on the
+// shared filtering engine in internal/lsf. Baselines (Chosen Path,
+// MinHash LSH, prefix filtering, brute force), the probabilistic data
+// model, exponent solvers, dataset generators, a similarity-join driver,
+// and the experiment harness that regenerates every table and figure of
+// the paper are in the sibling internal packages; see DESIGN.md for the
+// full inventory and EXPERIMENTS.md for paper-vs-measured results.
+//
+// Quick start:
+//
+//	go run ./examples/quickstart
+//	go run ./cmd/experiments        # regenerate all paper artifacts
+//	go test -bench=. -benchmem      # benchmark harness
+package skewsim

@@ -1,0 +1,261 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSortsAndDeduplicates(t *testing.T) {
+	v := New(5, 1, 3, 1, 5, 2)
+	want := []uint32{1, 2, 3, 5}
+	got := v.Bits()
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNewEmpty(t *testing.T) {
+	v := New()
+	if !v.IsEmpty() || v.Len() != 0 {
+		t.Fatalf("empty vector not empty: %v", v)
+	}
+	if _, ok := v.MaxBit(); ok {
+		t.Fatal("MaxBit on empty vector reported ok")
+	}
+}
+
+func TestFromSortedValid(t *testing.T) {
+	v := FromSorted([]uint32{0, 2, 9})
+	if v.Len() != 3 || !v.Contains(9) {
+		t.Fatalf("unexpected vector %v", v)
+	}
+}
+
+func TestFromSortedPanicsOnUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unsorted input")
+		}
+	}()
+	FromSorted([]uint32{3, 1})
+}
+
+func TestFromSortedPanicsOnDuplicate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate input")
+		}
+	}()
+	FromSorted([]uint32{1, 1})
+}
+
+func TestDenseRoundTrip(t *testing.T) {
+	dense := []bool{true, false, false, true, true, false}
+	v := FromDense(dense)
+	if v.Len() != 3 {
+		t.Fatalf("want 3 bits, got %d", v.Len())
+	}
+	back := v.Dense(len(dense))
+	for i := range dense {
+		if back[i] != dense[i] {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestDenseTruncates(t *testing.T) {
+	v := New(1, 10)
+	dense := v.Dense(5)
+	if len(dense) != 5 || !dense[1] {
+		t.Fatalf("unexpected dense %v", dense)
+	}
+	for i := 2; i < 5; i++ {
+		if dense[i] {
+			t.Fatalf("bit %d should be clear", i)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	v := New(2, 4, 8)
+	for _, b := range []uint32{2, 4, 8} {
+		if !v.Contains(b) {
+			t.Errorf("Contains(%d) = false, want true", b)
+		}
+	}
+	for _, b := range []uint32{0, 1, 3, 5, 9, 100} {
+		if v.Contains(b) {
+			t.Errorf("Contains(%d) = true, want false", b)
+		}
+	}
+}
+
+func TestGetAndMaxBit(t *testing.T) {
+	v := New(7, 3, 11)
+	if v.Get(0) != 3 || v.Get(1) != 7 || v.Get(2) != 11 {
+		t.Fatalf("Get order wrong: %v", v)
+	}
+	if m, ok := v.MaxBit(); !ok || m != 11 {
+		t.Fatalf("MaxBit = %d, %v", m, ok)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	v := New(1, 2, 3)
+	c := v.Clone()
+	c.bits[0] = 99
+	if v.bits[0] != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	cases := []struct {
+		a, b Vector
+		want bool
+	}{
+		{New(1, 2), New(2, 1), true},
+		{New(1, 2), New(1, 2, 3), false},
+		{New(), New(), true},
+		{New(5), New(6), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("Equal(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	a := New(1, 2, 3, 5)
+	b := New(2, 3, 4, 6)
+
+	if got := a.IntersectionSize(b); got != 2 {
+		t.Errorf("IntersectionSize = %d, want 2", got)
+	}
+	if got := a.Intersection(b); !got.Equal(New(2, 3)) {
+		t.Errorf("Intersection = %v", got)
+	}
+	if got := a.Union(b); !got.Equal(New(1, 2, 3, 4, 5, 6)) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.UnionSize(b); got != 6 {
+		t.Errorf("UnionSize = %d, want 6", got)
+	}
+	if got := a.Difference(b); !got.Equal(New(1, 5)) {
+		t.Errorf("Difference = %v", got)
+	}
+	if got := b.Difference(a); !got.Equal(New(4, 6)) {
+		t.Errorf("Difference reversed = %v", got)
+	}
+}
+
+func TestSetOperationsWithEmpty(t *testing.T) {
+	a := New(1, 2)
+	e := New()
+	if a.IntersectionSize(e) != 0 {
+		t.Error("intersection with empty should be 0")
+	}
+	if !a.Union(e).Equal(a) {
+		t.Error("union with empty should be identity")
+	}
+	if !a.Difference(e).Equal(a) {
+		t.Error("difference with empty should be identity")
+	}
+	if !e.Difference(a).IsEmpty() {
+		t.Error("empty minus anything should be empty")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New(3, 1).String(); got != "{1, 3}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := New().String(); got != "{}" {
+		t.Errorf("String empty = %q", got)
+	}
+}
+
+// randomVector draws a vector with bits from [0, universe).
+func randomVector(rng *rand.Rand, universe, maxBits int) Vector {
+	n := rng.Intn(maxBits + 1)
+	bits := make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		bits = append(bits, uint32(rng.Intn(universe)))
+	}
+	return New(bits...)
+}
+
+func TestPropertyUnionIntersectionSizes(t *testing.T) {
+	// Inclusion-exclusion: |A∪B| + |A∩B| = |A| + |B|.
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		a := randomVector(r, 200, 60)
+		b := randomVector(r, 200, 60)
+		return a.Union(b).Len()+a.IntersectionSize(b) == a.Len()+b.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDifferencePartition(t *testing.T) {
+	// A = (A\B) ∪ (A∩B), disjointly.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomVector(r, 150, 50)
+		b := randomVector(r, 150, 50)
+		diff := a.Difference(b)
+		inter := a.Intersection(b)
+		if diff.IntersectionSize(inter) != 0 {
+			return false
+		}
+		return diff.Union(inter).Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCommutativity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomVector(r, 100, 40)
+		b := randomVector(r, 100, 40)
+		return a.Union(b).Equal(b.Union(a)) &&
+			a.Intersection(b).Equal(b.Intersection(a)) &&
+			a.IntersectionSize(b) == b.IntersectionSize(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBitsSortedUnique(t *testing.T) {
+	f := func(raw []uint32) bool {
+		v := New(raw...)
+		bits := v.Bits()
+		for i := 1; i < len(bits); i++ {
+			if bits[i] <= bits[i-1] {
+				return false
+			}
+		}
+		// Every input bit must be present.
+		for _, b := range raw {
+			if !v.Contains(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

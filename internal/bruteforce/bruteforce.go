@@ -1,0 +1,113 @@
+// Package bruteforce provides the exact linear-scan baseline: every query
+// verifies every data vector. It anchors the experiments (cost exponent
+// exactly 1) and serves as the ground-truth oracle for recall
+// measurements of the randomized indexes.
+package bruteforce
+
+import (
+	"errors"
+	"sort"
+
+	"skewsim/internal/bitvec"
+)
+
+// Index is a trivial wrapper around the dataset.
+type Index struct {
+	data    []bitvec.Vector
+	measure bitvec.Measure
+}
+
+// Options tunes the scan.
+type Options struct {
+	Measure bitvec.Measure
+}
+
+// Build retains the data slice.
+func Build(data []bitvec.Vector, opt Options) (*Index, error) {
+	if len(data) == 0 {
+		return nil, errors.New("bruteforce: empty dataset")
+	}
+	return &Index{data: data, measure: opt.Measure}, nil
+}
+
+// Data returns the indexed vectors.
+func (ix *Index) Data() []bitvec.Vector { return ix.data }
+
+// Result mirrors the other indexes' result type.
+type Result struct {
+	ID         int
+	Similarity float64
+	Found      bool
+	Stats      Stats
+}
+
+// Stats counts the verified candidates (always n for a scan).
+type Stats struct {
+	Candidates int
+	Distinct   int
+}
+
+// Query returns the most similar vector if it reaches threshold.
+func (ix *Index) Query(q bitvec.Vector, threshold float64) Result {
+	res := ix.QueryBest(q)
+	if !res.Found || res.Similarity < threshold {
+		return Result{ID: -1, Stats: res.Stats}
+	}
+	return res
+}
+
+// QueryBest scans everything and returns the argmax. Ties break toward
+// the lowest id, making results deterministic.
+func (ix *Index) QueryBest(q bitvec.Vector) Result {
+	res := Result{ID: -1, Similarity: -1}
+	for id, x := range ix.data {
+		res.Stats.Candidates++
+		res.Stats.Distinct++
+		if s := ix.measure.Similarity(q, x); s > res.Similarity {
+			res.ID, res.Similarity, res.Found = id, s, true
+		}
+	}
+	if !res.Found {
+		res.Similarity = 0
+	}
+	return res
+}
+
+// Match is one entry of a top-k result list.
+type Match struct {
+	ID         int
+	Similarity float64
+}
+
+// QueryTopK returns the exact k most similar vectors (ties by ascending
+// id), the ground truth for evaluating the approximate indexes' top-k.
+func (ix *Index) QueryTopK(q bitvec.Vector, k int) []Match {
+	if k <= 0 {
+		return nil
+	}
+	matches := make([]Match, 0, len(ix.data))
+	for id, x := range ix.data {
+		if s := ix.measure.Similarity(q, x); s > 0 {
+			matches = append(matches, Match{ID: id, Similarity: s})
+		}
+	}
+	sort.Slice(matches, func(a, b int) bool {
+		if matches[a].Similarity != matches[b].Similarity {
+			return matches[a].Similarity > matches[b].Similarity
+		}
+		return matches[a].ID < matches[b].ID
+	})
+	if len(matches) > k {
+		matches = matches[:k]
+	}
+	return matches
+}
+
+// Candidates returns all ids (the scan's candidate set).
+func (ix *Index) Candidates(q bitvec.Vector) []int32 {
+	out := make([]int32, len(ix.data))
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}

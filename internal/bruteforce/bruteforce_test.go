@@ -1,0 +1,93 @@
+package bruteforce
+
+import (
+	"testing"
+
+	"skewsim/internal/bitvec"
+)
+
+func testData() []bitvec.Vector {
+	return []bitvec.Vector{
+		bitvec.New(1, 2, 3),
+		bitvec.New(1, 2, 3, 4),
+		bitvec.New(10, 11),
+		bitvec.New(),
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, Options{}); err == nil {
+		t.Error("empty data should fail")
+	}
+}
+
+func TestQueryBestExact(t *testing.T) {
+	ix, err := Build(testData(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ix.QueryBest(bitvec.New(1, 2, 3))
+	if !res.Found || res.ID != 0 || res.Similarity != 1 {
+		t.Errorf("QueryBest = %+v", res)
+	}
+	if res.Stats.Candidates != 4 || res.Stats.Distinct != 4 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+}
+
+func TestQueryThreshold(t *testing.T) {
+	ix, _ := Build(testData(), Options{})
+	if res := ix.Query(bitvec.New(10, 11), 1.0); !res.Found || res.ID != 2 {
+		t.Errorf("exact match not found: %+v", res)
+	}
+	if res := ix.Query(bitvec.New(50, 51), 0.1); res.Found {
+		t.Errorf("disjoint query matched: %+v", res)
+	}
+	// Below-threshold best must be rejected.
+	if res := ix.Query(bitvec.New(1, 9, 8, 7), 0.9); res.Found {
+		t.Errorf("weak match passed high threshold: %+v", res)
+	}
+}
+
+func TestTieBreaksLowestID(t *testing.T) {
+	data := []bitvec.Vector{bitvec.New(5, 6), bitvec.New(5, 6)}
+	ix, _ := Build(data, Options{})
+	if res := ix.QueryBest(bitvec.New(5, 6)); res.ID != 0 {
+		t.Errorf("tie should break to id 0, got %d", res.ID)
+	}
+}
+
+func TestCandidatesReturnsAll(t *testing.T) {
+	ix, _ := Build(testData(), Options{})
+	ids := ix.Candidates(bitvec.New(1))
+	if len(ids) != 4 {
+		t.Fatalf("got %d ids", len(ids))
+	}
+	for i, id := range ids {
+		if int(id) != i {
+			t.Errorf("ids[%d] = %d", i, id)
+		}
+	}
+	if len(ix.Data()) != 4 {
+		t.Error("Data accessor wrong")
+	}
+}
+
+func TestEmptyQueryAgainstEmptyVector(t *testing.T) {
+	ix, _ := Build(testData(), Options{})
+	res := ix.QueryBest(bitvec.New())
+	// All similarities are 0; argmax stays at first vector with sim 0 > -1.
+	if !res.Found || res.Similarity != 0 {
+		t.Errorf("empty query: %+v", res)
+	}
+}
+
+func TestMeasureOption(t *testing.T) {
+	data := []bitvec.Vector{bitvec.New(1, 2, 3, 4), bitvec.New(1, 2)}
+	ix, _ := Build(data, Options{Measure: bitvec.OverlapMeasure})
+	// Overlap(q={1,2}, {1,2,3,4}) = 2/2 = 1 — both hit 1.0; tie → id 0.
+	res := ix.QueryBest(bitvec.New(1, 2))
+	if res.Similarity != 1 || res.ID != 0 {
+		t.Errorf("overlap measure result %+v", res)
+	}
+}

@@ -1,0 +1,221 @@
+// Package chosenpath implements the Chosen Path data structure of
+// Christiani and Pagh (STOC 2017) for the (b1, b2)-approximate
+// Braun-Blanquet similarity problem, the principal worst-case baseline
+// the paper improves on.
+//
+// Chosen Path is the special case of the locality-sensitive filtering
+// framework with
+//
+//   - a constant (skew-oblivious) threshold s(x, j, i) = 1/(b1·|x|), and
+//   - a fixed path length k = ⌈ln n / ln(1/b2)⌉ instead of the paper's
+//     distribution-dependent stopping rule.
+//
+// Its exponent is ρ = log(b1)/log(b2) regardless of the data
+// distribution — which is exactly the weakness SkewSearch addresses.
+//
+// One deliberate deviation from the original: paths here sample without
+// replacement (the engine enforces it). For the sparse regimes both
+// papers target (|x| ≫ k) the difference is vanishing, and it keeps the
+// two structures comparable on identical machinery.
+package chosenpath
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"skewsim/internal/bitvec"
+	"skewsim/internal/hashing"
+	"skewsim/internal/lsf"
+)
+
+// Options tunes the index; the zero value is a sensible default.
+type Options struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// Repetitions is the number of independent filter instances
+	// (0 = ceil(log2 n) + 1, as for SkewSearch, so comparisons are fair).
+	Repetitions int
+	// Measure used for verification (default Braun-Blanquet).
+	Measure bitvec.Measure
+	// MaxFiltersPerVector forwards the engine work budget (0 = default).
+	MaxFiltersPerVector int
+}
+
+// Index is a built Chosen Path structure.
+type Index struct {
+	data    []bitvec.Vector
+	reps    []*lsf.Index
+	b1, b2  float64
+	depth   int
+	measure bitvec.Measure
+}
+
+// PathLength returns the fixed depth k = ⌈ln n / ln(1/b2)⌉ used for
+// dataset size n and far-similarity b2.
+func PathLength(n int, b2 float64) int {
+	if n < 2 {
+		return 1
+	}
+	k := int(math.Ceil(math.Log(float64(n)) / math.Log(1/b2)))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// Build preprocesses data for (b1, b2)-approximate similarity search,
+// 0 < b2 < b1 ≤ 1.
+func Build(data []bitvec.Vector, b1, b2 float64, opt Options) (*Index, error) {
+	if len(data) == 0 {
+		return nil, errors.New("chosenpath: empty dataset")
+	}
+	if !(0 < b2 && b2 < b1 && b1 <= 1) {
+		return nil, fmt.Errorf("chosenpath: need 0 < b2 < b1 <= 1, got b1=%v b2=%v", b1, b2)
+	}
+	n := len(data)
+	k := PathLength(n, b2)
+	reps := opt.Repetitions
+	if reps == 0 {
+		reps = int(math.Ceil(math.Log2(float64(n)))) + 1
+	}
+	if reps < 1 {
+		return nil, fmt.Errorf("chosenpath: Repetitions %d must be >= 1", opt.Repetitions)
+	}
+
+	threshold := func(x bitvec.Vector, _ int, _ uint32) float64 {
+		m := float64(x.Len())
+		if m == 0 {
+			return 0
+		}
+		s := 1 / (b1 * m)
+		if s > 1 {
+			return 1
+		}
+		return s
+	}
+
+	ix := &Index{
+		data:    data,
+		reps:    make([]*lsf.Index, reps),
+		b1:      b1,
+		b2:      b2,
+		depth:   k,
+		measure: opt.Measure,
+	}
+	seeds := hashing.NewSplitMix64(opt.Seed)
+	for r := range ix.reps {
+		engine, err := lsf.NewEngine(n, lsf.Params{
+			Seed: seeds.Next(),
+			// Chosen Path ignores the distribution entirely; probabilities
+			// only feed the stopping rule, which is fixed-depth here, so
+			// none are supplied.
+			Probs:               nil,
+			Threshold:           threshold,
+			Stop:                lsf.FixedDepthStopRule(k),
+			MaxDepth:            k + 1,
+			MaxFiltersPerVector: opt.MaxFiltersPerVector,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ix.reps[r], err = lsf.BuildIndex(engine, data)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
+}
+
+// Depth returns the fixed path length k.
+func (ix *Index) Depth() int { return ix.depth }
+
+// Repetitions returns the number of filter instances.
+func (ix *Index) Repetitions() int { return len(ix.reps) }
+
+// Data returns the indexed vectors.
+func (ix *Index) Data() []bitvec.Vector { return ix.data }
+
+// BuildStats sums construction statistics over repetitions.
+func (ix *Index) BuildStats() lsf.BuildStats {
+	var total lsf.BuildStats
+	for _, r := range ix.reps {
+		st := r.Stats()
+		total.Vectors = st.Vectors
+		total.TotalFilters += st.TotalFilters
+		total.Buckets += st.Buckets
+		total.Truncated += st.Truncated
+	}
+	return total
+}
+
+// Result mirrors core.Result for the baseline.
+type Result struct {
+	ID         int
+	Similarity float64
+	Found      bool
+	Stats      Stats
+}
+
+// Stats aggregates per-repetition query work.
+type Stats struct {
+	Repetitions int
+	Filters     int
+	Candidates  int
+	Distinct    int
+}
+
+func (s *Stats) add(q lsf.QueryStats) {
+	s.Repetitions++
+	s.Filters += q.Filters
+	s.Candidates += q.Candidates
+	s.Distinct += q.Distinct
+}
+
+// Query returns a vector with similarity ≥ b1 if one is found among
+// candidates, walking repetitions in order.
+func (ix *Index) Query(q bitvec.Vector) Result {
+	res := Result{ID: -1}
+	for _, rep := range ix.reps {
+		id, sim, st, found := rep.Query(q, ix.b1, ix.measure)
+		res.Stats.add(st)
+		if found {
+			res.ID, res.Similarity, res.Found = id, sim, true
+			return res
+		}
+	}
+	return res
+}
+
+// QueryBest returns the most similar candidate over all repetitions.
+func (ix *Index) QueryBest(q bitvec.Vector) Result {
+	res := Result{ID: -1, Similarity: -1}
+	for _, rep := range ix.reps {
+		id, sim, st, found := rep.QueryBest(q, ix.measure)
+		res.Stats.add(st)
+		if found && sim > res.Similarity {
+			res.ID, res.Similarity, res.Found = id, sim, true
+		}
+	}
+	if !res.Found {
+		res.Similarity = 0
+	}
+	return res
+}
+
+// Candidates returns the distinct candidate ids over all repetitions,
+// for the join driver.
+func (ix *Index) Candidates(q bitvec.Vector) []int32 {
+	seen := make(map[int32]struct{})
+	var out []int32
+	for _, rep := range ix.reps {
+		ids, _ := rep.CandidateIDs(q)
+		for _, id := range ids {
+			if _, dup := seen[id]; !dup {
+				seen[id] = struct{}{}
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package chosenpath
+
+import (
+	"math"
+	"testing"
+
+	"skewsim/internal/bitvec"
+	"skewsim/internal/datagen"
+	"skewsim/internal/dist"
+)
+
+func TestPathLength(t *testing.T) {
+	// k = ceil(ln n / ln(1/b2)).
+	if got := PathLength(1000, 0.1); got != 3 {
+		t.Errorf("PathLength(1000, 0.1) = %d, want 3", got)
+	}
+	if got := PathLength(1, 0.5); got != 1 {
+		t.Errorf("tiny n should give 1, got %d", got)
+	}
+	if got := PathLength(1024, 0.5); got != 10 {
+		t.Errorf("PathLength(1024, 0.5) = %d, want 10", got)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	data := []bitvec.Vector{bitvec.New(1)}
+	if _, err := Build(nil, 0.5, 0.1, Options{}); err == nil {
+		t.Error("empty data should fail")
+	}
+	for _, c := range [][2]float64{{0.5, 0.5}, {0.1, 0.5}, {0, 0.1}, {1.5, 0.5}, {0.5, 0}} {
+		if _, err := Build(data, c[0], c[1], Options{}); err == nil {
+			t.Errorf("b1=%v b2=%v should fail", c[0], c[1])
+		}
+	}
+	if _, err := Build(data, 0.5, 0.25, Options{Repetitions: -2}); err == nil {
+		t.Error("negative repetitions should fail")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	d := dist.MustProduct(dist.Uniform(400, 0.1))
+	w, _ := datagen.NewCorrelatedWorkload(d, 100, 1, 0.8, 1)
+	ix, err := Build(w.Data, 0.6, 0.15, Options{Seed: 1, Repetitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Repetitions() != 4 || len(ix.Data()) != 100 {
+		t.Error("accessors wrong")
+	}
+	if ix.Depth() != PathLength(100, 0.15) {
+		t.Error("depth mismatch")
+	}
+	if bs := ix.BuildStats(); bs.Vectors != 100 || bs.TotalFilters <= 0 {
+		t.Errorf("build stats %+v", bs)
+	}
+}
+
+func TestChosenPathRecallOnCorrelatedWorkload(t *testing.T) {
+	// Chosen Path solving the correlated instance via the (b1, b2)
+	// reduction of §7.2: b2 = expected far similarity, b1 = expected
+	// planted similarity. Recall must be high (it is a correct worst-case
+	// structure — just slower than SkewSearch under skew).
+	const (
+		n     = 400
+		alpha = 0.8
+		p     = 0.1
+	)
+	d := dist.MustProduct(dist.Uniform(1200, p))
+	w, err := datagen.NewCorrelatedWorkload(d, n, 40, alpha, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := d.ExpectedBraunBlanquet()
+	b1 := d.ExpectedCorrelatedBraunBlanquet(alpha)
+	// Verify against a slightly relaxed threshold to absorb sampling
+	// noise in the planted similarity.
+	ix, err := Build(w.Data, b1*0.85, b2, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered := 0
+	for k, q := range w.Queries {
+		res := ix.Query(q)
+		if res.Found && res.ID == w.Targets[k] {
+			recovered++
+		}
+	}
+	if rate := float64(recovered) / float64(len(w.Queries)); rate < 0.85 {
+		t.Errorf("recall %v, want ≥ 0.85", rate)
+	}
+}
+
+func TestChosenPathFilterCountMatchesExponent(t *testing.T) {
+	// E[|F(x)|] per repetition ≈ (1/b1)^k = n^{ln(1/b1)/ln(1/b2)}.
+	const n = 300
+	b1, b2 := 0.5, 0.1
+	d := dist.MustProduct(dist.Uniform(900, 0.1))
+	w, _ := datagen.NewCorrelatedWorkload(d, n, 1, 0.8, 5)
+	ix, err := Build(w.Data, b1, b2, Options{Seed: 2, Repetitions: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := ix.BuildStats()
+	perVector := float64(bs.TotalFilters) / float64(8*n)
+	k := PathLength(n, b2)
+	want := math.Pow(1/b1, float64(k))
+	if perVector > want*2.5 || perVector < want*0.2 {
+		t.Errorf("filters per vector %v, want ≈ %v", perVector, want)
+	}
+}
+
+func TestQueryDeterministic(t *testing.T) {
+	d := dist.MustProduct(dist.Uniform(500, 0.1))
+	w, _ := datagen.NewCorrelatedWorkload(d, 150, 10, 0.8, 7)
+	ix1, _ := Build(w.Data, 0.5, 0.12, Options{Seed: 9, Repetitions: 3})
+	ix2, _ := Build(w.Data, 0.5, 0.12, Options{Seed: 9, Repetitions: 3})
+	for _, q := range w.Queries {
+		r1, r2 := ix1.Query(q), ix2.Query(q)
+		if r1.Found != r2.Found || r1.ID != r2.ID {
+			t.Fatal("same seed produced different results")
+		}
+	}
+}
+
+func TestQueryEmptyAndDisjoint(t *testing.T) {
+	d := dist.MustProduct(dist.Uniform(300, 0.1))
+	w, _ := datagen.NewCorrelatedWorkload(d, 80, 1, 0.8, 13)
+	ix, err := Build(w.Data, 0.5, 0.12, Options{Seed: 1, Repetitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := ix.Query(bitvec.New()); res.Found {
+		t.Error("empty query found something")
+	}
+	if res := ix.Query(bitvec.New(9000, 9001, 9002)); res.Found {
+		t.Error("disjoint query found something")
+	}
+}
+
+func TestQueryBestAndCandidates(t *testing.T) {
+	d := dist.MustProduct(dist.Uniform(600, 0.1))
+	w, _ := datagen.NewCorrelatedWorkload(d, 200, 15, 0.8, 17)
+	ix, err := Build(w.Data, 0.5, 0.12, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range w.Data[:15] {
+		// Self-query: the vector itself is a candidate whenever it has a
+		// filter, and QueryBest must then return similarity 1.
+		res := ix.QueryBest(q)
+		if res.Found && res.Similarity < 1-1e-9 {
+			ids := ix.Candidates(q)
+			t.Errorf("self QueryBest sim %v with %d candidates", res.Similarity, len(ids))
+		}
+		// Candidates must be distinct.
+		ids := ix.Candidates(q)
+		seen := map[int32]bool{}
+		for _, id := range ids {
+			if seen[id] {
+				t.Fatal("duplicate candidate id")
+			}
+			seen[id] = true
+		}
+		// Stats.Distinct sums per-repetition distincts, so it can only
+		// exceed the globally deduplicated candidate count.
+		if len(ids) > res.Stats.Distinct {
+			t.Errorf("global candidates %d exceed summed distinct %d", len(ids), res.Stats.Distinct)
+		}
+	}
+}

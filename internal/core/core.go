@@ -1,0 +1,398 @@
+// Package core implements SkewSearch, the paper's primary contribution: a
+// skew-adaptive set-similarity search structure for data drawn from a
+// known product distribution D[p1..pd].
+//
+// SkewSearch instantiates the locality-sensitive filtering engine
+// (internal/lsf) with the paper's two threshold schemes:
+//
+//   - Adversarial mode (§5, Theorem 2): s(x, j, i) = 1/(b1·|x| − j). The
+//     structure answers any query q with B(q, x) ≥ b1 for some x ∈ S in
+//     time O(d·n^{ρ(q)+ε}) where ρ(q) adapts to the query's skew.
+//
+//   - Correlated mode (§6, Theorem 1): for q ~ D_α(x), using the
+//     conditional probabilities p̂_i = p_i(1−α) + α and boost
+//     δ = 3/√(αC), s(x, j, i) = (1+δ)/(p̂_i·C·log n − j), with
+//     verification threshold b1 = α/1.3 (Lemma 10).
+//
+// Both modes share the stopping rule Π_{i∈v} p_i ≤ 1/n and sampling
+// without replacement. A single filter instance succeeds with probability
+// Ω(1/log n) (Lemma 5), so the index keeps R ≈ log n independent
+// repetitions and queries them in sequence.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"skewsim/internal/bitvec"
+	"skewsim/internal/dist"
+	"skewsim/internal/hashing"
+	"skewsim/internal/lsf"
+	"skewsim/internal/rho"
+)
+
+// Mode selects the threshold scheme.
+type Mode int
+
+const (
+	// Adversarial mode gives worst-case per-query adaptive guarantees
+	// (Theorem 2).
+	Adversarial Mode = iota
+	// Correlated mode targets planted queries q ~ D_α(x) (Theorem 1).
+	Correlated
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Adversarial:
+		return "adversarial"
+	case Correlated:
+		return "correlated"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Options tunes the index. The zero value is a sensible default.
+type Options struct {
+	// Seed drives all randomness; equal seeds give identical structures.
+	Seed uint64
+	// Repetitions is the number of independent filter instances.
+	// 0 means ceil(log2 n) + 1, matching the Ω(1/log n) per-instance
+	// success probability of Lemma 5.
+	Repetitions int
+	// Measure used for candidate verification. Defaults to Braun-Blanquet,
+	// the paper's measure.
+	Measure bitvec.Measure
+	// MaxDepth and MaxFiltersPerVector are forwarded to the engine
+	// (0 = engine defaults).
+	MaxDepth            int
+	MaxFiltersPerVector int
+	// Workers parallelizes filter generation during preprocessing
+	// (0 = serial; negative = GOMAXPROCS). The built index is
+	// bit-identical regardless of the worker count.
+	Workers int
+	// Weigher overrides the stopping rule's path-information accounting
+	// (nil = the paper's independent-coordinates rule). Use
+	// lsf.NewClusterWeigher for the §9 correlation-aware extension.
+	// Indexes with a custom weigher cannot be serialized.
+	Weigher lsf.PathWeigher
+	// DisableFallback turns off the linear-scan fallback used when a
+	// query's filter generation exceeds the work budget. Mainly for
+	// experiments that want to observe raw truncation behaviour.
+	DisableFallback bool
+}
+
+// Stats aggregates work across repetitions for one query.
+type Stats struct {
+	Repetitions int // repetitions actually touched
+	Filters     int // Σ |F(q)| over touched repetitions
+	Candidates  int // Σ candidate occurrences (Lemma 7's quantity)
+	Distinct    int // Σ distinct candidates verified
+	FellBack    bool
+}
+
+func (s *Stats) add(q lsf.QueryStats) {
+	s.Repetitions++
+	s.Filters += q.Filters
+	s.Candidates += q.Candidates
+	s.Distinct += q.Distinct
+}
+
+// Result of a query.
+type Result struct {
+	// ID indexes into the data slice; -1 when not found.
+	ID int
+	// Similarity under the verification measure.
+	Similarity float64
+	Found      bool
+	Stats      Stats
+}
+
+// Index is a built SkewSearch structure.
+type Index struct {
+	mode      Mode
+	d         *dist.Product
+	data      []bitvec.Vector
+	reps      []*lsf.Index
+	threshold float64 // verification threshold b1
+	measure   bitvec.Measure
+	alpha     float64 // correlated mode only
+	b1        float64 // adversarial mode only
+	fallback  bool
+	// retained for serialization: engine seeds and limits.
+	seeds         []uint64
+	maxDepth      int
+	maxFilters    int
+	customWeigher bool
+}
+
+// BuildAdversarial preprocesses data for adversarial queries with
+// similarity threshold b1 ∈ (0, 1].
+func BuildAdversarial(d *dist.Product, data []bitvec.Vector, b1 float64, opt Options) (*Index, error) {
+	if d == nil {
+		return nil, errors.New("core: nil distribution")
+	}
+	if len(data) == 0 {
+		return nil, errors.New("core: empty dataset")
+	}
+	if b1 <= 0 || b1 > 1 {
+		return nil, fmt.Errorf("core: b1 = %v outside (0, 1]", b1)
+	}
+	threshold := adversarialThreshold(b1)
+	ix := &Index{
+		mode:      Adversarial,
+		d:         d,
+		data:      data,
+		threshold: b1,
+		b1:        b1,
+		measure:   opt.Measure,
+		fallback:  !opt.DisableFallback,
+	}
+	if err := ix.buildReps(threshold, opt); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// BuildCorrelated preprocesses data for correlated queries with
+// correlation α ∈ (0, 1].
+func BuildCorrelated(d *dist.Product, data []bitvec.Vector, alpha float64, opt Options) (*Index, error) {
+	if d == nil {
+		return nil, errors.New("core: nil distribution")
+	}
+	if len(data) == 0 {
+		return nil, errors.New("core: empty dataset")
+	}
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("core: alpha = %v outside (0, 1]", alpha)
+	}
+	n := len(data)
+	threshold := correlatedThreshold(d, n, alpha)
+	ix := &Index{
+		mode: Correlated,
+		d:    d,
+		data: data,
+		// Lemma 10: the planted pair has B ≥ α/1.3 whp while uncorrelated
+		// pairs sit below α/1.5.
+		threshold: alpha / 1.3,
+		measure:   opt.Measure,
+		alpha:     alpha,
+		fallback:  !opt.DisableFallback,
+	}
+	if err := ix.buildReps(threshold, opt); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// adversarialThreshold is §5's s(x, j, i) = 1/(b1·|x| − j), clamped into
+// [0, 1]: once j reaches b1·|x| − 1 every remaining extension is taken
+// (the stopping rule and depth cap bound the blowup).
+func adversarialThreshold(b1 float64) lsf.ThresholdFunc {
+	return func(x bitvec.Vector, j int, _ uint32) float64 {
+		denom := b1*float64(x.Len()) - float64(j)
+		if denom <= 1 {
+			return 1
+		}
+		return 1 / denom
+	}
+}
+
+// correlatedThreshold is §6's s(x, j, i) = (1+δ)/(p̂_i·C·log n − j) with
+// C·log n instantiated as Σ p_i (its defining identity) and δ = 3/√(αC).
+func correlatedThreshold(d *dist.Product, n int, alpha float64) lsf.ThresholdFunc {
+	clogn := d.ExpectedSize() // = C·log n by definition of C
+	c := d.C(n)
+	delta := 0.0
+	if c > 0 {
+		delta = 3 / math.Sqrt(alpha*c)
+	}
+	phat := d.ConditionalProbs(alpha)
+	return func(_ bitvec.Vector, j int, i uint32) float64 {
+		ph := alpha // out-of-range elements: p = 0 ⇒ p̂ = α
+		if int(i) < len(phat) {
+			ph = phat[i]
+		}
+		denom := ph*clogn - float64(j)
+		if denom <= 1+delta {
+			return 1
+		}
+		return (1 + delta) / denom
+	}
+}
+
+func (ix *Index) buildReps(threshold lsf.ThresholdFunc, opt Options) error {
+	n := len(ix.data)
+	reps := opt.Repetitions
+	if reps == 0 {
+		reps = int(math.Ceil(math.Log2(float64(n)))) + 1
+	}
+	if reps < 1 {
+		return fmt.Errorf("core: Repetitions %d must be >= 1", opt.Repetitions)
+	}
+	seeds := hashing.NewSplitMix64(opt.Seed)
+	ix.reps = make([]*lsf.Index, reps)
+	ix.seeds = make([]uint64, reps)
+	ix.maxDepth = opt.MaxDepth
+	ix.maxFilters = opt.MaxFiltersPerVector
+	ix.customWeigher = opt.Weigher != nil
+	for r := range ix.reps {
+		ix.seeds[r] = seeds.Next()
+		engine, err := lsf.NewEngine(n, lsf.Params{
+			Seed:                ix.seeds[r],
+			Probs:               ix.d.Probs(),
+			Threshold:           threshold,
+			Stop:                lsf.ProductStopRule(n),
+			MaxDepth:            opt.MaxDepth,
+			MaxFiltersPerVector: opt.MaxFiltersPerVector,
+			Weigher:             opt.Weigher,
+		})
+		if err != nil {
+			return err
+		}
+		if opt.Workers != 0 {
+			workers := opt.Workers
+			if workers < 0 {
+				workers = 0 // BuildIndexParallel resolves to GOMAXPROCS
+			}
+			ix.reps[r], err = lsf.BuildIndexParallel(engine, ix.data, workers)
+		} else {
+			ix.reps[r], err = lsf.BuildIndex(engine, ix.data)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Mode returns the index's mode.
+func (ix *Index) Mode() Mode { return ix.mode }
+
+// Threshold returns the verification threshold b1 (α/1.3 in correlated
+// mode).
+func (ix *Index) Threshold() float64 { return ix.threshold }
+
+// Repetitions returns the number of filter instances.
+func (ix *Index) Repetitions() int { return len(ix.reps) }
+
+// Data returns the indexed vectors.
+func (ix *Index) Data() []bitvec.Vector { return ix.data }
+
+// BuildStats sums construction statistics over repetitions.
+func (ix *Index) BuildStats() lsf.BuildStats {
+	var total lsf.BuildStats
+	for _, r := range ix.reps {
+		st := r.Stats()
+		total.Vectors = st.Vectors
+		total.TotalFilters += st.TotalFilters
+		total.Buckets += st.Buckets
+		total.Truncated += st.Truncated
+	}
+	return total
+}
+
+// Query searches for a vector with similarity at least the verification
+// threshold, walking repetitions until one succeeds. If every repetition
+// truncates (work budget) and fallback is enabled, it degrades to a
+// linear scan so correctness never silently drops.
+func (ix *Index) Query(q bitvec.Vector) Result {
+	var res Result
+	res.ID = -1
+	allTruncated := true
+	for _, rep := range ix.reps {
+		id, sim, st, found := rep.Query(q, ix.threshold, ix.measure)
+		res.Stats.add(st)
+		if !st.Truncated {
+			allTruncated = false
+		}
+		if found {
+			res.ID, res.Similarity, res.Found = id, sim, true
+			return res
+		}
+	}
+	if allTruncated && ix.fallback {
+		res.Stats.FellBack = true
+		id, sim, found := ix.linearScan(q)
+		if found {
+			res.ID, res.Similarity, res.Found = id, sim, true
+		}
+	}
+	return res
+}
+
+// QueryBest returns the most similar candidate across all repetitions,
+// regardless of threshold. Found is false only when no repetition yields
+// any candidate.
+func (ix *Index) QueryBest(q bitvec.Vector) Result {
+	var res Result
+	res.ID = -1
+	res.Similarity = -1
+	for _, rep := range ix.reps {
+		id, sim, st, found := rep.QueryBest(q, ix.measure)
+		res.Stats.add(st)
+		if found && sim > res.Similarity {
+			res.ID, res.Similarity, res.Found = id, sim, true
+		}
+	}
+	if !res.Found {
+		res.Similarity = 0
+	}
+	return res
+}
+
+// Candidates returns the distinct candidate ids over all repetitions.
+// Used by the join driver and by experiments analyzing candidate sets.
+func (ix *Index) Candidates(q bitvec.Vector) []int32 {
+	seen := make(map[int32]struct{})
+	var out []int32
+	for _, rep := range ix.reps {
+		ids, _ := rep.CandidateIDs(q)
+		for _, id := range ids {
+			if _, dup := seen[id]; !dup {
+				seen[id] = struct{}{}
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// linearScan is the correctness fallback.
+func (ix *Index) linearScan(q bitvec.Vector) (int, float64, bool) {
+	best, bestSim := -1, -1.0
+	for id, x := range ix.data {
+		if s := ix.measure.Similarity(q, x); s > bestSim {
+			best, bestSim = id, s
+		}
+	}
+	if best >= 0 && bestSim >= ix.threshold {
+		return best, bestSim, true
+	}
+	return -1, 0, false
+}
+
+// PredictedQueryRho returns the theory's exponent for this index and a
+// given query (adversarial mode: Theorem 2's ρ(q); correlated mode:
+// Theorem 1's ρ, which is query-independent).
+func (ix *Index) PredictedQueryRho(q bitvec.Vector) (float64, error) {
+	switch ix.mode {
+	case Adversarial:
+		ps := make([]float64, 0, q.Len())
+		for _, b := range q.Bits() {
+			if int(b) < ix.d.Dim() {
+				ps = append(ps, ix.d.P(int(b)))
+			} else {
+				ps = append(ps, 0)
+			}
+		}
+		return rho.AdversarialQueryRho(rho.FromProbs(ps), ix.threshold)
+	case Correlated:
+		return rho.CorrelatedRho(rho.FromProbs(ix.d.Probs()), ix.alpha)
+	default:
+		return 0, fmt.Errorf("core: unknown mode %v", ix.mode)
+	}
+}

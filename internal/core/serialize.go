@@ -1,0 +1,172 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"skewsim/internal/bitvec"
+	"skewsim/internal/dist"
+	"skewsim/internal/lsf"
+)
+
+// Serialization of a SkewSearch index. The header stores the mode, its
+// parameter (b1 or α), the verification measure, the engine limits, and
+// the per-repetition hash seeds; the body is one lsf bucket dump per
+// repetition. The distribution and the data vectors are NOT stored — the
+// caller supplies them on load (they are the caller's inputs, typically
+// already persisted elsewhere), and the thresholds are reconstructed
+// deterministically from them plus the stored parameters.
+//
+// Format (little-endian):
+//
+//	magic    [8]byte "SKEWSIM1"
+//	mode     uint8 (0 adversarial, 1 correlated)
+//	measure  uint8
+//	fallback uint8 (1 = enabled)
+//	param    float64 (b1 or alpha)
+//	n        uint64 (dataset size; validated on load)
+//	maxDepth, maxFilters uint64
+//	reps     uint32, then reps × (seed uint64)
+//	reps × lsf index dump
+
+var coreMagic = [8]byte{'S', 'K', 'E', 'W', 'S', 'I', 'M', '1'}
+
+// WriteTo serializes the index. It implements io.WriterTo. Indexes built
+// with a custom Weigher cannot be serialized: the weigher is arbitrary
+// code that ReadIndex could not reconstruct.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	if ix.customWeigher {
+		return 0, errors.New("core: cannot serialize an index built with a custom Weigher")
+	}
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v interface{}) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	param := ix.b1
+	if ix.mode == Correlated {
+		param = ix.alpha
+	}
+	fallbackByte := uint8(0)
+	if ix.fallback {
+		fallbackByte = 1
+	}
+	for _, v := range []interface{}{
+		coreMagic, uint8(ix.mode), uint8(ix.measure), fallbackByte,
+		param, uint64(len(ix.data)), uint64(ix.maxDepth), uint64(ix.maxFilters),
+		uint32(len(ix.reps)),
+	} {
+		if err := write(v); err != nil {
+			return n, err
+		}
+	}
+	for _, s := range ix.seeds {
+		if err := write(s); err != nil {
+			return n, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
+	for _, rep := range ix.reps {
+		m, err := rep.WriteTo(w)
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ReadIndex reconstructs an index previously serialized with WriteTo.
+// d and data must be the same distribution and dataset the index was
+// built over; the dataset size is validated, and every bucket id is
+// bounds-checked against it.
+func ReadIndex(r io.Reader, d *dist.Product, data []bitvec.Vector) (*Index, error) {
+	if d == nil {
+		return nil, errors.New("core: nil distribution")
+	}
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("core: reading magic: %w", err)
+	}
+	if magic != coreMagic {
+		return nil, fmt.Errorf("core: bad magic %q", magic)
+	}
+	var modeB, measureB, fallbackB uint8
+	var param float64
+	var nStored, maxDepth, maxFilters uint64
+	var reps uint32
+	for _, v := range []interface{}{&modeB, &measureB, &fallbackB, &param, &nStored, &maxDepth, &maxFilters, &reps} {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("core: reading header: %w", err)
+		}
+	}
+	if uint64(len(data)) != nStored {
+		return nil, fmt.Errorf("core: index built over %d vectors, got %d", nStored, len(data))
+	}
+	if reps == 0 || reps > 1<<16 {
+		return nil, fmt.Errorf("core: implausible repetition count %d", reps)
+	}
+	if math.IsNaN(param) || param <= 0 || param > 1 {
+		return nil, fmt.Errorf("core: stored parameter %v outside (0, 1]", param)
+	}
+	mode := Mode(modeB)
+	if mode != Adversarial && mode != Correlated {
+		return nil, fmt.Errorf("core: unknown mode byte %d", modeB)
+	}
+
+	ix := &Index{
+		mode:       mode,
+		d:          d,
+		data:       data,
+		measure:    bitvec.Measure(measureB),
+		fallback:   fallbackB == 1,
+		seeds:      make([]uint64, reps),
+		maxDepth:   int(maxDepth),
+		maxFilters: int(maxFilters),
+		reps:       make([]*lsf.Index, reps),
+	}
+	var threshold lsf.ThresholdFunc
+	if mode == Adversarial {
+		ix.b1 = param
+		ix.threshold = param
+		threshold = adversarialThreshold(param)
+	} else {
+		ix.alpha = param
+		ix.threshold = param / 1.3
+		threshold = correlatedThreshold(d, len(data), param)
+	}
+	for i := range ix.seeds {
+		if err := binary.Read(br, binary.LittleEndian, &ix.seeds[i]); err != nil {
+			return nil, fmt.Errorf("core: reading seed %d: %w", i, err)
+		}
+	}
+	for i := range ix.reps {
+		engine, err := lsf.NewEngine(len(data), lsf.Params{
+			Seed:                ix.seeds[i],
+			Probs:               d.Probs(),
+			Threshold:           threshold,
+			Stop:                lsf.ProductStopRule(len(data)),
+			MaxDepth:            ix.maxDepth,
+			MaxFiltersPerVector: ix.maxFilters,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ix.reps[i], err = lsf.ReadIndexFrom(br, engine, data)
+		if err != nil {
+			return nil, fmt.Errorf("core: repetition %d: %w", i, err)
+		}
+	}
+	return ix, nil
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"skewsim/internal/datagen"
+	"skewsim/internal/dist"
+)
+
+func buildForSerialization(t *testing.T, mode Mode) (*Index, *dist.Product, *datagen.CorrelatedWorkload) {
+	t.Helper()
+	d := dist.MustProduct(dist.Fig1Profile(400, 0.2))
+	w, err := NewTestCorrelatedWorkload(d, 250, 20, 0.75, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ix *Index
+	if mode == Correlated {
+		ix, err = BuildCorrelated(d, w.Data, 0.75, Options{Seed: 7, Repetitions: 4})
+	} else {
+		ix, err = BuildAdversarial(d, w.Data, 0.55, Options{Seed: 7, Repetitions: 4})
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, d, w
+}
+
+func TestSerializeRoundTripCorrelated(t *testing.T) {
+	ix, d, w := buildForSerialization(t, Correlated)
+	var buf bytes.Buffer
+	n, err := ix.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	back, err := ReadIndex(&buf, d, w.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Mode() != Correlated || back.Repetitions() != ix.Repetitions() || back.Threshold() != ix.Threshold() {
+		t.Fatal("restored parameters differ")
+	}
+	for _, q := range w.Queries {
+		r1, r2 := ix.Query(q), back.Query(q)
+		if r1.Found != r2.Found || r1.ID != r2.ID || r1.Stats != r2.Stats {
+			t.Fatal("restored index answers differently")
+		}
+	}
+}
+
+func TestSerializeRoundTripAdversarial(t *testing.T) {
+	ix, d, w := buildForSerialization(t, Adversarial)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadIndex(&buf, d, w.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Mode() != Adversarial || back.Threshold() != 0.55 {
+		t.Fatal("restored parameters differ")
+	}
+	for _, q := range w.Queries {
+		r1, r2 := ix.QueryBest(q), back.QueryBest(q)
+		if r1.ID != r2.ID || r1.Similarity != r2.Similarity {
+			t.Fatal("restored index answers differently")
+		}
+	}
+}
+
+func TestReadIndexValidation(t *testing.T) {
+	ix, d, w := buildForSerialization(t, Correlated)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	if _, err := ReadIndex(bytes.NewReader(raw), nil, w.Data); err == nil {
+		t.Error("nil distribution accepted")
+	}
+	if _, err := ReadIndex(strings.NewReader("garbage!!"), d, w.Data); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadIndex(bytes.NewReader(raw), d, w.Data[:10]); err == nil {
+		t.Error("dataset size mismatch accepted")
+	}
+	for _, cut := range []int{4, 12, 40, len(raw) / 2} {
+		if _, err := ReadIndex(bytes.NewReader(raw[:cut]), d, w.Data); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// Corrupt the mode byte (offset 8).
+	bad := append([]byte(nil), raw...)
+	bad[8] = 99
+	if _, err := ReadIndex(bytes.NewReader(bad), d, w.Data); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"sort"
+
+	"skewsim/internal/bitvec"
+)
+
+// Match is one entry of a top-k result list.
+type Match struct {
+	ID         int
+	Similarity float64
+}
+
+// QueryTopK returns the k most similar indexed vectors among the
+// candidates sharing a filter with q in any repetition, sorted by
+// decreasing similarity (ties by ascending id, so results are
+// deterministic). Fewer than k matches are returned when the candidate
+// set is smaller; like all filter queries this examines candidates only,
+// so vectors sharing no filter with q cannot appear even if similar —
+// recall follows the same Lemma 5 analysis as Query.
+func (ix *Index) QueryTopK(q bitvec.Vector, k int) ([]Match, Stats) {
+	var stats Stats
+	if k <= 0 {
+		return nil, stats
+	}
+	seen := make(map[int32]struct{})
+	var matches []Match
+	for _, rep := range ix.reps {
+		ids, st := rep.CandidateIDs(q)
+		stats.add(st)
+		for _, id := range ids {
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			s := ix.measure.Similarity(q, ix.data[id])
+			if s > 0 {
+				matches = append(matches, Match{ID: int(id), Similarity: s})
+			}
+		}
+	}
+	sort.Slice(matches, func(a, b int) bool {
+		if matches[a].Similarity != matches[b].Similarity {
+			return matches[a].Similarity > matches[b].Similarity
+		}
+		return matches[a].ID < matches[b].ID
+	})
+	if len(matches) > k {
+		matches = matches[:k]
+	}
+	return matches, stats
+}

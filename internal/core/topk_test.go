@@ -1,0 +1,129 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"skewsim/internal/bitvec"
+	"skewsim/internal/bruteforce"
+	"skewsim/internal/dist"
+)
+
+func topkFixture(t *testing.T) (*Index, *bruteforce.Index, *testFixtureWorkload) {
+	t.Helper()
+	d := dist.MustProduct(dist.Uniform(900, 0.1))
+	w, err := NewTestCorrelatedWorkload(d, 300, 25, 0.8, 53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := BuildCorrelated(d, w.Data, 0.8, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := bruteforce.Build(w.Data, bruteforce.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, bf, &testFixtureWorkload{w.Queries, w.Targets}
+}
+
+type testFixtureWorkload struct {
+	Queries []bitvec.Vector
+	Targets []int
+}
+
+func TestQueryTopKSortedAndBounded(t *testing.T) {
+	ix, _, w := topkFixture(t)
+	for _, q := range w.Queries {
+		matches, stats := ix.QueryTopK(q, 5)
+		if len(matches) > 5 {
+			t.Fatalf("got %d matches", len(matches))
+		}
+		for i := 1; i < len(matches); i++ {
+			a, b := matches[i-1], matches[i]
+			if a.Similarity < b.Similarity ||
+				(a.Similarity == b.Similarity && a.ID > b.ID) {
+				t.Fatal("matches not sorted")
+			}
+		}
+		if stats.Repetitions != ix.Repetitions() {
+			t.Fatal("stats not aggregated over repetitions")
+		}
+	}
+}
+
+func TestQueryTopKTopHitMatchesGroundTruth(t *testing.T) {
+	ix, bf, w := topkFixture(t)
+	agree := 0
+	for _, q := range w.Queries {
+		got, _ := ix.QueryTopK(q, 1)
+		want := bf.QueryTopK(q, 1)
+		if len(got) == 1 && len(want) == 1 && got[0].ID == want[0].ID {
+			agree++
+		}
+	}
+	// The top hit is the planted partner (far above the noise floor), so
+	// the filter index should find it nearly always.
+	if rate := float64(agree) / float64(len(w.Queries)); rate < 0.9 {
+		t.Errorf("top-1 agreement with brute force: %v", rate)
+	}
+}
+
+func TestQueryTopKDegenerate(t *testing.T) {
+	ix, _, w := topkFixture(t)
+	if m, _ := ix.QueryTopK(w.Queries[0], 0); m != nil {
+		t.Error("k=0 should return nil")
+	}
+	if m, _ := ix.QueryTopK(w.Queries[0], -3); m != nil {
+		t.Error("negative k should return nil")
+	}
+	// Huge k returns at most the candidate count, all positive-sim.
+	m, _ := ix.QueryTopK(w.Queries[0], 1<<20)
+	for _, e := range m {
+		if e.Similarity <= 0 {
+			t.Error("zero-similarity entry included")
+		}
+	}
+}
+
+func TestBruteForceTopKExactness(t *testing.T) {
+	_, bf, w := topkFixture(t)
+	q := w.Queries[0]
+	m := bf.QueryTopK(q, 10)
+	for i := 1; i < len(m); i++ {
+		if m[i-1].Similarity < m[i].Similarity {
+			t.Fatal("ground truth not sorted")
+		}
+	}
+	if bf.QueryTopK(q, 0) != nil {
+		t.Error("k=0 should return nil")
+	}
+}
+
+// TestConcurrentQueriesAreSafe exercises read-only query concurrency on a
+// shared index (run with -race to catch violations).
+func TestConcurrentQueriesAreSafe(t *testing.T) {
+	ix, _, w := topkFixture(t)
+	var wg sync.WaitGroup
+	results := make([][]int, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for _, q := range w.Queries {
+				res := ix.Query(q)
+				results[g] = append(results[g], res.ID)
+				ix.QueryBest(q)
+				ix.QueryTopK(q, 3)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < 8; g++ {
+		for i := range results[0] {
+			if results[g][i] != results[0][i] {
+				t.Fatal("concurrent queries returned inconsistent results")
+			}
+		}
+	}
+}

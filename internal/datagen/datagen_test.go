@@ -1,0 +1,163 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"skewsim/internal/dist"
+	"skewsim/internal/hashing"
+)
+
+func TestProfilesComplete(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 10 {
+		t.Fatalf("want 10 analogs, got %d", len(ps))
+	}
+	wantOrder := []string{"AOL", "BMS-POS", "DBLP", "ENRON", "FLICKR",
+		"KOSARAK", "LIVEJOURNAL", "NETFLIX", "ORKUT", "SPOTIFY"}
+	for i, p := range ps {
+		if p.Name != wantOrder[i] {
+			t.Errorf("profile %d is %q, want %q (Table 1 order)", i, p.Name, wantOrder[i])
+		}
+		if p.Dim < 100 || p.PMax <= 0 || p.PMax > 0.5 {
+			t.Errorf("%s: implausible Dim=%d PMax=%v", p.Name, p.Dim, p.PMax)
+		}
+		if p.PairRatio < 1 || p.TripleRatioPaper < p.PairRatio {
+			t.Errorf("%s: ratios %v, %v inconsistent", p.Name, p.PairRatio, p.TripleRatioPaper)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, err := ProfileByName("SPOTIFY")
+	if err != nil || p.Name != "SPOTIFY" {
+		t.Fatalf("lookup failed: %v", err)
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Error("unknown name should fail")
+	}
+}
+
+func TestSigmaSqAndPredictedTriple(t *testing.T) {
+	p := DatasetProfile{PairRatio: 2.0}
+	if got := p.SigmaSq(); !almostEqual(got, math.Log(2), 1e-12) {
+		t.Errorf("SigmaSq = %v", got)
+	}
+	if got := p.PredictedTripleRatio(); !almostEqual(got, 8, 1e-12) {
+		t.Errorf("PredictedTripleRatio = %v", got)
+	}
+	indep := DatasetProfile{PairRatio: 1.0}
+	if indep.SigmaSq() != 0 {
+		t.Error("PairRatio=1 should give sigma 0")
+	}
+}
+
+func TestFrequenciesValidAndSkewed(t *testing.T) {
+	for _, p := range Profiles() {
+		f := p.Frequencies()
+		if len(f) != p.Dim {
+			t.Fatalf("%s: dim mismatch", p.Name)
+		}
+		if f[0] != p.PMax {
+			t.Errorf("%s: head frequency %v, want %v", p.Name, f[0], p.PMax)
+		}
+		for i := 1; i < len(f); i++ {
+			if f[i] > f[i-1]+1e-15 {
+				t.Fatalf("%s: frequencies not decreasing at %d", p.Name, i)
+			}
+		}
+		// Figure 2's point: all datasets display significant skew. Demand
+		// at least ~2.5 orders of magnitude between head and tail (NETFLIX
+		// is the flattest analog, matching its dense real counterpart).
+		if f[0]/f[len(f)-1] < 300 {
+			t.Errorf("%s: insufficient skew: head %v tail %v", p.Name, f[0], f[len(f)-1])
+		}
+	}
+}
+
+func TestGeneratePreservesMarginals(t *testing.T) {
+	// With the activity scale, the marginal frequency of item i remains
+	// ≈ p_i (E[s] = 1) up to clipping.
+	p := DatasetProfile{
+		Name: "test", Dim: 500, PMax: 0.2,
+		Segments:  []dist.PiecewiseZipfSegment{{FracEnd: 1, S: 1.0}},
+		PairRatio: 1.5,
+	}
+	rng := hashing.NewSplitMix64(1)
+	const n = 8000
+	data := p.Generate(rng, n)
+	freqs := p.Frequencies()
+	est := dist.EstimateFrequencies(data, p.Dim)
+	for _, i := range []int{0, 1, 5, 20} {
+		tol := 5*math.Sqrt(freqs[i]/n) + 0.01
+		if math.Abs(est[i]-freqs[i]) > tol {
+			t.Errorf("item %d: est %v, want %v ± %v", i, est[i], freqs[i], tol)
+		}
+	}
+}
+
+func TestGenerateIndependentWhenRatioOne(t *testing.T) {
+	p := DatasetProfile{
+		Name: "indep", Dim: 200, PMax: 0.3,
+		Segments:  []dist.PiecewiseZipfSegment{{FracEnd: 1, S: 0.8}},
+		PairRatio: 1.0,
+	}
+	rng := hashing.NewSplitMix64(3)
+	data := p.Generate(rng, 4000)
+	r := dist.IndependenceRatio(data, p.Dim, 2, 600, 7)
+	if r < 0.85 || r > 1.15 {
+		t.Errorf("independence ratio %v, want ~1", r)
+	}
+}
+
+func TestGenerateProducesTargetPairRatio(t *testing.T) {
+	p := DatasetProfile{
+		Name: "corr", Dim: 200, PMax: 0.2,
+		Segments:  []dist.PiecewiseZipfSegment{{FracEnd: 1, S: 0.5}},
+		PairRatio: 3.0,
+	}
+	rng := hashing.NewSplitMix64(5)
+	data := p.Generate(rng, 6000)
+	r := dist.IndependenceRatio(data, p.Dim, 2, 800, 11)
+	// Clipping at 0.999 and sampling noise allow generous tolerance; the
+	// point is the ratio is clearly near 3, not near 1.
+	if r < 2.0 || r > 4.5 {
+		t.Errorf("pair ratio %v, want ≈3", r)
+	}
+}
+
+func TestGenerateTripleExceedsPairRatio(t *testing.T) {
+	p := DatasetProfile{
+		Name: "corr3", Dim: 150, PMax: 0.25,
+		Segments:  []dist.PiecewiseZipfSegment{{FracEnd: 1, S: 0.4}},
+		PairRatio: 2.5,
+	}
+	rng := hashing.NewSplitMix64(9)
+	data := p.Generate(rng, 6000)
+	r2 := dist.IndependenceRatio(data, p.Dim, 2, 600, 13)
+	r3 := dist.IndependenceRatio(data, p.Dim, 3, 600, 17)
+	if r3 <= r2 {
+		t.Errorf("triple ratio %v should exceed pair ratio %v (Table 1 shape)", r3, r2)
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	rng := hashing.NewSplitMix64(11)
+	const n = 100000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		z := gaussian(rng)
+		sum += z
+		sumsq += z * z
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("gaussian mean %v", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("gaussian variance %v", variance)
+	}
+}
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }

@@ -1,0 +1,143 @@
+package datagen
+
+import (
+	"fmt"
+
+	"skewsim/internal/bitvec"
+	"skewsim/internal/dist"
+	"skewsim/internal/hashing"
+)
+
+// CorrelatedWorkload is a Theorem 1 instance: n data vectors drawn from D
+// plus queries q ~ D_α(x) for planted targets x ∈ S.
+type CorrelatedWorkload struct {
+	D       *dist.Product
+	Alpha   float64
+	Data    []bitvec.Vector
+	Queries []bitvec.Vector
+	// Targets[k] is the index into Data of the vector Queries[k] was
+	// correlated with.
+	Targets []int
+}
+
+// NewCorrelatedWorkload samples a correlated-query workload. Targets are
+// spread deterministically over the dataset (query k targets vector
+// k·n/q) so repeated runs stress different regions.
+func NewCorrelatedWorkload(d *dist.Product, n, queries int, alpha float64, seed uint64) (*CorrelatedWorkload, error) {
+	if n < 1 || queries < 1 {
+		return nil, fmt.Errorf("datagen: need n >= 1 and queries >= 1, got %d, %d", n, queries)
+	}
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("datagen: alpha %v outside (0, 1]", alpha)
+	}
+	rng := hashing.NewSplitMix64(seed)
+	w := &CorrelatedWorkload{
+		D:       d,
+		Alpha:   alpha,
+		Data:    d.SampleN(rng, n),
+		Queries: make([]bitvec.Vector, queries),
+		Targets: make([]int, queries),
+	}
+	for k := 0; k < queries; k++ {
+		t := k * n / queries
+		w.Targets[k] = t
+		w.Queries[k] = d.SampleCorrelated(rng, w.Data[t], alpha)
+	}
+	return w, nil
+}
+
+// AdversarialWorkload is a Theorem 2 instance: n data vectors from D plus
+// queries constructed (not sampled) to have Braun-Blanquet similarity at
+// least b1 with their planted target.
+type AdversarialWorkload struct {
+	D       *dist.Product
+	B1      float64
+	Data    []bitvec.Vector
+	Queries []bitvec.Vector
+	Targets []int
+}
+
+// NewAdversarialWorkload builds queries by keeping a ⌈b1·|x|⌉-subset of a
+// planted x and padding with fresh draws from D restricted to bits outside
+// x until the query has |x| bits (so max(|x|, |q|) = |x| and
+// B(x, q) ≥ b1 holds deterministically).
+func NewAdversarialWorkload(d *dist.Product, n, queries int, b1 float64, seed uint64) (*AdversarialWorkload, error) {
+	if n < 1 || queries < 1 {
+		return nil, fmt.Errorf("datagen: need n >= 1 and queries >= 1, got %d, %d", n, queries)
+	}
+	if b1 <= 0 || b1 > 1 {
+		return nil, fmt.Errorf("datagen: b1 %v outside (0, 1]", b1)
+	}
+	rng := hashing.NewSplitMix64(seed)
+	w := &AdversarialWorkload{
+		D:       d,
+		B1:      b1,
+		Data:    d.SampleN(rng, n),
+		Queries: make([]bitvec.Vector, queries),
+		Targets: make([]int, queries),
+	}
+	for k := 0; k < queries; k++ {
+		t := k * n / queries
+		w.Targets[k] = t
+		w.Queries[k] = adversarialQuery(rng, d, w.Data[t], b1)
+	}
+	return w, nil
+}
+
+// adversarialQuery keeps the first ⌈b1·|x|⌉ bits of x (ties to the rarest
+// region are irrelevant for correctness: any subset works) and pads with
+// noise bits not in x.
+func adversarialQuery(rng *hashing.SplitMix64, d *dist.Product, x bitvec.Vector, b1 float64) bitvec.Vector {
+	keepN := int(float64(x.Len())*b1 + 0.999999)
+	if keepN > x.Len() {
+		keepN = x.Len()
+	}
+	xb := x.Bits()
+	// Random subset of x of size keepN via reservoir-style selection.
+	kept := make([]uint32, 0, keepN)
+	need := keepN
+	remaining := len(xb)
+	for _, b := range xb {
+		if need == 0 {
+			break
+		}
+		if rng.NextBelow(uint64(remaining)) < uint64(need) {
+			kept = append(kept, b)
+			need--
+		}
+		remaining--
+	}
+	q := bitvec.FromSorted(kept)
+	// Pad with noise outside x until |q| = |x|. Draw noise from D so the
+	// padding respects the skew profile; skip bits already present.
+	pad := x.Len() - q.Len()
+	if pad > 0 {
+		noise := make([]uint32, 0, pad)
+		// Distributions with tiny support may not be able to pad fully;
+		// cap the attempts and accept a shorter query (similarity only
+		// improves when |q| < |x|).
+		for attempts := 0; pad > 0 && attempts < 64; attempts++ {
+			v := d.Sample(rng)
+			for _, b := range v.Bits() {
+				if pad == 0 {
+					break
+				}
+				if !x.Contains(b) && !q.Contains(b) && !contains(noise, b) {
+					noise = append(noise, b)
+					pad--
+				}
+			}
+		}
+		q = q.Union(bitvec.New(noise...))
+	}
+	return q
+}
+
+func contains(xs []uint32, v uint32) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

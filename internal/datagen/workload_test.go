@@ -1,0 +1,164 @@
+package datagen
+
+import (
+	"testing"
+
+	"skewsim/internal/bitvec"
+	"skewsim/internal/dist"
+)
+
+func testDist(t *testing.T) *dist.Product {
+	t.Helper()
+	return dist.MustProduct(dist.Uniform(400, 0.1))
+}
+
+func TestNewCorrelatedWorkloadShape(t *testing.T) {
+	w, err := NewCorrelatedWorkload(testDist(t), 100, 10, 0.7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Data) != 100 || len(w.Queries) != 10 || len(w.Targets) != 10 {
+		t.Fatalf("shape wrong: %d, %d, %d", len(w.Data), len(w.Queries), len(w.Targets))
+	}
+	for _, tgt := range w.Targets {
+		if tgt < 0 || tgt >= 100 {
+			t.Fatalf("target out of range: %d", tgt)
+		}
+	}
+}
+
+func TestNewCorrelatedWorkloadTargetsSpread(t *testing.T) {
+	w, err := NewCorrelatedWorkload(testDist(t), 100, 4, 0.7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 25, 50, 75}
+	for i, tgt := range w.Targets {
+		if tgt != want[i] {
+			t.Errorf("target %d = %d, want %d", i, tgt, want[i])
+		}
+	}
+}
+
+func TestNewCorrelatedWorkloadQueriesCorrelated(t *testing.T) {
+	// With alpha=0.8 the planted pair should be far more similar than a
+	// random pair.
+	d := testDist(t)
+	w, err := NewCorrelatedWorkload(d, 200, 20, 0.8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, q := range w.Queries {
+		target := w.Data[w.Targets[k]]
+		simT := bitvec.BraunBlanquet(q, target)
+		other := w.Data[(w.Targets[k]+77)%len(w.Data)]
+		simO := bitvec.BraunBlanquet(q, other)
+		if simT <= simO {
+			t.Errorf("query %d: target sim %v not above random sim %v", k, simT, simO)
+		}
+	}
+}
+
+func TestNewCorrelatedWorkloadValidation(t *testing.T) {
+	d := testDist(t)
+	if _, err := NewCorrelatedWorkload(d, 0, 1, 0.5, 1); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := NewCorrelatedWorkload(d, 1, 0, 0.5, 1); err == nil {
+		t.Error("queries=0 should fail")
+	}
+	for _, a := range []float64{0, -1, 1.5} {
+		if _, err := NewCorrelatedWorkload(d, 1, 1, a, 1); err == nil {
+			t.Errorf("alpha=%v should fail", a)
+		}
+	}
+}
+
+func TestNewCorrelatedWorkloadDeterministic(t *testing.T) {
+	d := testDist(t)
+	w1, _ := NewCorrelatedWorkload(d, 50, 5, 0.6, 42)
+	w2, _ := NewCorrelatedWorkload(d, 50, 5, 0.6, 42)
+	for i := range w1.Data {
+		if !w1.Data[i].Equal(w2.Data[i]) {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	for i := range w1.Queries {
+		if !w1.Queries[i].Equal(w2.Queries[i]) {
+			t.Fatal("same seed produced different queries")
+		}
+	}
+}
+
+func TestNewAdversarialWorkloadSimilarityGuarantee(t *testing.T) {
+	d := testDist(t)
+	b1 := 0.5
+	w, err := NewAdversarialWorkload(d, 150, 30, b1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, q := range w.Queries {
+		target := w.Data[w.Targets[k]]
+		if got := bitvec.BraunBlanquet(q, target); got < b1-1e-9 {
+			t.Errorf("query %d: similarity %v below b1=%v", k, got, b1)
+		}
+		if q.Len() > target.Len() {
+			t.Errorf("query %d: |q|=%d exceeds |x|=%d", k, q.Len(), target.Len())
+		}
+	}
+}
+
+func TestNewAdversarialWorkloadB1One(t *testing.T) {
+	// b1=1 requires q ⊆ x with |q| = |x|, i.e. q = x.
+	d := testDist(t)
+	w, err := NewAdversarialWorkload(d, 40, 8, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, q := range w.Queries {
+		if !q.Equal(w.Data[w.Targets[k]]) {
+			t.Errorf("query %d should equal its target for b1=1", k)
+		}
+	}
+}
+
+func TestNewAdversarialWorkloadValidation(t *testing.T) {
+	d := testDist(t)
+	if _, err := NewAdversarialWorkload(d, 0, 1, 0.5, 1); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := NewAdversarialWorkload(d, 1, 0, 0.5, 1); err == nil {
+		t.Error("queries=0 should fail")
+	}
+	for _, b := range []float64{0, 1.2} {
+		if _, err := NewAdversarialWorkload(d, 1, 1, b, 1); err == nil {
+			t.Errorf("b1=%v should fail", b)
+		}
+	}
+}
+
+func TestAdversarialWorkloadTinySupport(t *testing.T) {
+	// A distribution whose support is so small that padding cannot
+	// complete must still terminate and keep the similarity guarantee.
+	d := dist.MustProduct([]float64{0.5, 0.5, 0.5})
+	w, err := NewAdversarialWorkload(d, 10, 5, 0.5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, q := range w.Queries {
+		target := w.Data[w.Targets[k]]
+		if target.Len() == 0 {
+			continue
+		}
+		if got := bitvec.BraunBlanquet(q, target); got < 0.5-1e-9 {
+			t.Errorf("query %d: similarity %v", k, got)
+		}
+	}
+}
+
+func TestContainsHelper(t *testing.T) {
+	xs := []uint32{1, 5, 9}
+	if !contains(xs, 5) || contains(xs, 2) || contains(nil, 0) {
+		t.Error("contains helper misbehaves")
+	}
+}

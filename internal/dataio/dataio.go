@@ -1,0 +1,75 @@
+// Package dataio reads and writes the library's plain-text dataset
+// format, one set per line as space-separated element ids:
+//
+//	# optional comments
+//	3 17 4211
+//	8 9
+//
+// The format is deliberately the same "transaction file" shape used by
+// the set-similarity-join benchmark datasets the paper analyzes, so real
+// files can be dropped in for the analysis experiments.
+package dataio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"skewsim/internal/bitvec"
+)
+
+// Read parses vectors from r. Blank lines and lines starting with '#' are
+// skipped. Duplicate ids within a line are merged.
+func Read(r io.Reader) ([]bitvec.Vector, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var out []bitvec.Vector
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		bits := make([]uint32, 0, len(fields))
+		for _, f := range fields {
+			v, err := strconv.ParseUint(f, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("dataio: line %d: bad element %q: %v", lineNo, f, err)
+			}
+			bits = append(bits, uint32(v))
+		}
+		out = append(out, bitvec.New(bits...))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataio: %w", err)
+	}
+	return out, nil
+}
+
+// Write emits vectors in the text format. Empty vectors produce blank
+// lines, which Read skips: the transaction format cannot represent empty
+// sets (real benchmark files never contain them), so a write/read round
+// trip drops them.
+func Write(w io.Writer, data []bitvec.Vector) error {
+	bw := bufio.NewWriter(w)
+	for _, v := range data {
+		for i, b := range v.Bits() {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatUint(uint64(b), 10)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,138 @@
+package dataio
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"skewsim/internal/bitvec"
+)
+
+func TestReadBasic(t *testing.T) {
+	in := "# comment\n3 17 4211\n\n8 9\n"
+	vs, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 {
+		t.Fatalf("got %d vectors", len(vs))
+	}
+	if !vs[0].Equal(bitvec.New(3, 17, 4211)) || !vs[1].Equal(bitvec.New(8, 9)) {
+		t.Errorf("parsed %v, %v", vs[0], vs[1])
+	}
+}
+
+func TestReadMergesDuplicates(t *testing.T) {
+	vs, err := Read(strings.NewReader("5 5 5 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vs[0].Equal(bitvec.New(1, 5)) {
+		t.Errorf("got %v", vs[0])
+	}
+}
+
+func TestReadRejectsBadInput(t *testing.T) {
+	for _, in := range []string{"abc\n", "1 -2\n", "1 99999999999999999999\n"} {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q should fail", in)
+		}
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	vs, err := Read(strings.NewReader("# only comments\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Errorf("got %d vectors", len(vs))
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	data := []bitvec.Vector{
+		bitvec.New(1, 2, 3),
+		bitvec.New(42),
+		bitvec.New(0, 4294967295),
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, data); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(data) {
+		t.Fatalf("round trip lost vectors: %d vs %d", len(back), len(data))
+	}
+	for i := range data {
+		if !back[i].Equal(data[i]) {
+			t.Errorf("vector %d: %v vs %v", i, back[i], data[i])
+		}
+	}
+}
+
+func TestRoundTripDropsEmptyVectors(t *testing.T) {
+	// Documented limitation: the transaction format cannot represent
+	// empty sets.
+	var buf bytes.Buffer
+	if err := Write(&buf, []bitvec.Vector{bitvec.New(), bitvec.New(7)}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || !back[0].Equal(bitvec.New(7)) {
+		t.Errorf("got %v", back)
+	}
+}
+
+func TestReadNeverPanicsOnGarbage(t *testing.T) {
+	// Robustness: arbitrary byte soup must produce an error or a valid
+	// parse, never a panic.
+	inputs := []string{
+		"\x00\x01\x02",
+		"999999999999999999999999999999",
+		"1 2 3\x00",
+		strings.Repeat("7 ", 10000),
+		"#\n#\n#",
+		"-0",
+		"+1",
+		"0x10",
+		"1\t2\t3",
+		" 42 ",
+	}
+	for _, in := range inputs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("input %q panicked: %v", in, r)
+				}
+			}()
+			_, _ = Read(strings.NewReader(in))
+		}()
+	}
+}
+
+func TestReadLongLine(t *testing.T) {
+	// Lines beyond the default bufio.Scanner limit must still parse (the
+	// reader widens its buffer).
+	var sb strings.Builder
+	for i := 0; i < 40000; i++ {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(strconv.Itoa(i))
+	}
+	vs, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || vs[0].Len() != 40000 {
+		t.Fatalf("long line parsed to %d vectors", len(vs))
+	}
+}

@@ -1,0 +1,311 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func cell(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tab.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not numeric: %v", row, col, tab.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestFig1SuccessCriterion(t *testing.T) {
+	tab, err := Fig1(Fig1Config{Alpha: 2.0 / 3, Points: 10, Half: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 10 {
+		t.Fatalf("got %d rows", len(tab.Rows))
+	}
+	for r := range tab.Rows {
+		ours := cell(t, tab, r, 1)
+		cp := cell(t, tab, r, 2)
+		if ours >= cp {
+			t.Errorf("row %d: SkewSearch rho %v not below Chosen Path %v", r, ours, cp)
+		}
+		if pf := cell(t, tab, r, 3); pf != 1 {
+			t.Errorf("row %d: prefix rho %v, want 1", r, pf)
+		}
+	}
+}
+
+func TestFig1ConfigValidation(t *testing.T) {
+	if _, err := Fig1(Fig1Config{Alpha: 0.5, Points: 1}); err == nil {
+		t.Error("points < 2 should fail")
+	}
+}
+
+func TestFig2SuccessCriterion(t *testing.T) {
+	tab, err := Fig2(Fig2Config{N: 10000, PointsPerDataset: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group rows per dataset; y must be non-increasing in rank and span
+	// a nontrivial range (skew).
+	spans := map[string][2]float64{}
+	prevY := map[string]float64{}
+	for r := range tab.Rows {
+		name := tab.Rows[r][0]
+		y := cell(t, tab, r, 4)
+		if prev, ok := prevY[name]; ok && y > prev+1e-9 {
+			t.Errorf("%s: y increased with rank", name)
+		}
+		prevY[name] = y
+		s, ok := spans[name]
+		if !ok {
+			s = [2]float64{y, y}
+		}
+		if y < s[0] {
+			s[0] = y
+		}
+		if y > s[1] {
+			s[1] = y
+		}
+		spans[name] = s
+	}
+	if len(spans) != 10 {
+		t.Fatalf("expected 10 datasets, got %d", len(spans))
+	}
+	for name, s := range spans {
+		if s[1]-s[0] < 0.2 {
+			t.Errorf("%s: spectrum span %v too flat for a skewed dataset", name, s[1]-s[0])
+		}
+	}
+}
+
+func TestFig2ConfigValidation(t *testing.T) {
+	if _, err := Fig2(Fig2Config{N: 1, PointsPerDataset: 5}); err == nil {
+		t.Error("bad N should fail")
+	}
+}
+
+func TestTable1SuccessCriteria(t *testing.T) {
+	tab, err := Table1(Table1Config{N: 400, Samples: 150, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 10 {
+		t.Fatalf("got %d rows", len(tab.Rows))
+	}
+	var aol2, spotify2 float64
+	for r := range tab.Rows {
+		name := tab.Rows[r][0]
+		r2 := cell(t, tab, r, 1)
+		r3 := cell(t, tab, r, 3)
+		if r2 < 0.9 {
+			t.Errorf("%s: |I|=2 ratio %v below 1", name, r2)
+		}
+		if r3 < r2*0.9 {
+			t.Errorf("%s: |I|=3 ratio %v not above |I|=2 ratio %v", name, r3, r2)
+		}
+		switch name {
+		case "AOL":
+			aol2 = r2
+		case "SPOTIFY":
+			spotify2 = r2
+		}
+	}
+	if spotify2 < 2*aol2 {
+		t.Errorf("SPOTIFY ratio %v should dwarf AOL %v", spotify2, aol2)
+	}
+}
+
+func TestTable1ConfigValidation(t *testing.T) {
+	if _, err := Table1(Table1Config{N: 1, Samples: 1}); err == nil {
+		t.Error("tiny config should fail")
+	}
+}
+
+func TestSec7AdvMatchesPaperNumbers(t *testing.T) {
+	tab, err := Sec7Adv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows come in two groups of three (b1 = 1/3, then 2/3), with n
+	// increasing within each; the last row of each group is the closest
+	// to the asymptotic claim.
+	if len(tab.Rows) != 6 {
+		t.Fatalf("got %d rows", len(tab.Rows))
+	}
+	// b1 = 1/3 at n = 1e24: ours ≈ 0.2925, CP ≈ 0.5283.
+	if got := cell(t, tab, 2, 2); got < 0.29 || got > 0.30 {
+		t.Errorf("b1=1/3 rho = %v, want ≈0.2925", got)
+	}
+	if got := cell(t, tab, 2, 4); got < 0.52 || got > 0.54 {
+		t.Errorf("b1=1/3 CP rho = %v, want ≈0.528", got)
+	}
+	// b1 = 2/3 at n = 1e24: ours small, CP ≈ 0.195, prefix 0.1.
+	if got := cell(t, tab, 5, 2); got > 0.05 {
+		t.Errorf("b1=2/3 rho = %v, want near 0", got)
+	}
+	if got := cell(t, tab, 5, 4); got < 0.19 || got > 0.20 {
+		t.Errorf("b1=2/3 CP rho = %v, want ≈0.195", got)
+	}
+	if got := cell(t, tab, 5, 6); got < 0.099 || got > 0.101 {
+		t.Errorf("b1=2/3 prefix exponent = %v, want 0.1", got)
+	}
+}
+
+func TestSec7CorrMatchesPaperClaims(t *testing.T) {
+	tab, err := Sec7Corr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 10.0
+	for r := range tab.Rows {
+		ours := cell(t, tab, r, 1)
+		if ours > prev+1e-12 {
+			t.Errorf("row %d: rho %v not decreasing (prev %v)", r, ours, prev)
+		}
+		prev = ours
+		if pf := cell(t, tab, r, 3); pf < 0.099 || pf > 0.101 {
+			t.Errorf("row %d: prefix exponent %v, want 0.1", r, pf)
+		}
+	}
+	if prev > 0.02 {
+		t.Errorf("final rho %v should be near 0", prev)
+	}
+}
+
+func TestMotivatingSplitBeatsSingle(t *testing.T) {
+	tab, err := Motivating(MotivatingConfig{Dim: 1 << 16, I1: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := cell(t, tab, 0, 1)
+	split := cell(t, tab, 1, 1)
+	if split >= single {
+		t.Errorf("split %v should beat single %v", split, single)
+	}
+	for _, n := range tab.Notes {
+		if n == "WARNING: split did not beat single search" {
+			t.Error("experiment flagged failure")
+		}
+	}
+}
+
+func TestMotivatingConfigValidation(t *testing.T) {
+	if _, err := Motivating(MotivatingConfig{Dim: 2, I1: 0.5}); err == nil {
+		t.Error("tiny dim should fail")
+	}
+	if _, err := Motivating(MotivatingConfig{Dim: 100, I1: 1.5}); err == nil {
+		t.Error("bad i1 should fail")
+	}
+}
+
+func TestScalingSmallConfig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling experiment is slow")
+	}
+	tab, err := Scaling(ScalingConfig{
+		Ns:          []int{200, 400, 800},
+		B1:          1.0 / 3,
+		C:           15,
+		PA:          0.25,
+		RareExp:     0.9,
+		Queries:     10,
+		Repetitions: 4,
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("got %d rows", len(tab.Rows))
+	}
+	for r := range tab.Rows {
+		skew := cell(t, tab, r, 1)
+		bf := cell(t, tab, r, 4)
+		if skew >= bf {
+			t.Errorf("row %d: SkewSearch %v not below brute force %v", r, skew, bf)
+		}
+		if recall := cell(t, tab, r, 5); recall < 0.8 {
+			t.Errorf("row %d: SkewSearch recall %v", r, recall)
+		}
+	}
+}
+
+func TestScalingConfigValidation(t *testing.T) {
+	if _, err := Scaling(ScalingConfig{Ns: []int{100}}); err == nil {
+		t.Error("single n should fail")
+	}
+}
+
+func TestRecallSmallConfig(t *testing.T) {
+	tab, err := Recall(RecallConfig{
+		N: 250, Queries: 20, C: 25,
+		Alphas: []float64{2.0 / 3}, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 { // two profiles × one alpha
+		t.Fatalf("got %d rows", len(tab.Rows))
+	}
+	for r := range tab.Rows {
+		if recall := cell(t, tab, r, 2); recall < 0.85 {
+			t.Errorf("row %d: recall %v", r, recall)
+		}
+	}
+}
+
+func TestRecallConfigValidation(t *testing.T) {
+	if _, err := Recall(RecallConfig{N: 1, Queries: 1, Alphas: []float64{0.5}}); err == nil {
+		t.Error("tiny config should fail")
+	}
+}
+
+func TestAblationSuccessCriteria(t *testing.T) {
+	tab, err := Ablation(AblationConfig{N: 400, Alpha: 2.0 / 3, Queries: 15, Repetitions: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("got %d rows", len(tab.Rows))
+	}
+	productFilters := cell(t, tab, 0, 1)
+	fixedFilters := cell(t, tab, 1, 1)
+	if productFilters >= fixedFilters {
+		t.Errorf("product rule filters %v should be below fixed depth %v", productFilters, fixedFilters)
+	}
+	for r := 2; r < 4; r++ {
+		if recall := cell(t, tab, r, 3); recall < 0.8 {
+			t.Errorf("row %d recall %v", r, recall)
+		}
+	}
+}
+
+func TestAblationConfigValidation(t *testing.T) {
+	if _, err := Ablation(AblationConfig{N: 1, Queries: 1, Repetitions: 1}); err == nil {
+		t.Error("tiny config should fail")
+	}
+}
+
+func TestEstimatedMatchesKnownProbabilities(t *testing.T) {
+	tab, err := Estimated(EstimatedConfig{N: 300, Alpha: 2.0 / 3, Queries: 25, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("got %d rows", len(tab.Rows))
+	}
+	known := cell(t, tab, 0, 1)
+	estimated := cell(t, tab, 1, 1)
+	if known < 0.85 {
+		t.Errorf("known-probability recall %v", known)
+	}
+	if estimated < known-0.1 {
+		t.Errorf("estimated recall %v far below known %v", estimated, known)
+	}
+}
+
+func TestEstimatedConfigValidation(t *testing.T) {
+	if _, err := Estimated(EstimatedConfig{N: 1, Queries: 0}); err == nil {
+		t.Error("tiny config should fail")
+	}
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"skewsim/internal/dist"
+)
+
+// MotivatingConfig parameterizes the §1 motivating example.
+type MotivatingConfig struct {
+	Dim int     // dimension of the harmonic distribution
+	I1  float64 // required intersection fraction i1 (relative to |q|)
+}
+
+// DefaultMotivatingConfig mirrors the introduction's setting.
+func DefaultMotivatingConfig() MotivatingConfig {
+	return MotivatingConfig{Dim: 1 << 20, I1: 0.5}
+}
+
+// Motivating reproduces the introduction's frequent/rare split argument
+// on the harmonic distribution (Pr[x_k = 1] = 1/k).
+//
+// A single LSH-style search pays ρ = log(i1)/log(i2). The split strategy
+// partitions q into two equal-weight halves ("equal-sized vectors" in the
+// paper): q_frequent holds the set bits below the index t* where half of
+// q's expected weight lies, q_rare the rest. For every ℓ, the planted
+// vector overlaps q_frequent in ℓ|q| bits or q_rare in (i1−ℓ)|q| bits, so
+// running both half-searches is correct. Each half-search is its own
+// similarity instance over a query of size |q|/2, so its exponent uses
+// fractions renormalized by the half size:
+//
+//	ρ_frequent = log(2ℓ) / log(2·i_frequent),
+//	ρ_rare     = log(2(i1−ℓ)) / log(2·i_rare),
+//
+// (the paper's displayed formulas elide this renormalization; without it
+// the balanced split never beats the single search, contradicting the
+// text's conclusion, so we implement the normalized form). Balancing ℓ
+// gives a strictly smaller exponent exactly when i_frequent ≫ i_rare.
+func Motivating(cfg MotivatingConfig) (*Table, error) {
+	if cfg.Dim < 16 || cfg.I1 <= 0 || cfg.I1 >= 1 {
+		return nil, fmt.Errorf("experiments: invalid motivating config %+v", cfg)
+	}
+	probs := dist.Harmonic(cfg.Dim)
+
+	// Split index t*: half of q's expected weight (Σ p_k) on each side.
+	var sum float64
+	for _, p := range probs {
+		sum += p
+	}
+	var acc float64
+	tStar := 0
+	for k, p := range probs {
+		acc += p
+		if acc >= sum/2 {
+			tStar = k
+			break
+		}
+	}
+
+	// Background intersection fractions (normalized by |q| ≈ Σ p_k):
+	// i2 = Σ p², split at t*.
+	var sumSq, sumSqFreq float64
+	for k, p := range probs {
+		sumSq += p * p
+		if k <= tStar {
+			sumSqFreq += p * p
+		}
+	}
+	i2 := sumSq / sum
+	iFreq := sumSqFreq / sum
+	iRare := i2 - iFreq
+	if iRare <= 0 || iFreq <= iRare {
+		return nil, fmt.Errorf("experiments: harmonic profile did not produce skewed halves (iFreq=%v iRare=%v)", iFreq, iRare)
+	}
+
+	rhoSingle := math.Log(cfg.I1) / math.Log(i2)
+
+	// Balance ℓ over (0, i1) for the renormalized half-search exponents.
+	bestL, bestRho := 0.0, math.Inf(1)
+	const steps = 20000
+	for s := 1; s < steps; s++ {
+		l := cfg.I1 * float64(s) / steps
+		if 2*l >= 1 || 2*(cfg.I1-l) >= 1 {
+			continue // sub-similarity must stay below 1
+		}
+		rf := math.Log(2*l) / math.Log(2*iFreq)
+		rr := math.Log(2*(cfg.I1-l)) / math.Log(2*iRare)
+		if r := math.Max(rf, rr); r < bestRho {
+			bestRho, bestL = r, l
+		}
+	}
+
+	t := &Table{
+		Title:   fmt.Sprintf("§1 motivating example: harmonic distribution, d = %d, i1 = %.2f", cfg.Dim, cfg.I1),
+		Columns: []string{"strategy", "exponent", "detail"},
+		Notes: []string{
+			"success criterion: balanced split exponent strictly below single-search exponent (skew exploited)",
+			fmt.Sprintf("split index t* = %d; i2 = %.5f, i_frequent = %.5f, i_rare = %.6f", tStar, i2, iFreq, iRare),
+		},
+	}
+	t.AddRow("single search (rho = log i1 / log i2)", rhoSingle, fmt.Sprintf("i2 = %.5f", i2))
+	t.AddRow("frequent/rare split (balanced)", bestRho, fmt.Sprintf("best l = %.4f", bestL))
+	if bestRho >= rhoSingle {
+		t.Notes = append(t.Notes, "WARNING: split did not beat single search")
+	}
+	return t, nil
+}

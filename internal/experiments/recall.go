@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"skewsim/internal/core"
+	"skewsim/internal/datagen"
+	"skewsim/internal/dist"
+)
+
+// RecallConfig parameterizes the correctness study.
+type RecallConfig struct {
+	N       int
+	Queries int
+	C       float64 // Σp = C·ln n
+	Alphas  []float64
+	Seed    uint64
+}
+
+// DefaultRecallConfig covers the α range the paper's assumptions allow at
+// this scale (Lemma 11 wants C·α ≥ 15).
+func DefaultRecallConfig() RecallConfig {
+	return RecallConfig{
+		N:       600,
+		Queries: 50,
+		C:       25,
+		Alphas:  []float64{0.5, 2.0 / 3, 0.8, 0.95},
+		Seed:    71,
+	}
+}
+
+// Recall validates the correctness side of Theorem 1 (via Lemmas 10/11):
+// for planted queries q ~ D_α(x), SkewSearch must return x with high
+// probability, on both a uniform profile and the skewed Figure 1 profile.
+func Recall(cfg RecallConfig) (*Table, error) {
+	if cfg.N < 10 || cfg.Queries < 1 || len(cfg.Alphas) == 0 {
+		return nil, fmt.Errorf("experiments: invalid recall config %+v", cfg)
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Recall of the planted α-correlated vector (n=%d, C=%.0f)", cfg.N, cfg.C),
+		Columns: []string{"profile", "alpha", "recall(exact target)", "found(any ≥ b1)"},
+		Notes: []string{
+			"success criterion: recall ≥ 0.9 everywhere C·α ≥ 15 (Lemma 11's assumption)",
+		},
+	}
+	logn := math.Log(float64(cfg.N))
+	sigma := cfg.C * logn // Σp target
+
+	profiles := []struct {
+		name  string
+		probs func() []float64
+	}{
+		{"uniform p=0.1", func() []float64 {
+			return dist.Uniform(int(math.Ceil(sigma/0.1)), 0.1)
+		}},
+		{"fig1 (half p, half p/8)", func() []float64 {
+			// half at 0.2, half at 0.025: per-dim average 0.1125.
+			half := int(math.Ceil(sigma / (2 * 0.1125)))
+			return dist.Fig1Profile(half, 0.2)
+		}},
+	}
+	for _, prof := range profiles {
+		d := dist.MustProduct(prof.probs())
+		for ai, alpha := range cfg.Alphas {
+			w, err := datagen.NewCorrelatedWorkload(d, cfg.N, cfg.Queries, alpha, cfg.Seed+uint64(ai))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: recall: %w", err)
+			}
+			ix, err := core.BuildCorrelated(d, w.Data, alpha, core.Options{Seed: cfg.Seed + 100})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: recall: %w", err)
+			}
+			exact, any := 0, 0
+			for k, q := range w.Queries {
+				res := ix.Query(q)
+				if res.Found {
+					any++
+					if res.ID == w.Targets[k] {
+						exact++
+					}
+				}
+			}
+			qf := float64(cfg.Queries)
+			t.AddRow(prof.name, alpha, float64(exact)/qf, float64(any)/qf)
+		}
+	}
+	return t, nil
+}

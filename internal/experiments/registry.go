@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner executes one experiment with its default configuration and
+// returns the resulting tables.
+type Runner func() ([]*Table, error)
+
+// registry maps experiment ids (the paper artifact names used throughout
+// DESIGN.md and EXPERIMENTS.md) to runners.
+var registry = map[string]Runner{
+	"ablation": func() ([]*Table, error) {
+		t, err := Ablation(DefaultAblationConfig())
+		return wrap(t, err)
+	},
+	"estimated": func() ([]*Table, error) {
+		t, err := Estimated(DefaultEstimatedConfig())
+		return wrap(t, err)
+	},
+	"fig1": func() ([]*Table, error) {
+		t, err := Fig1(DefaultFig1Config())
+		return wrap(t, err)
+	},
+	"fig2": func() ([]*Table, error) {
+		t, err := Fig2(DefaultFig2Config())
+		return wrap(t, err)
+	},
+	"table1": func() ([]*Table, error) {
+		t, err := Table1(DefaultTable1Config())
+		return wrap(t, err)
+	},
+	"sec7adv": func() ([]*Table, error) {
+		t, err := Sec7Adv()
+		return wrap(t, err)
+	},
+	"sec7corr": func() ([]*Table, error) {
+		t, err := Sec7Corr()
+		return wrap(t, err)
+	},
+	"motivating": func() ([]*Table, error) {
+		t, err := Motivating(DefaultMotivatingConfig())
+		return wrap(t, err)
+	},
+	"scaling": func() ([]*Table, error) {
+		t, err := Scaling(DefaultScalingConfig())
+		return wrap(t, err)
+	},
+	"recall": func() ([]*Table, error) {
+		t, err := Recall(DefaultRecallConfig())
+		return wrap(t, err)
+	},
+}
+
+func wrap(t *Table, err error) ([]*Table, error) {
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{t}, nil
+}
+
+// IDs returns the registered experiment ids in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes the experiment with the given id and renders its tables to
+// w (text format, or CSV when csv is true).
+func Run(id string, w io.Writer, csv bool) error {
+	r, ok := registry[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	tables, err := r()
+	if err != nil {
+		return fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	for _, t := range tables {
+		if csv {
+			if err := t.CSV(w); err != nil {
+				return err
+			}
+		} else if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunAll executes every experiment in id order.
+func RunAll(w io.Writer, csv bool) error {
+	for _, id := range IDs() {
+		if err := Run(id, w, csv); err != nil {
+			return err
+		}
+	}
+	return nil
+}

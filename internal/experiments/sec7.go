@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"skewsim/internal/rho"
+)
+
+// Sec7Adv reproduces the two worked adversarial examples of §7.1: the
+// two-block query profile with half the bits at pa = 1/4 and half at
+// pb = n^-0.9, solved for b1 = 1/3 and b1 = 2/3, against the exponents
+// the paper prints for Chosen Path and prefix filtering.
+func Sec7Adv() (*Table, error) {
+	t := &Table{
+		Title:   "§7.1 worked examples: adversarial query exponents (half pa=1/4, half pb=n^-0.9)",
+		Columns: []string{"b1", "n", "rho(SkewSearch)", "paper limit", "rho(ChosenPath)", "paper CP", "prefix exponent", "paper prefix"},
+		Notes: []string{
+			"success criteria: b1=1/3 SkewSearch -> log(2/3)/log(1/4) ≈ 0.293 vs CP ≈ 0.528; b1=2/3 SkewSearch -> 0 vs CP ≈ 0.195 and prefix Ω(n^0.1)",
+		},
+	}
+	type example struct {
+		b1         float64
+		paperOurs  string
+		paperCP    float64
+		paperPrefx string
+	}
+	limit13 := math.Log(2.0/3) / math.Log(0.25)
+	examples := []example{
+		{b1: 1.0 / 3, paperOurs: fmt.Sprintf("%.4f", limit13), paperCP: math.Log(1.0/3) / math.Log(0.125), paperPrefx: "1.0 (no guarantee)"},
+		{b1: 2.0 / 3, paperOurs: "0 (n^eps)", paperCP: math.Log(2.0/3) / math.Log(0.125), paperPrefx: "0.1 (Omega(n^0.1))"},
+	}
+	for _, ex := range examples {
+		for _, n := range []float64{1e6, 1e12, 1e24} {
+			pb := math.Pow(n, -0.9)
+			ts := rho.Terms{{P: 0.25, W: 500}, {P: pb, W: 500}}
+			ours, err := rho.AdversarialQueryRho(ts, ex.b1)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: sec7adv: %w", err)
+			}
+			// Chosen Path on this instance: b2 = mean probability over q.
+			meanP := ts.SumP() / ts.Count()
+			cp, err := rho.ChosenPathRho(ex.b1, meanP)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: sec7adv: %w", err)
+			}
+			pf, err := rho.PrefixFilterExponent(ts, n)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: sec7adv: %w", err)
+			}
+			t.AddRow(ex.b1, fmt.Sprintf("%.0e", n), ours, ex.paperOurs, cp, ex.paperCP, pf, ex.paperPrefx)
+		}
+	}
+	return t, nil
+}
+
+// Sec7Corr reproduces the §7.2 worked example for correlated queries:
+// 4·C·log n bits at pa = 1/4 plus n^0.9·C·log n bits at pb = n^-0.9 with
+// α = 2/3. The paper's claim: SkewSearch runs in O(n^ε) for every ε > 0
+// while prefix filtering needs Ω(n^0.1); our table shows the solved ρ
+// marching to 0 as n grows.
+func Sec7Corr() (*Table, error) {
+	t := &Table{
+		Title:   "§7.2 worked example: correlated exponents (4Clog n bits at 1/4, n^0.9·Clog n bits at n^-0.9, alpha = 2/3)",
+		Columns: []string{"n", "rho(SkewSearch)", "rho(ChosenPath)", "prefix exponent", "paper prefix"},
+		Notes: []string{
+			"success criteria: SkewSearch rho -> 0 with n (the O(n^eps) claim); prefix exponent pinned at 0.1",
+		},
+	}
+	const (
+		alpha = 2.0 / 3
+		clog  = 100.0
+	)
+	for _, n := range []float64{1e3, 1e6, 1e12, 1e24, 1e48} {
+		ts := rho.Terms{
+			{P: 0.25, W: 4 * clog},
+			{P: math.Pow(n, -0.9), W: math.Pow(n, 0.9) * clog},
+		}
+		ours, err := rho.CorrelatedRho(ts, alpha)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sec7corr: %w", err)
+		}
+		cp, err := rho.CorrelatedChosenPath(ts, alpha)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sec7corr: %w", err)
+		}
+		pf, err := rho.PrefixFilterExponent(ts, n)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sec7corr: %w", err)
+		}
+		t.AddRow(fmt.Sprintf("%.0e", n), ours, cp, pf, 0.1)
+	}
+	return t, nil
+}

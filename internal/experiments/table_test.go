@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Columns: []string{"a", "long-column"},
+		Notes:   []string{"a note"},
+	}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("x", "y")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== demo ==", "a", "long-column", "2.5000", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Separator line present.
+	if !strings.Contains(out, "---") {
+		t.Error("missing separator")
+	}
+}
+
+func TestTableAddRowFormatting(t *testing.T) {
+	tab := &Table{Columns: []string{"c"}}
+	tab.AddRow(0.123456789)
+	if tab.Rows[0][0] != "0.1235" {
+		t.Errorf("float formatting: %q", tab.Rows[0][0])
+	}
+	tab.AddRow(42)
+	if tab.Rows[1][0] != "42" {
+		t.Errorf("int formatting: %q", tab.Rows[1][0])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{
+		Columns: []string{"name", "value"},
+	}
+	tab.AddRow("plain", 1)
+	tab.AddRow("with,comma", 2)
+	tab.AddRow(`with"quote`, 3)
+	var buf bytes.Buffer
+	if err := tab.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if lines[0] != "name,value" {
+		t.Errorf("header: %q", lines[0])
+	}
+	if lines[2] != `"with,comma",2` {
+		t.Errorf("comma escaping: %q", lines[2])
+	}
+	if lines[3] != `"with""quote",3` {
+		t.Errorf("quote escaping: %q", lines[3])
+	}
+}
+
+func TestRegistryIDs(t *testing.T) {
+	ids := IDs()
+	want := []string{"ablation", "estimated", "fig1", "fig2", "motivating", "recall", "scaling", "sec7adv", "sec7corr", "table1"}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("nope", &buf, false); err == nil {
+		t.Error("unknown id should fail")
+	}
+}
+
+func TestRunRendersCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("fig1", &buf, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "p,rho(SkewSearch)") {
+		t.Errorf("CSV output wrong: %q", buf.String()[:40])
+	}
+}

@@ -1,0 +1,161 @@
+// Package hashing provides the seeded randomness substrate for the
+// locality-sensitive filtering engine:
+//
+//   - SplitMix64, a tiny, high-quality deterministic PRNG used to derive
+//     per-level hash-function seeds so that an entire index is reproducible
+//     from a single uint64 seed;
+//   - PathHasher, a family of per-level hash functions h_j mapping element
+//     paths (i1, ..., ij) ∈ [d]^j to [0,1), drawn from a pairwise
+//     independent family as required by the second-moment argument of
+//     Lemma 5 of the paper.
+//
+// The pairwise-independent family is the classic degree-1 polynomial
+// (a·x + b) mod p over the Mersenne prime p = 2^61 − 1, applied to a
+// 61-bit fingerprint of the path. The fingerprint itself is a polynomial
+// rolling hash over the path's elements in a random base, which keeps
+// distinct short paths distinct with probability 1 − O(k/p); combined with
+// the outer pairwise layer this is the standard practical instantiation of
+// "pick h_j : [d]^j → [0,1] pairwise independently".
+package hashing
+
+import "math/bits"
+
+// MersennePrime61 is 2^61 − 1, the modulus of the hash family.
+const MersennePrime61 = (uint64(1) << 61) - 1
+
+// SplitMix64 is a deterministic 64-bit PRNG with a single word of state.
+// It is used only for seed derivation and parameter sampling, never in any
+// place where the pairwise-independence argument matters.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a generator seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next pseudo-random 64-bit value.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NextUnit returns a float64 uniform in [0, 1).
+func (s *SplitMix64) NextUnit() float64 {
+	return float64(s.Next()>>11) / float64(uint64(1)<<53)
+}
+
+// NextBelow returns a value uniform in [0, n). It panics if n == 0.
+func (s *SplitMix64) NextBelow(n uint64) uint64 {
+	if n == 0 {
+		panic("hashing: NextBelow(0)")
+	}
+	// Rejection sampling for unbiased output.
+	limit := ^uint64(0) - (^uint64(0) % n)
+	for {
+		v := s.Next()
+		if v < limit {
+			return v % n
+		}
+	}
+}
+
+// mulmod61 computes (a * b) mod (2^61 − 1) without overflow using a
+// 128-bit intermediate product.
+func mulmod61(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// Split the 128-bit product into 61-bit chunks:
+	// product = hi·2^64 + lo = (hi·8 + lo>>61)·2^61 + (lo & M).
+	// Since 2^61 ≡ 1 (mod M), the value is congruent to the chunk sum.
+	sum := (lo & MersennePrime61) + ((lo >> 61) | (hi << 3))
+	sum = (sum & MersennePrime61) + (sum >> 61)
+	if sum >= MersennePrime61 {
+		sum -= MersennePrime61
+	}
+	return sum
+}
+
+// addmod61 computes (a + b) mod (2^61 − 1) for a, b < 2^61 − 1.
+func addmod61(a, b uint64) uint64 {
+	s := a + b
+	if s >= MersennePrime61 {
+		s -= MersennePrime61
+	}
+	return s
+}
+
+// levelHash is one h_j: a rolling-base fingerprint followed by a pairwise
+// independent map to [0, 2^61 − 1).
+type levelHash struct {
+	base uint64 // rolling hash base, uniform in [2, p)
+	a    uint64 // pairwise layer multiplier, uniform in [1, p)
+	b    uint64 // pairwise layer offset, uniform in [0, p)
+}
+
+func (h levelHash) hash(path []uint32) uint64 {
+	fp := uint64(0)
+	for _, e := range path {
+		// fp = fp·base + (e+1), all mod 2^61−1. The +1 keeps element 0
+		// from acting as a prefix no-op.
+		fp = addmod61(mulmod61(fp, h.base), uint64(e)+1)
+	}
+	return addmod61(mulmod61(h.a, fp), h.b)
+}
+
+// PathHasher holds one hash function per path length 1..k. It is safe for
+// concurrent use after construction.
+type PathHasher struct {
+	levels []levelHash
+}
+
+// NewPathHasher draws k independent level hash functions from the seed.
+// Level j (1-based) hashes paths of length j.
+func NewPathHasher(seed uint64, k int) *PathHasher {
+	if k < 1 {
+		panic("hashing: NewPathHasher needs k >= 1")
+	}
+	rng := NewSplitMix64(seed)
+	levels := make([]levelHash, k)
+	for i := range levels {
+		levels[i] = levelHash{
+			base: 2 + rng.NextBelow(MersennePrime61-2),
+			a:    1 + rng.NextBelow(MersennePrime61-1),
+			b:    rng.NextBelow(MersennePrime61),
+		}
+	}
+	return &PathHasher{levels: levels}
+}
+
+// Levels returns the number of levels k the hasher supports.
+func (p *PathHasher) Levels() int { return len(p.levels) }
+
+// Unit returns h_j(path) ∈ [0, 1) for a path of length len(path) = j.
+// It panics if the path is empty or longer than the configured k; the
+// engine sizes k from its depth cap so this indicates a logic error.
+func (p *PathHasher) Unit(path []uint32) float64 {
+	j := len(path)
+	if j == 0 || j > len(p.levels) {
+		panic("hashing: path length out of range")
+	}
+	return float64(p.levels[j-1].hash(path)) / float64(MersennePrime61)
+}
+
+// UnitExt returns h_j(v ∘ i) where the extension element i is passed
+// separately, avoiding an allocation for the concatenated path.
+func (p *PathHasher) UnitExt(v []uint32, i uint32) float64 {
+	j := len(v) + 1
+	if j > len(p.levels) {
+		panic("hashing: path length out of range")
+	}
+	h := p.levels[j-1]
+	fp := uint64(0)
+	for _, e := range v {
+		fp = addmod61(mulmod61(fp, h.base), uint64(e)+1)
+	}
+	fp = addmod61(mulmod61(fp, h.base), uint64(i)+1)
+	return float64(addmod61(mulmod61(h.a, fp), h.b)) / float64(MersennePrime61)
+}

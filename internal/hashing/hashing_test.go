@@ -1,0 +1,280 @@
+package hashing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a := NewSplitMix64(7)
+	b := NewSplitMix64(7)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestSplitMix64DifferentSeedsDiffer(t *testing.T) {
+	a := NewSplitMix64(1)
+	b := NewSplitMix64(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between independent streams", same)
+	}
+}
+
+func TestNextUnitRange(t *testing.T) {
+	rng := NewSplitMix64(3)
+	for i := 0; i < 10000; i++ {
+		u := rng.NextUnit()
+		if u < 0 || u >= 1 {
+			t.Fatalf("NextUnit out of range: %v", u)
+		}
+	}
+}
+
+func TestNextUnitMean(t *testing.T) {
+	rng := NewSplitMix64(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += rng.NextUnit()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("mean of uniform draws = %v, want ~0.5", mean)
+	}
+}
+
+func TestNextBelowBounds(t *testing.T) {
+	rng := NewSplitMix64(5)
+	for _, n := range []uint64{1, 2, 3, 10, 1000, 1 << 40} {
+		for i := 0; i < 1000; i++ {
+			if v := rng.NextBelow(n); v >= n {
+				t.Fatalf("NextBelow(%d) = %d", n, v)
+			}
+		}
+	}
+}
+
+func TestNextBelowPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSplitMix64(1).NextBelow(0)
+}
+
+func TestNextBelowUniform(t *testing.T) {
+	rng := NewSplitMix64(9)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[rng.NextBelow(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d far from %v", i, c, want)
+		}
+	}
+}
+
+func TestMulmod61Identities(t *testing.T) {
+	cases := []struct{ a, b, want uint64 }{
+		{0, 12345, 0},
+		{1, 12345, 12345},
+		{MersennePrime61 - 1, 1, MersennePrime61 - 1},
+		{2, MersennePrime61 - 1, MersennePrime61 - 2},
+	}
+	for _, c := range cases {
+		if got := mulmod61(c.a, c.b); got != c.want {
+			t.Errorf("mulmod61(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMulmod61AgainstBigArithmetic(t *testing.T) {
+	// Verify against naive 128-bit style computation via math/bits in a
+	// different decomposition: (a mod p)(b mod p) mod p computed with
+	// repeated addition on small operands.
+	f := func(a, b uint16) bool {
+		x, y := uint64(a), uint64(b)
+		return mulmod61(x, y) == (x*y)%MersennePrime61
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulmod61Commutes(t *testing.T) {
+	rng := NewSplitMix64(17)
+	for i := 0; i < 1000; i++ {
+		a := rng.NextBelow(MersennePrime61)
+		b := rng.NextBelow(MersennePrime61)
+		if mulmod61(a, b) != mulmod61(b, a) {
+			t.Fatalf("mulmod61 not commutative for %d, %d", a, b)
+		}
+	}
+}
+
+func TestMulmod61Associates(t *testing.T) {
+	rng := NewSplitMix64(19)
+	for i := 0; i < 1000; i++ {
+		a := rng.NextBelow(MersennePrime61)
+		b := rng.NextBelow(MersennePrime61)
+		c := rng.NextBelow(MersennePrime61)
+		if mulmod61(mulmod61(a, b), c) != mulmod61(a, mulmod61(b, c)) {
+			t.Fatalf("mulmod61 not associative for %d, %d, %d", a, b, c)
+		}
+	}
+}
+
+func TestPathHasherDeterministic(t *testing.T) {
+	h1 := NewPathHasher(99, 8)
+	h2 := NewPathHasher(99, 8)
+	path := []uint32{3, 1, 4, 1, 5}
+	if h1.Unit(path) != h2.Unit(path) {
+		t.Fatal("same seed, same path, different hash")
+	}
+}
+
+func TestPathHasherSeedSensitivity(t *testing.T) {
+	h1 := NewPathHasher(1, 4)
+	h2 := NewPathHasher(2, 4)
+	path := []uint32{7, 8}
+	if h1.Unit(path) == h2.Unit(path) {
+		t.Fatal("different seeds produced equal hash (astronomically unlikely)")
+	}
+}
+
+func TestPathHasherUnitRange(t *testing.T) {
+	h := NewPathHasher(5, 6)
+	rng := NewSplitMix64(6)
+	for i := 0; i < 5000; i++ {
+		ln := 1 + int(rng.NextBelow(6))
+		path := make([]uint32, ln)
+		for j := range path {
+			path[j] = uint32(rng.NextBelow(1000))
+		}
+		u := h.Unit(path)
+		if u < 0 || u >= 1 {
+			t.Fatalf("Unit out of range: %v", u)
+		}
+	}
+}
+
+func TestPathHasherOrderSensitive(t *testing.T) {
+	h := NewPathHasher(21, 4)
+	a := h.Unit([]uint32{1, 2, 3})
+	b := h.Unit([]uint32{3, 2, 1})
+	if a == b {
+		t.Fatal("hash should depend on path order")
+	}
+}
+
+func TestPathHasherLevelsIndependent(t *testing.T) {
+	// The same fingerprint input at different lengths uses different
+	// functions; check prefix extension changes the value distribution.
+	h := NewPathHasher(33, 3)
+	u1 := h.Unit([]uint32{5})
+	u2 := h.Unit([]uint32{5, 5})
+	if u1 == u2 {
+		t.Fatal("different levels gave identical hash")
+	}
+}
+
+func TestUnitExtMatchesUnit(t *testing.T) {
+	h := NewPathHasher(44, 10)
+	rng := NewSplitMix64(44)
+	for trial := 0; trial < 2000; trial++ {
+		ln := int(rng.NextBelow(9))
+		v := make([]uint32, ln)
+		for j := range v {
+			v[j] = uint32(rng.NextBelow(5000))
+		}
+		i := uint32(rng.NextBelow(5000))
+		full := append(append([]uint32{}, v...), i)
+		if got, want := h.UnitExt(v, i), h.Unit(full); got != want {
+			t.Fatalf("UnitExt mismatch: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestPathHasherUniformity(t *testing.T) {
+	// Hash many distinct paths of length 2 and check the empirical mean
+	// and a coarse bucket chi-square-ish bound.
+	h := NewPathHasher(55, 2)
+	const buckets = 16
+	counts := make([]int, buckets)
+	n := 0
+	sum := 0.0
+	for a := uint32(0); a < 100; a++ {
+		for b := uint32(0); b < 100; b++ {
+			u := h.Unit([]uint32{a, b})
+			sum += u
+			counts[int(u*buckets)]++
+			n++
+		}
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean hash value %v, want ~0.5", mean)
+	}
+	want := float64(n) / buckets
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d far from %v", i, c, want)
+		}
+	}
+}
+
+func TestPathHasherCollisionRate(t *testing.T) {
+	// Distinct short paths should essentially never collide in [0,1).
+	h := NewPathHasher(77, 3)
+	seen := make(map[float64][]uint32)
+	collisions := 0
+	for a := uint32(0); a < 60; a++ {
+		for b := uint32(0); b < 60; b++ {
+			u := h.Unit([]uint32{a, b})
+			if _, ok := seen[u]; ok {
+				collisions++
+			}
+			seen[u] = []uint32{a, b}
+		}
+	}
+	if collisions > 0 {
+		t.Errorf("%d collisions among 3600 short paths", collisions)
+	}
+}
+
+func TestPathHasherPanics(t *testing.T) {
+	h := NewPathHasher(1, 2)
+	for _, path := range [][]uint32{{}, {1, 2, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for path %v", path)
+				}
+			}()
+			h.Unit(path)
+		}()
+	}
+}
+
+func TestNewPathHasherPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPathHasher(1, 0)
+}

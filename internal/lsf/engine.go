@@ -1,0 +1,226 @@
+// Package lsf implements the locality-sensitive filtering framework of
+// §3 of the paper: a randomized mapping F(x) of vectors to sets of
+// "chosen paths", with a pluggable threshold function s(x, j, i) and the
+// paper's distribution-dependent stopping rule, plus an inverted filter
+// index for preprocessing and query answering.
+//
+// The engine is shared by the paper's SkewSearch data structure
+// (internal/core) and the Chosen Path baseline (internal/chosenpath):
+// they differ only in the threshold function and stopping rule they plug
+// in, which is exactly the paper's framing of its contribution.
+package lsf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"skewsim/internal/bitvec"
+	"skewsim/internal/hashing"
+)
+
+// ThresholdFunc is the paper's s(x, j, i): the probability that a path of
+// length j chosen by vector x is extended with element i. Implementations
+// may use |x|, j, and the identity of i (typically through its item-level
+// probability). Values are clamped to [0, 1] by the engine.
+type ThresholdFunc func(x bitvec.Vector, j int, i uint32) float64
+
+// StopRule decides whether a path is complete (becomes a filter) given
+// the accumulated Σ log(1/p) of its elements and its length. The paper's
+// rule is logInvP >= log n (i.e. Π p ≤ 1/n); Chosen Path uses a fixed
+// length.
+type StopRule func(logInvP float64, length int) bool
+
+// ProductStopRule returns the paper's stopping rule for dataset size n:
+// stop as soon as Π_{i∈v} p_i ≤ 1/n.
+func ProductStopRule(n int) StopRule {
+	logN := math.Log(float64(n))
+	return func(logInvP float64, _ int) bool { return logInvP >= logN }
+}
+
+// FixedDepthStopRule returns Chosen Path's rule: stop exactly at length k.
+func FixedDepthStopRule(k int) StopRule {
+	return func(_ float64, length int) bool { return length >= k }
+}
+
+// Params configures an Engine.
+type Params struct {
+	// Seed drives all hash function choices; equal seeds give identical
+	// filter mappings (required: queries must reuse the preprocessing
+	// hash functions).
+	Seed uint64
+	// Probs are the item-level probabilities p_i, indexed by element.
+	// Elements outside the slice are treated as probability 0 (infinitely
+	// rare: any path reaching them completes immediately).
+	Probs []float64
+	// Threshold is s(x, j, i).
+	Threshold ThresholdFunc
+	// Stop decides filter completion.
+	Stop StopRule
+	// MaxDepth caps path length. Paths that reach it without completing
+	// are discarded. Defaults to log2(n)+3 via NewEngine's n argument
+	// when zero.
+	MaxDepth int
+	// MaxFiltersPerVector is a work budget: filter generation for one
+	// vector aborts (marking the result truncated) once this many paths
+	// are alive or complete. Guards against adversarial corner cases the
+	// expected-case analysis does not cover. Defaults to 1 << 18.
+	MaxFiltersPerVector int
+	// Weigher customizes how path information content accumulates toward
+	// the stopping rule. nil uses the paper's independent-coordinates
+	// rule Π p_i ≤ 1/n; see ClusterWeigher for the §9 correlation-aware
+	// extension.
+	Weigher PathWeigher
+}
+
+// Engine computes filter sets F(x).
+type Engine struct {
+	hasher     *hashing.PathHasher
+	probs      []float64
+	threshold  ThresholdFunc
+	stop       StopRule
+	weigher    PathWeigher
+	maxDepth   int
+	maxFilters int
+}
+
+// DefaultMaxDepth is the depth cap for dataset size n: with all p_i ≤ 1/2
+// every path completes within log2(n)+1 steps, so the default never
+// truncates model-conforming data.
+func DefaultMaxDepth(n int) int {
+	if n < 2 {
+		return 3
+	}
+	return int(math.Ceil(math.Log2(float64(n)))) + 3
+}
+
+const defaultMaxFilters = 1 << 18
+
+// NewEngine validates parameters and builds an engine sized for datasets
+// of about n vectors (n controls the default depth cap only; the stopping
+// rule is supplied by the caller).
+func NewEngine(n int, p Params) (*Engine, error) {
+	if p.Threshold == nil {
+		return nil, errors.New("lsf: Threshold is required")
+	}
+	if p.Stop == nil {
+		return nil, errors.New("lsf: Stop rule is required")
+	}
+	for i, v := range p.Probs {
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			return nil, fmt.Errorf("lsf: Probs[%d] = %v outside [0, 1]", i, v)
+		}
+	}
+	maxDepth := p.MaxDepth
+	if maxDepth == 0 {
+		maxDepth = DefaultMaxDepth(n)
+	}
+	if maxDepth < 1 {
+		return nil, fmt.Errorf("lsf: MaxDepth %d must be >= 1", maxDepth)
+	}
+	maxFilters := p.MaxFiltersPerVector
+	if maxFilters == 0 {
+		maxFilters = defaultMaxFilters
+	}
+	if maxFilters < 1 {
+		return nil, fmt.Errorf("lsf: MaxFiltersPerVector %d must be >= 1", maxFilters)
+	}
+	weigher := p.Weigher
+	if weigher == nil {
+		weigher = independentWeigher{probs: p.Probs}
+	}
+	return &Engine{
+		hasher:     hashing.NewPathHasher(p.Seed, maxDepth),
+		probs:      p.Probs,
+		threshold:  p.Threshold,
+		stop:       p.Stop,
+		weigher:    weigher,
+		maxDepth:   maxDepth,
+		maxFilters: maxFilters,
+	}, nil
+}
+
+// path is one node of the recursion tree.
+type path struct {
+	elems   []uint32
+	logInvP float64
+}
+
+// FilterSet is the result of computing F(x).
+type FilterSet struct {
+	// Paths holds the completed filters. Each is a sequence of distinct
+	// elements of x in the order they were chosen.
+	Paths [][]uint32
+	// Truncated reports that the work budget was exhausted; the filter
+	// set is incomplete and callers should treat the vector specially
+	// (SkewSearch falls back to linear scanning for such queries).
+	Truncated bool
+	// Expanded counts recursion steps, the O(|x|)-cost unit of Lemma 6.
+	Expanded int
+}
+
+// Filters computes F(x) under the engine's threshold and stopping rule.
+// The empty vector has no filters. Deterministic given the engine seed.
+func (e *Engine) Filters(x bitvec.Vector) FilterSet {
+	var fs FilterSet
+	if x.IsEmpty() {
+		return fs
+	}
+	frontier := []path{{elems: nil, logInvP: 0}}
+	for depth := 0; depth < e.maxDepth && len(frontier) > 0; depth++ {
+		var next []path
+		for _, v := range frontier {
+			fs.Expanded++
+			for _, i := range x.Bits() {
+				if containsElem(v.elems, i) {
+					continue // sampling without replacement
+				}
+				s := e.threshold(x, depth, i)
+				if s <= 0 {
+					continue
+				}
+				if s < 1 && e.hasher.UnitExt(v.elems, i) >= s {
+					continue
+				}
+				elems := make([]uint32, len(v.elems)+1)
+				copy(elems, v.elems)
+				elems[len(v.elems)] = i
+				child := path{elems: elems, logInvP: v.logInvP + e.weigher.LogInvP(v.elems, i)}
+				if e.stop(child.logInvP, len(child.elems)) {
+					fs.Paths = append(fs.Paths, child.elems)
+				} else {
+					next = append(next, child)
+				}
+				if len(fs.Paths)+len(next) > e.maxFilters {
+					fs.Truncated = true
+					return fs
+				}
+			}
+		}
+		frontier = next
+	}
+	return fs
+}
+
+func containsElem(elems []uint32, v uint32) bool {
+	for _, e := range elems {
+		if e == v {
+			return true
+		}
+	}
+	return false
+}
+
+// PathKey encodes a path as a compact string for use as a map key in the
+// inverted index. Distinct paths get distinct keys (big-endian fixed
+// width per element).
+func PathKey(path []uint32) string {
+	b := make([]byte, 4*len(path))
+	for k, e := range path {
+		b[4*k] = byte(e >> 24)
+		b[4*k+1] = byte(e >> 16)
+		b[4*k+2] = byte(e >> 8)
+		b[4*k+3] = byte(e)
+	}
+	return string(b)
+}

@@ -1,0 +1,155 @@
+package lsf
+
+import (
+	"errors"
+
+	"skewsim/internal/bitvec"
+)
+
+// Index is the inverted filter index of §3: for every path chosen by some
+// data vector it stores the list of vectors that chose it. Space is
+// linear in Σ_x |F(x)| plus the data itself.
+type Index struct {
+	engine  *Engine
+	data    []bitvec.Vector
+	buckets map[string][]int32
+	// stats from construction
+	totalFilters   int
+	truncatedCount int
+}
+
+// BuildStats summarizes index construction work, the empirical counterpart
+// of the preprocessing bound of Lemma 9/12.
+type BuildStats struct {
+	Vectors      int
+	TotalFilters int // Σ_x |F(x)|
+	Buckets      int // distinct paths
+	Truncated    int // vectors whose filter sets hit the work budget
+}
+
+// BuildIndex computes F(x) for every data vector and constructs the
+// inverted index. The data slice is retained (not copied).
+func BuildIndex(engine *Engine, data []bitvec.Vector) (*Index, error) {
+	if engine == nil {
+		return nil, errors.New("lsf: nil engine")
+	}
+	ix := &Index{
+		engine:  engine,
+		data:    data,
+		buckets: make(map[string][]int32, len(data)*2),
+	}
+	for id, x := range data {
+		fs := engine.Filters(x)
+		if fs.Truncated {
+			ix.truncatedCount++
+		}
+		for _, p := range fs.Paths {
+			k := PathKey(p)
+			ix.buckets[k] = append(ix.buckets[k], int32(id))
+		}
+		ix.totalFilters += len(fs.Paths)
+	}
+	return ix, nil
+}
+
+// Stats returns construction statistics.
+func (ix *Index) Stats() BuildStats {
+	return BuildStats{
+		Vectors:      len(ix.data),
+		TotalFilters: ix.totalFilters,
+		Buckets:      len(ix.buckets),
+		Truncated:    ix.truncatedCount,
+	}
+}
+
+// Data returns the indexed vectors.
+func (ix *Index) Data() []bitvec.Vector { return ix.data }
+
+// QueryStats records the work done by one query, the unit in which the
+// scaling experiments measure n^ρ.
+type QueryStats struct {
+	// Filters is |F(q)|.
+	Filters int
+	// Candidates counts candidate occurrences over all filters of q, i.e.
+	// Σ_{f∈F(q)} |{x : f ∈ F(x)}| — the quantity bounded by Lemma 7.
+	Candidates int
+	// Distinct counts distinct candidates verified.
+	Distinct int
+	// Truncated reports the query's filter generation hit the budget.
+	Truncated bool
+}
+
+// Query returns the first indexed vector with measure-similarity at least
+// threshold among the candidates sharing a filter with q, following the
+// paper's query procedure. found reports whether any candidate passed.
+func (ix *Index) Query(q bitvec.Vector, threshold float64, m bitvec.Measure) (best int, sim float64, stats QueryStats, found bool) {
+	fs := ix.engine.Filters(q)
+	stats.Filters = len(fs.Paths)
+	stats.Truncated = fs.Truncated
+	seen := make(map[int32]struct{})
+	for _, p := range fs.Paths {
+		for _, id := range ix.buckets[PathKey(p)] {
+			stats.Candidates++
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			stats.Distinct++
+			s := m.Similarity(q, ix.data[id])
+			if s >= threshold {
+				return int(id), s, stats, true
+			}
+		}
+	}
+	return -1, 0, stats, false
+}
+
+// QueryBest examines every candidate (instead of stopping at the first
+// above threshold) and returns the most similar one. Used by the join
+// driver and by experiments that need exact candidate-set behaviour.
+func (ix *Index) QueryBest(q bitvec.Vector, m bitvec.Measure) (best int, sim float64, stats QueryStats, found bool) {
+	fs := ix.engine.Filters(q)
+	stats.Filters = len(fs.Paths)
+	stats.Truncated = fs.Truncated
+	best, sim = -1, -1
+	seen := make(map[int32]struct{})
+	for _, p := range fs.Paths {
+		for _, id := range ix.buckets[PathKey(p)] {
+			stats.Candidates++
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			stats.Distinct++
+			if s := m.Similarity(q, ix.data[id]); s > sim {
+				best, sim = int(id), s
+			}
+		}
+	}
+	if best < 0 {
+		return -1, 0, stats, false
+	}
+	return best, sim, stats, true
+}
+
+// CandidateIDs returns the distinct data ids sharing at least one filter
+// with q, plus stats. Exposed for experiments that analyze candidate sets
+// directly.
+func (ix *Index) CandidateIDs(q bitvec.Vector) ([]int32, QueryStats) {
+	fs := ix.engine.Filters(q)
+	stats := QueryStats{Filters: len(fs.Paths), Truncated: fs.Truncated}
+	seen := make(map[int32]struct{})
+	var ids []int32
+	for _, p := range fs.Paths {
+		for _, id := range ix.buckets[PathKey(p)] {
+			stats.Candidates++
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			ids = append(ids, id)
+		}
+	}
+	stats.Distinct = len(ids)
+	return ids, stats
+}

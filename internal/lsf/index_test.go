@@ -1,0 +1,192 @@
+package lsf
+
+import (
+	"testing"
+
+	"skewsim/internal/bitvec"
+	"skewsim/internal/dist"
+	"skewsim/internal/hashing"
+)
+
+func buildTestIndex(t *testing.T, seed uint64) (*Index, []bitvec.Vector) {
+	t.Helper()
+	n := 200
+	p := 0.2
+	d := dist.MustProduct(dist.Uniform(120, p))
+	rng := hashing.NewSplitMix64(seed)
+	data := d.SampleN(rng, n)
+	e, err := NewEngine(n, Params{
+		Seed:  seed,
+		Probs: d.Probs(),
+		Threshold: func(v bitvec.Vector, j int, i uint32) float64 {
+			denom := 0.7*float64(v.Len()) - float64(j)
+			if denom <= 1 {
+				return 1
+			}
+			return 1 / denom
+		},
+		Stop: ProductStopRule(n),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := BuildIndex(e, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, data
+}
+
+func TestBuildIndexNilEngine(t *testing.T) {
+	if _, err := BuildIndex(nil, nil); err == nil {
+		t.Fatal("nil engine should fail")
+	}
+}
+
+func TestBuildIndexStats(t *testing.T) {
+	ix, data := buildTestIndex(t, 1)
+	st := ix.Stats()
+	if st.Vectors != len(data) {
+		t.Errorf("Vectors = %d", st.Vectors)
+	}
+	if st.TotalFilters <= 0 || st.Buckets <= 0 {
+		t.Errorf("degenerate stats: %+v", st)
+	}
+	if st.Buckets > st.TotalFilters {
+		t.Errorf("more buckets than filters: %+v", st)
+	}
+	if st.Truncated != 0 {
+		t.Errorf("unexpected truncations: %+v", st)
+	}
+	if len(ix.Data()) != len(data) {
+		t.Error("Data() length mismatch")
+	}
+}
+
+func TestQuerySelfRetrieval(t *testing.T) {
+	// Querying with an indexed vector itself must find it whenever it has
+	// at least one filter: F(q) = F(x) exactly.
+	ix, data := buildTestIndex(t, 2)
+	foundCount, withFilters := 0, 0
+	for id, x := range data {
+		if x.IsEmpty() {
+			continue
+		}
+		best, sim, stats, found := ix.Query(x, 1.0, bitvec.BraunBlanquetMeasure)
+		if stats.Filters == 0 {
+			continue
+		}
+		withFilters++
+		if !found {
+			t.Errorf("vector %d has %d filters but was not self-retrieved", id, stats.Filters)
+			continue
+		}
+		foundCount++
+		if sim < 1.0-1e-9 {
+			t.Errorf("self-similarity = %v", sim)
+		}
+		if !data[best].Equal(x) {
+			t.Errorf("retrieved %d instead of an identical vector", best)
+		}
+	}
+	if withFilters == 0 {
+		t.Fatal("no vector had filters; test configuration broken")
+	}
+	if foundCount != withFilters {
+		t.Errorf("self-retrieval %d/%d", foundCount, withFilters)
+	}
+}
+
+func TestQueryNoMatchReturnsNotFound(t *testing.T) {
+	ix, _ := buildTestIndex(t, 3)
+	// A query over a disjoint region of the universe shares no filters.
+	q := bitvec.New(200, 201, 202, 203)
+	best, sim, stats, found := ix.Query(q, 0.1, bitvec.BraunBlanquetMeasure)
+	if found || best != -1 || sim != 0 {
+		t.Errorf("expected not-found, got %d, %v", best, sim)
+	}
+	if stats.Candidates != 0 {
+		t.Errorf("disjoint query examined %d candidates", stats.Candidates)
+	}
+}
+
+func TestQueryStatsConsistency(t *testing.T) {
+	ix, data := buildTestIndex(t, 4)
+	for _, q := range data[:50] {
+		_, _, stats, _ := ix.Query(q, 2.0, bitvec.BraunBlanquetMeasure) // impossible threshold: exhaustive walk
+		if stats.Distinct > stats.Candidates {
+			t.Errorf("distinct %d > candidates %d", stats.Distinct, stats.Candidates)
+		}
+		if stats.Distinct > len(data) {
+			t.Errorf("distinct %d > n", stats.Distinct)
+		}
+	}
+}
+
+func TestQueryBestFindsMostSimilar(t *testing.T) {
+	ix, data := buildTestIndex(t, 5)
+	for _, q := range data[:30] {
+		if q.IsEmpty() {
+			continue
+		}
+		best, sim, _, found := ix.QueryBest(q, bitvec.BraunBlanquetMeasure)
+		if !found {
+			continue
+		}
+		// QueryBest must return the true maximum over its candidate set;
+		// since q itself is indexed and F(q)=F(x), the best is sim=1.
+		if sim < 1.0-1e-9 {
+			t.Errorf("QueryBest(self) similarity %v; best id %d", sim, best)
+		}
+	}
+}
+
+func TestQueryBestNoCandidates(t *testing.T) {
+	ix, _ := buildTestIndex(t, 6)
+	_, _, _, found := ix.QueryBest(bitvec.New(300, 301), bitvec.BraunBlanquetMeasure)
+	if found {
+		t.Error("expected no candidates for disjoint query")
+	}
+}
+
+func TestCandidateIDsMatchesQueryAccounting(t *testing.T) {
+	ix, data := buildTestIndex(t, 7)
+	for _, q := range data[:30] {
+		ids, stats := ix.CandidateIDs(q)
+		if len(ids) != stats.Distinct {
+			t.Errorf("ids %d vs distinct %d", len(ids), stats.Distinct)
+		}
+		seen := map[int32]bool{}
+		for _, id := range ids {
+			if seen[id] {
+				t.Error("duplicate id in CandidateIDs")
+			}
+			seen[id] = true
+			if int(id) >= len(data) {
+				t.Errorf("id %d out of range", id)
+			}
+		}
+	}
+}
+
+func TestQueryThresholdRespected(t *testing.T) {
+	ix, data := buildTestIndex(t, 8)
+	for _, q := range data[:40] {
+		_, sim, _, found := ix.Query(q, 0.9, bitvec.BraunBlanquetMeasure)
+		if found && sim < 0.9 {
+			t.Errorf("returned similarity %v below threshold", sim)
+		}
+	}
+}
+
+func TestIndexDeterministicAcrossBuilds(t *testing.T) {
+	ix1, data := buildTestIndex(t, 9)
+	ix2, _ := buildTestIndex(t, 9)
+	for _, q := range data[:20] {
+		_, _, s1, f1 := ix1.Query(q, 0.5, bitvec.BraunBlanquetMeasure)
+		_, _, s2, f2 := ix2.Query(q, 0.5, bitvec.BraunBlanquetMeasure)
+		if f1 != f2 || s1.Filters != s2.Filters || s1.Candidates != s2.Candidates {
+			t.Fatal("same seed produced different query behaviour")
+		}
+	}
+}

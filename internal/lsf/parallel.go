@@ -1,0 +1,65 @@
+package lsf
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"skewsim/internal/bitvec"
+)
+
+// BuildIndexParallel builds the same index as BuildIndex using `workers`
+// goroutines for filter generation (workers <= 0 selects GOMAXPROCS).
+// Filter computation is embarrassingly parallel — each vector's F(x)
+// depends only on the shared hash functions — while bucket insertion
+// stays single-threaded in id order, so the result is bit-identical to
+// the serial build.
+func BuildIndexParallel(engine *Engine, data []bitvec.Vector, workers int) (*Index, error) {
+	if engine == nil {
+		return nil, errors.New("lsf: nil engine")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(data) {
+		workers = len(data)
+	}
+	if workers <= 1 {
+		return BuildIndex(engine, data)
+	}
+
+	sets := make([]FilterSet, len(data))
+	var wg sync.WaitGroup
+	next := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := range next {
+				sets[id] = engine.Filters(data[id])
+			}
+		}()
+	}
+	for id := range data {
+		next <- id
+	}
+	close(next)
+	wg.Wait()
+
+	ix := &Index{
+		engine:  engine,
+		data:    data,
+		buckets: make(map[string][]int32, len(data)*2),
+	}
+	for id, fs := range sets {
+		if fs.Truncated {
+			ix.truncatedCount++
+		}
+		for _, p := range fs.Paths {
+			k := PathKey(p)
+			ix.buckets[k] = append(ix.buckets[k], int32(id))
+		}
+		ix.totalFilters += len(fs.Paths)
+	}
+	return ix, nil
+}

@@ -1,0 +1,111 @@
+package lsf
+
+import (
+	"testing"
+
+	"skewsim/internal/bitvec"
+	"skewsim/internal/dist"
+	"skewsim/internal/hashing"
+)
+
+func parallelTestEngine(t *testing.T, n int) (*Engine, []bitvec.Vector) {
+	t.Helper()
+	d := dist.MustProduct(dist.Fig1Profile(150, 0.2))
+	rng := hashing.NewSplitMix64(21)
+	data := d.SampleN(rng, n)
+	e, err := NewEngine(n, Params{
+		Seed:  9,
+		Probs: d.Probs(),
+		Threshold: func(v bitvec.Vector, j int, i uint32) float64 {
+			denom := 0.6*float64(v.Len()) - float64(j)
+			if denom <= 1 {
+				return 1
+			}
+			return 1 / denom
+		},
+		Stop: ProductStopRule(n),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, data
+}
+
+func indexesEqual(a, b *Index) bool {
+	if a.totalFilters != b.totalFilters || a.truncatedCount != b.truncatedCount {
+		return false
+	}
+	if len(a.buckets) != len(b.buckets) {
+		return false
+	}
+	for k, ids := range a.buckets {
+		other, ok := b.buckets[k]
+		if !ok || len(other) != len(ids) {
+			return false
+		}
+		for i := range ids {
+			if ids[i] != other[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestBuildIndexParallelMatchesSerial(t *testing.T) {
+	e, data := parallelTestEngine(t, 300)
+	serial, err := BuildIndex(e, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 16, 0} {
+		par, err := BuildIndexParallel(e, data, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !indexesEqual(serial, par) {
+			t.Fatalf("workers=%d: parallel index differs from serial", workers)
+		}
+	}
+}
+
+func TestBuildIndexParallelNilEngine(t *testing.T) {
+	if _, err := BuildIndexParallel(nil, nil, 2); err == nil {
+		t.Fatal("nil engine should fail")
+	}
+}
+
+func TestBuildIndexParallelMoreWorkersThanData(t *testing.T) {
+	e, data := parallelTestEngine(t, 3)
+	ix, err := BuildIndexParallel(e, data, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Stats().Vectors != 3 {
+		t.Error("wrong vector count")
+	}
+}
+
+func TestBuildIndexParallelEmptyData(t *testing.T) {
+	e, _ := parallelTestEngine(t, 2)
+	ix, err := BuildIndexParallel(e, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Stats().TotalFilters != 0 {
+		t.Error("empty data produced filters")
+	}
+}
+
+func TestBuildIndexParallelQueriesMatchSerial(t *testing.T) {
+	e, data := parallelTestEngine(t, 200)
+	serial, _ := BuildIndex(e, data)
+	par, _ := BuildIndexParallel(e, data, 8)
+	for _, q := range data[:40] {
+		id1, s1, st1, f1 := serial.Query(q, 0.6, bitvec.BraunBlanquetMeasure)
+		id2, s2, st2, f2 := par.Query(q, 0.6, bitvec.BraunBlanquetMeasure)
+		if id1 != id2 || s1 != s2 || st1 != st2 || f1 != f2 {
+			t.Fatal("parallel-built index answers differently")
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package lsf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"skewsim/internal/bitvec"
+	"skewsim/internal/hashing"
+)
+
+// TestPropertyFilterInvariantsRandomConfigs re-checks the structural
+// invariants of F(x) under randomized engine configurations: random
+// probabilities, random constant thresholds, random vectors and dataset
+// sizes. For every emitted path: (1) elements are distinct, (2) all lie
+// in x, (3) the accumulated ∏p is ≤ 1/n, and (4) the path is minimal
+// (its proper prefix is not yet below 1/n).
+func TestPropertyFilterInvariantsRandomConfigs(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := hashing.NewSplitMix64(seed)
+		n := 50 + int(rng.NextBelow(2000))
+		dim := 16 + int(rng.NextBelow(128))
+		probs := make([]float64, dim)
+		for i := range probs {
+			probs[i] = 0.01 + 0.49*rng.NextUnit()
+		}
+		s := rng.NextUnit() * 0.9
+		e, err := NewEngine(n, Params{
+			Seed:                rng.Next(),
+			Probs:               probs,
+			Threshold:           constThreshold(s),
+			Stop:                ProductStopRule(n),
+			MaxFiltersPerVector: 5000,
+		})
+		if err != nil {
+			return false
+		}
+		// Random vector over the universe.
+		var bits []uint32
+		for i := 0; i < dim; i++ {
+			if rng.NextUnit() < 0.3 {
+				bits = append(bits, uint32(i))
+			}
+		}
+		x := bitvec.New(bits...)
+		fs := e.Filters(x)
+		logN := math.Log(float64(n))
+		for _, path := range fs.Paths {
+			seen := map[uint32]bool{}
+			logInv := 0.0
+			for k, el := range path {
+				if seen[el] || !x.Contains(el) {
+					return false
+				}
+				seen[el] = true
+				prefixComplete := logInv >= logN
+				if prefixComplete {
+					return false // continued past completion
+				}
+				logInv += -math.Log(probs[el])
+				if k == len(path)-1 && logInv < logN {
+					return false // emitted before completion
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyQuerySubsetMonotonicity: the candidate set of a query can
+// only come from buckets keyed by paths inside the query; a query that
+// is a superset of another (with equal engine) must reproduce at least
+// the subset's own shared-with-itself filters. Concretely we verify the
+// weaker but exact property that F(q) for q ⊆ x is a subset of the paths
+// over elements of q, hence every candidate sharing a path with q also
+// shares those elements.
+func TestPropertyQueryCandidatesShareElements(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := hashing.NewSplitMix64(seed)
+		n := 100
+		dim := 64
+		probs := make([]float64, dim)
+		for i := range probs {
+			probs[i] = 0.05 + 0.3*rng.NextUnit()
+		}
+		e, err := NewEngine(n, Params{
+			Seed:      rng.Next(),
+			Probs:     probs,
+			Threshold: constThreshold(0.4),
+			Stop:      ProductStopRule(n),
+		})
+		if err != nil {
+			return false
+		}
+		// Dataset of a few random vectors.
+		data := make([]bitvec.Vector, 20)
+		for v := range data {
+			var bits []uint32
+			for i := 0; i < dim; i++ {
+				if rng.NextUnit() < 0.25 {
+					bits = append(bits, uint32(i))
+				}
+			}
+			data[v] = bitvec.New(bits...)
+		}
+		ix, err := BuildIndex(e, data)
+		if err != nil {
+			return false
+		}
+		var qbits []uint32
+		for i := 0; i < dim; i++ {
+			if rng.NextUnit() < 0.25 {
+				qbits = append(qbits, uint32(i))
+			}
+		}
+		q := bitvec.New(qbits...)
+		ids, _ := ix.CandidateIDs(q)
+		for _, id := range ids {
+			// A shared filter is a path inside both vectors, so the
+			// intersection must be non-empty.
+			if data[id].IntersectionSize(q) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,146 @@
+package lsf
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"skewsim/internal/bitvec"
+)
+
+// Serialization of the inverted filter index. The engine (hash seeds,
+// thresholds) is NOT serialized — it is deterministic given its build
+// parameters, which the caller owns; WriteTo stores only the bucket
+// contents. Format (all little-endian):
+//
+//	magic   [6]byte  "SKLSF1"
+//	total   uint64   total filters
+//	trunc   uint64   truncated vector count
+//	buckets uint64   number of buckets
+//	repeat buckets times:
+//	  keyLen uint32, key bytes, idCount uint32, ids []int32
+//
+// Buckets are written in sorted key order so output is deterministic.
+
+var lsfMagic = [6]byte{'S', 'K', 'L', 'S', 'F', '1'}
+
+// WriteTo serializes the index buckets. It implements io.WriterTo.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v interface{}) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(lsfMagic); err != nil {
+		return n, err
+	}
+	if err := write(uint64(ix.totalFilters)); err != nil {
+		return n, err
+	}
+	if err := write(uint64(ix.truncatedCount)); err != nil {
+		return n, err
+	}
+	if err := write(uint64(len(ix.buckets))); err != nil {
+		return n, err
+	}
+	keys := make([]string, 0, len(ix.buckets))
+	for k := range ix.buckets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := write(uint32(len(k))); err != nil {
+			return n, err
+		}
+		if _, err := bw.WriteString(k); err != nil {
+			return n, err
+		}
+		n += int64(len(k))
+		ids := ix.buckets[k]
+		if err := write(uint32(len(ids))); err != nil {
+			return n, err
+		}
+		if err := write(ids); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadIndexFrom reconstructs an index from a stream produced by WriteTo.
+// The caller supplies the engine (rebuilt with the original parameters —
+// queries only match if the hash seeds are identical) and the data slice
+// the buckets refer to. All ids are validated against len(data).
+func ReadIndexFrom(r io.Reader, engine *Engine, data []bitvec.Vector) (*Index, error) {
+	if engine == nil {
+		return nil, errors.New("lsf: nil engine")
+	}
+	br := bufio.NewReader(r)
+	var magic [6]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("lsf: reading magic: %w", err)
+	}
+	if magic != lsfMagic {
+		return nil, fmt.Errorf("lsf: bad magic %q", magic)
+	}
+	var total, trunc, buckets uint64
+	for _, v := range []*uint64{&total, &trunc, &buckets} {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("lsf: reading header: %w", err)
+		}
+	}
+	const maxReasonable = 1 << 40
+	if total > maxReasonable || buckets > maxReasonable {
+		return nil, fmt.Errorf("lsf: implausible header (total=%d buckets=%d)", total, buckets)
+	}
+	ix := &Index{
+		engine:         engine,
+		data:           data,
+		buckets:        make(map[string][]int32, buckets),
+		totalFilters:   int(total),
+		truncatedCount: int(trunc),
+	}
+	sum := uint64(0)
+	for b := uint64(0); b < buckets; b++ {
+		var keyLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &keyLen); err != nil {
+			return nil, fmt.Errorf("lsf: bucket %d key length: %w", b, err)
+		}
+		if keyLen == 0 || keyLen > 1<<16 {
+			return nil, fmt.Errorf("lsf: bucket %d implausible key length %d", b, keyLen)
+		}
+		key := make([]byte, keyLen)
+		if _, err := io.ReadFull(br, key); err != nil {
+			return nil, fmt.Errorf("lsf: bucket %d key: %w", b, err)
+		}
+		var idCount uint32
+		if err := binary.Read(br, binary.LittleEndian, &idCount); err != nil {
+			return nil, fmt.Errorf("lsf: bucket %d id count: %w", b, err)
+		}
+		if uint64(idCount) > total {
+			return nil, fmt.Errorf("lsf: bucket %d id count %d exceeds total %d", b, idCount, total)
+		}
+		ids := make([]int32, idCount)
+		if err := binary.Read(br, binary.LittleEndian, ids); err != nil {
+			return nil, fmt.Errorf("lsf: bucket %d ids: %w", b, err)
+		}
+		for _, id := range ids {
+			if id < 0 || int(id) >= len(data) {
+				return nil, fmt.Errorf("lsf: bucket %d references vector %d outside dataset of %d", b, id, len(data))
+			}
+		}
+		sum += uint64(idCount)
+		ix.buckets[string(key)] = ids
+	}
+	if sum != total {
+		return nil, fmt.Errorf("lsf: bucket ids sum to %d, header claims %d", sum, total)
+	}
+	return ix, nil
+}

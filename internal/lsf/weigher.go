@@ -1,0 +1,94 @@
+package lsf
+
+import (
+	"fmt"
+	"math"
+)
+
+// PathWeigher estimates the information content of a path: LogInvP
+// returns the increment to log(1/Pr[v∘i ⊆ x]) for x ~ D when extending
+// path v with element i. The engine's stopping rule fires once the
+// accumulated value reaches log n, i.e. once Pr[path ⊆ x] ≤ 1/n.
+//
+// The default (nil Weigher in Params) assumes independent coordinates:
+// the increment is log(1/p_i) regardless of v, giving exactly the
+// paper's ∏ p_i ≤ 1/n rule. Alternative weighers let the engine handle
+// known, simple correlation structure — the extension suggested in the
+// paper's §9 conclusion ("if the correlations are 'simple' and known
+// ahead of time, there may be strategies to deal with them when sampling
+// paths").
+type PathWeigher interface {
+	LogInvP(v []uint32, i uint32) float64
+}
+
+// independentWeigher is the paper's model: coordinates are independent.
+type independentWeigher struct {
+	probs []float64
+}
+
+func (w independentWeigher) LogInvP(_ []uint32, i uint32) float64 {
+	if int(i) >= len(w.probs) {
+		return math.Inf(1)
+	}
+	p := w.probs[i]
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	return -math.Log(p)
+}
+
+// ClusterWeigher handles the simplest correlation structure: disjoint
+// item clusters whose members co-occur with a known conditional
+// probability. The first member of a cluster on a path contributes its
+// full log(1/p_i); every further member of the same cluster contributes
+// only log(1/condP), because given one member is present the others are
+// nearly free.
+//
+// Why this matters: under the independent rule, a path of two same-
+// cluster items with item probability p looks like probability p² ≤ 1/n
+// and becomes a filter, but its true occurrence probability is ≈ p·condP
+// — potentially ≫ 1/n — so the filter's bucket collects ~n·p·condP
+// vectors instead of O(1), blowing up query time. Correct accounting
+// forces paths to gather evidence from distinct clusters.
+type ClusterWeigher struct {
+	probs   []float64
+	cluster []int32 // cluster id per item; -1 = unclustered
+	logInvC float64 // log(1/condP)
+}
+
+// NewClusterWeigher builds a weigher for the given item probabilities,
+// cluster assignment (cluster[i] = id, or -1 for unclustered items), and
+// within-cluster conditional probability condP ∈ (0, 1].
+func NewClusterWeigher(probs []float64, cluster []int32, condP float64) (*ClusterWeigher, error) {
+	if len(cluster) != len(probs) {
+		return nil, fmt.Errorf("lsf: cluster assignment length %d != probs length %d", len(cluster), len(probs))
+	}
+	if !(condP > 0 && condP <= 1) {
+		return nil, fmt.Errorf("lsf: condP = %v outside (0, 1]", condP)
+	}
+	return &ClusterWeigher{
+		probs:   probs,
+		cluster: cluster,
+		logInvC: -math.Log(condP),
+	}, nil
+}
+
+// LogInvP implements PathWeigher.
+func (w *ClusterWeigher) LogInvP(v []uint32, i uint32) float64 {
+	if int(i) >= len(w.probs) {
+		return math.Inf(1)
+	}
+	c := w.cluster[i]
+	if c >= 0 {
+		for _, e := range v {
+			if int(e) < len(w.cluster) && w.cluster[e] == c {
+				return w.logInvC // a cluster sibling is already on the path
+			}
+		}
+	}
+	p := w.probs[i]
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	return -math.Log(p)
+}

@@ -1,0 +1,184 @@
+package lsf
+
+import (
+	"math"
+	"testing"
+
+	"skewsim/internal/bitvec"
+	"skewsim/internal/hashing"
+)
+
+func TestIndependentWeigherMatchesProbs(t *testing.T) {
+	w := independentWeigher{probs: []float64{0.5, 0.25, 0}}
+	if got := w.LogInvP(nil, 0); math.Abs(got-math.Ln2) > 1e-12 {
+		t.Errorf("LogInvP(0) = %v", got)
+	}
+	if got := w.LogInvP([]uint32{0}, 1); math.Abs(got-2*math.Ln2) > 1e-12 {
+		t.Errorf("LogInvP(1) = %v (must ignore the path)", got)
+	}
+	if !math.IsInf(w.LogInvP(nil, 2), 1) {
+		t.Error("zero probability should be infinitely rare")
+	}
+	if !math.IsInf(w.LogInvP(nil, 9), 1) {
+		t.Error("out-of-range should be infinitely rare")
+	}
+}
+
+func TestNewClusterWeigherValidation(t *testing.T) {
+	if _, err := NewClusterWeigher([]float64{0.1}, []int32{0, 1}, 0.5); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	for _, c := range []float64{0, -1, 1.5} {
+		if _, err := NewClusterWeigher([]float64{0.1}, []int32{0}, c); err == nil {
+			t.Errorf("condP=%v should fail", c)
+		}
+	}
+}
+
+func TestClusterWeigherConditionalAccounting(t *testing.T) {
+	probs := []float64{0.1, 0.1, 0.1, 0.2}
+	cluster := []int32{0, 0, 1, -1}
+	w, err := NewClusterWeigher(probs, cluster, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := -math.Log(0.1)
+	cond := -math.Log(0.8)
+
+	// First cluster member: full price.
+	if got := w.LogInvP(nil, 0); math.Abs(got-full) > 1e-12 {
+		t.Errorf("first member = %v, want %v", got, full)
+	}
+	// Sibling already on the path: conditional price.
+	if got := w.LogInvP([]uint32{0}, 1); math.Abs(got-cond) > 1e-12 {
+		t.Errorf("sibling = %v, want %v", got, cond)
+	}
+	// Different cluster: full price.
+	if got := w.LogInvP([]uint32{0}, 2); math.Abs(got-full) > 1e-12 {
+		t.Errorf("other cluster = %v, want %v", got, full)
+	}
+	// Unclustered item is never discounted.
+	if got := w.LogInvP([]uint32{0, 1, 2}, 3); math.Abs(got-(-math.Log(0.2))) > 1e-12 {
+		t.Errorf("unclustered = %v", got)
+	}
+	// Out-of-range.
+	if !math.IsInf(w.LogInvP(nil, 99), 1) {
+		t.Error("out-of-range should be infinitely rare")
+	}
+}
+
+func TestClusterWeigherPerfectCorrelationNeverCompletesOnOneCluster(t *testing.T) {
+	// With condP = 1 a second same-cluster item adds zero information, so
+	// a path inside a single cluster can never reach the stopping bar no
+	// matter how many members it collects.
+	const n = 1000
+	probs := make([]float64, 8)
+	cluster := make([]int32, 8)
+	for i := range probs {
+		probs[i] = 0.01 // individually rare: ln(1/p) = 4.6, ln n = 6.9
+		cluster[i] = 0  // all one cluster
+	}
+	w, err := NewClusterWeigher(probs, cluster, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(n, Params{
+		Seed:      1,
+		Probs:     probs,
+		Threshold: constThreshold(1),
+		Stop:      ProductStopRule(n),
+		Weigher:   w,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := bitvec.New(0, 1, 2, 3, 4, 5, 6, 7)
+	fs := e.Filters(x)
+	if len(fs.Paths) != 0 {
+		t.Errorf("single-cluster paths completed %d filters; they carry at most ln(1/p) evidence", len(fs.Paths))
+	}
+}
+
+// TestClusterAwareReducesSpuriousCollisions is the §9 extension's
+// headline property: on data with perfectly co-occurring item pairs, the
+// vanilla independent rule certifies paths inside one pair as
+// 1/n-rare (p² ≤ 1/n) even though a fraction p of all vectors contains
+// them, flooding buckets; the cluster-aware rule demands evidence from
+// distinct pairs and collapses the candidate volume.
+func TestClusterAwareReducesSpuriousCollisions(t *testing.T) {
+	const (
+		n        = 600
+		clusters = 100
+		size     = 8    // items per cluster
+		pAct     = 0.02 // cluster activation; items individually look 1/50-rare
+	)
+	// Vanilla accounting: two same-cluster items "weigh" p² = 4e-4 ≤
+	// 1/600, so such paths complete — yet 2% of all vectors contain
+	// them, so their buckets hold ~12 vectors instead of O(1). With ~2
+	// active clusters of 8 items per vector, about half of all length-2
+	// paths are same-cluster, so the blowup dominates query cost.
+	dim := clusters * size
+	probs := make([]float64, dim)
+	cluster := make([]int32, dim)
+	for j := 0; j < clusters; j++ {
+		for k := 0; k < size; k++ {
+			probs[j*size+k] = pAct
+			cluster[j*size+k] = int32(j)
+		}
+	}
+	// Generate data: each cluster fully on or off.
+	rng := hashing.NewSplitMix64(33)
+	data := make([]bitvec.Vector, n)
+	for v := range data {
+		var bits []uint32
+		for j := 0; j < clusters; j++ {
+			if rng.NextUnit() < pAct {
+				for k := 0; k < size; k++ {
+					bits = append(bits, uint32(j*size+k))
+				}
+			}
+		}
+		data[v] = bitvec.FromSorted(bits)
+	}
+
+	threshold := func(x bitvec.Vector, j int, _ uint32) float64 {
+		denom := 0.6*float64(x.Len()) - float64(j)
+		if denom <= 1 {
+			return 1
+		}
+		return 1 / denom
+	}
+	build := func(weigher PathWeigher) *Index {
+		e, err := NewEngine(n, Params{
+			Seed: 5, Probs: probs, Threshold: threshold,
+			Stop: ProductStopRule(n), Weigher: weigher,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix, err := BuildIndex(e, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ix
+	}
+	cw, err := NewClusterWeigher(probs, cluster, 0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vanilla := build(nil)
+	aware := build(cw)
+
+	vanillaCand, awareCand := 0, 0
+	for _, q := range data[:50] {
+		_, sv := vanilla.CandidateIDs(q)
+		vanillaCand += sv.Candidates
+		_, sa := aware.CandidateIDs(q)
+		awareCand += sa.Candidates
+	}
+	t.Logf("candidates: vanilla %d, cluster-aware %d", vanillaCand, awareCand)
+	if vanillaCand < 2*awareCand {
+		t.Errorf("cluster-aware rule should cut candidates at least 2x: vanilla %d vs aware %d",
+			vanillaCand, awareCand)
+	}
+}

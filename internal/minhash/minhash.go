@@ -1,0 +1,219 @@
+// Package minhash implements the classic MinHash LSH index of Broder et
+// al. for Jaccard similarity: L bands, each the concatenation of k
+// min-wise hashes. It is the standard randomized baseline the paper's
+// related-work section positions Chosen Path (and hence SkewSearch)
+// against.
+//
+// For the (j1, j2)-approximate Jaccard problem the textbook parameters
+// are k = ⌈ln n / ln(1/j2)⌉ and L = ⌈n^ρ⌉ with ρ = ln(1/j1)/ln(1/j2);
+// DeriveParams computes them.
+package minhash
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"skewsim/internal/bitvec"
+	"skewsim/internal/hashing"
+)
+
+// Params holds explicit LSH parameters.
+type Params struct {
+	K int // rows per band (hashes concatenated per signature)
+	L int // bands (independent hash tables)
+}
+
+// DeriveParams returns the standard parameters for dataset size n and
+// Jaccard thresholds 0 < j2 < j1 ≤ 1.
+func DeriveParams(n int, j1, j2 float64) (Params, error) {
+	if n < 2 {
+		return Params{}, fmt.Errorf("minhash: n = %d too small", n)
+	}
+	if !(0 < j2 && j2 < j1 && j1 <= 1) {
+		return Params{}, fmt.Errorf("minhash: need 0 < j2 < j1 <= 1, got j1=%v j2=%v", j1, j2)
+	}
+	k := int(math.Ceil(math.Log(float64(n)) / math.Log(1/j2)))
+	if k < 1 {
+		k = 1
+	}
+	rho := math.Log(1/j1) / math.Log(1/j2)
+	l := int(math.Ceil(math.Pow(float64(n), rho)))
+	if l < 1 {
+		l = 1
+	}
+	return Params{K: k, L: l}, nil
+}
+
+// Index is a built MinHash LSH table set.
+type Index struct {
+	data    []bitvec.Vector
+	params  Params
+	seeds   [][]uint64 // [band][row] hash seeds
+	tables  []map[string][]int32
+	measure bitvec.Measure
+}
+
+// Options tunes the index.
+type Options struct {
+	Seed    uint64
+	Measure bitvec.Measure
+}
+
+// Build constructs the L hash tables for the data under the given
+// parameters.
+func Build(data []bitvec.Vector, p Params, opt Options) (*Index, error) {
+	if len(data) == 0 {
+		return nil, errors.New("minhash: empty dataset")
+	}
+	if p.K < 1 || p.L < 1 {
+		return nil, fmt.Errorf("minhash: invalid params %+v", p)
+	}
+	rng := hashing.NewSplitMix64(opt.Seed)
+	ix := &Index{
+		data:    data,
+		params:  p,
+		seeds:   make([][]uint64, p.L),
+		tables:  make([]map[string][]int32, p.L),
+		measure: opt.Measure,
+	}
+	for b := 0; b < p.L; b++ {
+		ix.seeds[b] = make([]uint64, p.K)
+		for r := 0; r < p.K; r++ {
+			ix.seeds[b][r] = rng.Next()
+		}
+		ix.tables[b] = make(map[string][]int32, len(data))
+	}
+	for id, x := range data {
+		if x.IsEmpty() {
+			continue // empty sets have no min-hash; they match nothing
+		}
+		for b := 0; b < p.L; b++ {
+			key := ix.signature(b, x)
+			ix.tables[b][key] = append(ix.tables[b][key], int32(id))
+		}
+	}
+	return ix, nil
+}
+
+// signature computes the band-b signature of x: the concatenation of K
+// min-wise hash values.
+func (ix *Index) signature(b int, x bitvec.Vector) string {
+	k := ix.params.K
+	buf := make([]byte, 8*k)
+	for r := 0; r < k; r++ {
+		minV := uint64(math.MaxUint64)
+		seed := ix.seeds[b][r]
+		for _, e := range x.Bits() {
+			if h := mix(seed, e); h < minV {
+				minV = h
+			}
+		}
+		for i := 0; i < 8; i++ {
+			buf[8*r+i] = byte(minV >> (56 - 8*i))
+		}
+	}
+	return string(buf)
+}
+
+// mix hashes one element under one seed (splitmix64 finalizer over
+// seed ^ element, a standard strongly-mixing point hash).
+func mix(seed uint64, e uint32) uint64 {
+	z := seed ^ (uint64(e)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Params returns the index parameters.
+func (ix *Index) Parameters() Params { return ix.params }
+
+// Data returns the indexed vectors.
+func (ix *Index) Data() []bitvec.Vector { return ix.data }
+
+// Result mirrors the other indexes' result type.
+type Result struct {
+	ID         int
+	Similarity float64
+	Found      bool
+	Stats      Stats
+}
+
+// Stats counts query work.
+type Stats struct {
+	Bands      int // bands probed
+	Candidates int // candidate occurrences over bands
+	Distinct   int // distinct candidates verified
+}
+
+// Query returns the first candidate with measure-similarity at least
+// threshold, probing bands in order.
+func (ix *Index) Query(q bitvec.Vector, threshold float64) Result {
+	res := Result{ID: -1}
+	if q.IsEmpty() {
+		return res
+	}
+	seen := make(map[int32]struct{})
+	for b := 0; b < ix.params.L; b++ {
+		res.Stats.Bands++
+		for _, id := range ix.tables[b][ix.signature(b, q)] {
+			res.Stats.Candidates++
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			res.Stats.Distinct++
+			if s := ix.measure.Similarity(q, ix.data[id]); s >= threshold {
+				res.ID, res.Similarity, res.Found = int(id), s, true
+				return res
+			}
+		}
+	}
+	return res
+}
+
+// QueryBest probes every band and returns the most similar candidate.
+func (ix *Index) QueryBest(q bitvec.Vector) Result {
+	res := Result{ID: -1, Similarity: -1}
+	if q.IsEmpty() {
+		res.Similarity = 0
+		return res
+	}
+	seen := make(map[int32]struct{})
+	for b := 0; b < ix.params.L; b++ {
+		res.Stats.Bands++
+		for _, id := range ix.tables[b][ix.signature(b, q)] {
+			res.Stats.Candidates++
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			res.Stats.Distinct++
+			if s := ix.measure.Similarity(q, ix.data[id]); s > res.Similarity {
+				res.ID, res.Similarity, res.Found = int(id), s, true
+			}
+		}
+	}
+	if !res.Found {
+		res.Similarity = 0
+	}
+	return res
+}
+
+// Candidates returns the distinct candidate ids over all bands.
+func (ix *Index) Candidates(q bitvec.Vector) []int32 {
+	if q.IsEmpty() {
+		return nil
+	}
+	seen := make(map[int32]struct{})
+	var out []int32
+	for b := 0; b < ix.params.L; b++ {
+		for _, id := range ix.tables[b][ix.signature(b, q)] {
+			if _, dup := seen[id]; !dup {
+				seen[id] = struct{}{}
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package minhash
+
+import (
+	"math"
+	"testing"
+
+	"skewsim/internal/bitvec"
+	"skewsim/internal/datagen"
+	"skewsim/internal/dist"
+)
+
+func TestDeriveParams(t *testing.T) {
+	p, err := DeriveParams(1000, 0.5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K != 3 { // ceil(ln 1000 / ln 10)
+		t.Errorf("K = %d, want 3", p.K)
+	}
+	wantL := int(math.Ceil(math.Pow(1000, math.Log(2)/math.Log(10))))
+	if p.L != wantL {
+		t.Errorf("L = %d, want %d", p.L, wantL)
+	}
+}
+
+func TestDeriveParamsValidation(t *testing.T) {
+	if _, err := DeriveParams(1, 0.5, 0.1); err == nil {
+		t.Error("n too small should fail")
+	}
+	for _, c := range [][2]float64{{0.5, 0.5}, {0.1, 0.5}, {0, 0.1}, {1.2, 0.1}} {
+		if _, err := DeriveParams(100, c[0], c[1]); err == nil {
+			t.Errorf("j1=%v j2=%v should fail", c[0], c[1])
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, Params{K: 1, L: 1}, Options{}); err == nil {
+		t.Error("empty data should fail")
+	}
+	data := []bitvec.Vector{bitvec.New(1)}
+	if _, err := Build(data, Params{K: 0, L: 1}, Options{}); err == nil {
+		t.Error("K=0 should fail")
+	}
+	if _, err := Build(data, Params{K: 1, L: 0}, Options{}); err == nil {
+		t.Error("L=0 should fail")
+	}
+}
+
+func TestIdenticalVectorsAlwaysCollide(t *testing.T) {
+	data := []bitvec.Vector{
+		bitvec.New(1, 2, 3),
+		bitvec.New(1, 2, 3),
+		bitvec.New(50, 51, 52),
+	}
+	ix, err := Build(data, Params{K: 2, L: 4}, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ix.Query(bitvec.New(1, 2, 3), 1.0)
+	if !res.Found || res.Similarity < 1-1e-9 {
+		t.Errorf("identical vector not found: %+v", res)
+	}
+}
+
+func TestEmptyVectorsNeverMatch(t *testing.T) {
+	data := []bitvec.Vector{bitvec.New(), bitvec.New(1, 2)}
+	ix, err := Build(data, Params{K: 1, L: 2}, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := ix.Query(bitvec.New(), 0.0); res.Found {
+		t.Error("empty query matched something")
+	}
+	res := ix.QueryBest(bitvec.New())
+	if res.Found {
+		t.Error("empty QueryBest matched something")
+	}
+}
+
+func TestMinHashCollisionProbabilityMatchesJaccard(t *testing.T) {
+	// Single-row (K=1, L=1) collision probability equals the Jaccard
+	// similarity; estimate over many seeds.
+	a := bitvec.New(0, 1, 2, 3, 4, 5)
+	b := bitvec.New(3, 4, 5, 6, 7, 8)
+	want := bitvec.Jaccard(a, b) // 3/9
+	coll := 0
+	const trials = 4000
+	for seed := 0; seed < trials; seed++ {
+		ix, err := Build([]bitvec.Vector{a}, Params{K: 1, L: 1}, Options{Seed: uint64(seed)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ix.signature(0, a) == ix.signature(0, b) {
+			coll++
+		}
+	}
+	got := float64(coll) / trials
+	if math.Abs(got-want) > 0.025 {
+		t.Errorf("collision rate %v, want %v", got, want)
+	}
+}
+
+func TestRecallOnCorrelatedWorkload(t *testing.T) {
+	const (
+		n     = 400
+		alpha = 0.8
+		p     = 0.1
+	)
+	d := dist.MustProduct(dist.Uniform(1000, p))
+	w, err := datagen.NewCorrelatedWorkload(d, n, 30, alpha, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jaccard thresholds: planted pairs have J ≈ B/(2−B) for
+	// near-equal sizes with B ≈ α + (1−α)p.
+	bClose := alpha + (1-alpha)*p
+	j1 := bClose / (2 - bClose) * 0.8 // slack for sampling noise
+	j2 := 0.08
+	params, err := DeriveParams(n, j1, j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(w.Data, params, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered := 0
+	for k, q := range w.Queries {
+		res := ix.QueryBest(q)
+		if res.Found && res.ID == w.Targets[k] {
+			recovered++
+		}
+	}
+	if rate := float64(recovered) / float64(len(w.Queries)); rate < 0.8 {
+		t.Errorf("recall %v, want ≥ 0.8 (params %+v)", rate, params)
+	}
+}
+
+func TestQueryDeterministic(t *testing.T) {
+	d := dist.MustProduct(dist.Uniform(400, 0.1))
+	w, _ := datagen.NewCorrelatedWorkload(d, 100, 10, 0.8, 9)
+	ix1, _ := Build(w.Data, Params{K: 2, L: 8}, Options{Seed: 4})
+	ix2, _ := Build(w.Data, Params{K: 2, L: 8}, Options{Seed: 4})
+	for _, q := range w.Queries {
+		r1, r2 := ix1.QueryBest(q), ix2.QueryBest(q)
+		if r1.ID != r2.ID || r1.Stats != r2.Stats {
+			t.Fatal("same seed produced different results")
+		}
+	}
+}
+
+func TestQueryStatsAndCandidates(t *testing.T) {
+	d := dist.MustProduct(dist.Uniform(400, 0.1))
+	w, _ := datagen.NewCorrelatedWorkload(d, 150, 1, 0.8, 11)
+	ix, err := Build(w.Data, Params{K: 2, L: 6}, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range w.Data[:20] {
+		res := ix.QueryBest(q)
+		if res.Stats.Bands != 6 {
+			t.Errorf("bands = %d, want 6", res.Stats.Bands)
+		}
+		if res.Stats.Distinct > res.Stats.Candidates {
+			t.Error("distinct exceeds candidates")
+		}
+		ids := ix.Candidates(q)
+		if len(ids) != res.Stats.Distinct {
+			t.Errorf("Candidates %d vs distinct %d", len(ids), res.Stats.Distinct)
+		}
+	}
+}
+
+func TestParametersAccessor(t *testing.T) {
+	data := []bitvec.Vector{bitvec.New(1)}
+	ix, err := Build(data, Params{K: 3, L: 5}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := ix.Parameters(); p.K != 3 || p.L != 5 {
+		t.Errorf("Parameters = %+v", p)
+	}
+	if len(ix.Data()) != 1 {
+		t.Error("Data accessor wrong")
+	}
+}

@@ -1,0 +1,216 @@
+// Package prefix implements prefix filtering (Bayardo, Ma, Srikant, WWW
+// 2007), the exact, deterministic heuristic the paper repeatedly compares
+// against: order the universe by ascending global frequency, index each
+// vector under its prefix of rarest tokens, and verify every vector that
+// shares a prefix token with the query.
+//
+// For Braun-Blanquet threshold b1, two vectors with B(x, q) ≥ b1 have
+// overlap at least o = ⌈b1·max(|x|, |q|)⌉ ≥ ⌈b1·|x|⌉, so indexing the
+// first |x| − ⌈b1·|x|⌉ + 1 tokens of x (in the global order) and probing
+// the first |q| − ⌈b1·|q|⌉ + 1 tokens of q guarantees a shared token
+// (the classic prefix-filtering principle). The method is exact — recall
+// 1 — but its cost is governed by the frequency of prefix tokens, which
+// is why it shines with ultra-rare tokens (p_min = n^-Ω(1)) and
+// degenerates toward a full scan when all frequencies are Ω(1).
+package prefix
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"skewsim/internal/bitvec"
+)
+
+// Index is a built prefix-filtering index.
+type Index struct {
+	data []bitvec.Vector
+	b1   float64
+	// rank[e] is the position of element e in the ascending-frequency
+	// order (rank 0 = rarest). Elements beyond the slice rank after all
+	// ranked elements (treated as frequency 0 ties broken by id — they
+	// are rarer than everything, so rank them first instead; see
+	// buildRank).
+	rank    []int32
+	lists   map[uint32][]int32 // prefix token → vector ids
+	measure bitvec.Measure
+}
+
+// Options tunes the index.
+type Options struct {
+	Measure bitvec.Measure
+}
+
+// Build constructs the index from the item-level frequencies freqs
+// (higher = more common; any non-negative scale works, e.g. true p_i or
+// empirical counts) and similarity threshold b1 ∈ (0, 1].
+func Build(data []bitvec.Vector, freqs []float64, b1 float64, opt Options) (*Index, error) {
+	if len(data) == 0 {
+		return nil, errors.New("prefix: empty dataset")
+	}
+	if b1 <= 0 || b1 > 1 {
+		return nil, fmt.Errorf("prefix: b1 = %v outside (0, 1]", b1)
+	}
+	for i, f := range freqs {
+		if f < 0 {
+			return nil, fmt.Errorf("prefix: freqs[%d] = %v negative", i, f)
+		}
+	}
+	ix := &Index{
+		data:    data,
+		b1:      b1,
+		rank:    buildRank(freqs),
+		lists:   make(map[uint32][]int32),
+		measure: opt.Measure,
+	}
+	for id, x := range data {
+		for _, e := range ix.prefixTokens(x) {
+			ix.lists[e] = append(ix.lists[e], int32(id))
+		}
+	}
+	return ix, nil
+}
+
+// buildRank sorts element ids by ascending frequency (ties by id for
+// determinism) and returns the inverse permutation.
+func buildRank(freqs []float64) []int32 {
+	order := make([]int32, len(freqs))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		fa, fb := freqs[order[a]], freqs[order[b]]
+		if fa != fb {
+			return fa < fb
+		}
+		return order[a] < order[b]
+	})
+	rank := make([]int32, len(freqs))
+	for pos, e := range order {
+		rank[e] = int32(pos)
+	}
+	return rank
+}
+
+// rankOf orders elements; unknown elements (outside the frequency table)
+// are treated as rarer than all known ones.
+func (ix *Index) rankOf(e uint32) int64 {
+	if int(e) < len(ix.rank) {
+		return int64(ix.rank[e]) + 1<<32
+	}
+	// Unknown ⇒ frequency 0 ⇒ rarest; order among unknowns by id.
+	return int64(e)
+}
+
+// PrefixLen returns the prefix length for a set of size m at threshold
+// b1: m − ⌈b1·m⌉ + 1 (0 for the empty set).
+func PrefixLen(m int, b1 float64) int {
+	if m == 0 {
+		return 0
+	}
+	o := int(b1*float64(m) + 0.999999) // ⌈b1·m⌉ without float drift at integers
+	if o < 1 {
+		o = 1
+	}
+	l := m - o + 1
+	if l < 0 {
+		l = 0
+	}
+	return l
+}
+
+// prefixTokens returns x's prefix in the global rarity order.
+func (ix *Index) prefixTokens(x bitvec.Vector) []uint32 {
+	l := PrefixLen(x.Len(), ix.b1)
+	if l == 0 {
+		return nil
+	}
+	sorted := make([]uint32, x.Len())
+	copy(sorted, x.Bits())
+	sort.Slice(sorted, func(a, b int) bool {
+		return ix.rankOf(sorted[a]) < ix.rankOf(sorted[b])
+	})
+	return sorted[:l]
+}
+
+// Data returns the indexed vectors.
+func (ix *Index) Data() []bitvec.Vector { return ix.data }
+
+// Result mirrors the other indexes' result type.
+type Result struct {
+	ID         int
+	Similarity float64
+	Found      bool
+	Stats      Stats
+}
+
+// Stats counts query work.
+type Stats struct {
+	PrefixTokens int // tokens probed
+	Candidates   int // candidate occurrences over token lists
+	Distinct     int // distinct candidates verified
+}
+
+// Query returns the first vector with similarity at least the build
+// threshold b1. Exact: if any qualifying vector exists it is found.
+func (ix *Index) Query(q bitvec.Vector) Result {
+	res := Result{ID: -1}
+	tokens := ix.prefixTokens(q)
+	res.Stats.PrefixTokens = len(tokens)
+	seen := make(map[int32]struct{})
+	for _, e := range tokens {
+		for _, id := range ix.lists[e] {
+			res.Stats.Candidates++
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			res.Stats.Distinct++
+			if s := ix.measure.Similarity(q, ix.data[id]); s >= ix.b1 {
+				res.ID, res.Similarity, res.Found = int(id), s, true
+				return res
+			}
+		}
+	}
+	return res
+}
+
+// QueryBest verifies every candidate and returns the most similar.
+func (ix *Index) QueryBest(q bitvec.Vector) Result {
+	res := Result{ID: -1, Similarity: -1}
+	tokens := ix.prefixTokens(q)
+	res.Stats.PrefixTokens = len(tokens)
+	seen := make(map[int32]struct{})
+	for _, e := range tokens {
+		for _, id := range ix.lists[e] {
+			res.Stats.Candidates++
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			res.Stats.Distinct++
+			if s := ix.measure.Similarity(q, ix.data[id]); s > res.Similarity {
+				res.ID, res.Similarity, res.Found = int(id), s, true
+			}
+		}
+	}
+	if !res.Found {
+		res.Similarity = 0
+	}
+	return res
+}
+
+// Candidates returns the distinct candidate ids for q.
+func (ix *Index) Candidates(q bitvec.Vector) []int32 {
+	seen := make(map[int32]struct{})
+	var out []int32
+	for _, e := range ix.prefixTokens(q) {
+		for _, id := range ix.lists[e] {
+			if _, dup := seen[id]; !dup {
+				seen[id] = struct{}{}
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+package prefix
+
+import (
+	"testing"
+
+	"skewsim/internal/bitvec"
+	"skewsim/internal/datagen"
+	"skewsim/internal/dist"
+	"skewsim/internal/hashing"
+)
+
+func TestPrefixLen(t *testing.T) {
+	cases := []struct {
+		m    int
+		b1   float64
+		want int
+	}{
+		{0, 0.5, 0},
+		{10, 0.5, 6},   // o = 5, l = 10-5+1
+		{10, 1.0, 1},   // o = 10
+		{10, 0.05, 10}, // o = 1, l = 10
+		{4, 0.5, 3},    // o = 2
+		{3, 0.34, 2},   // o = ceil(1.02) = 2
+	}
+	for _, c := range cases {
+		if got := PrefixLen(c.m, c.b1); got != c.want {
+			t.Errorf("PrefixLen(%d, %v) = %d, want %d", c.m, c.b1, got, c.want)
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	data := []bitvec.Vector{bitvec.New(1)}
+	if _, err := Build(nil, []float64{0.1}, 0.5, Options{}); err == nil {
+		t.Error("empty data should fail")
+	}
+	for _, b1 := range []float64{0, -1, 1.5} {
+		if _, err := Build(data, []float64{0.1}, b1, Options{}); err == nil {
+			t.Errorf("b1=%v should fail", b1)
+		}
+	}
+	if _, err := Build(data, []float64{-0.1}, 0.5, Options{}); err == nil {
+		t.Error("negative frequency should fail")
+	}
+}
+
+func TestBuildRankOrdersByFrequency(t *testing.T) {
+	rank := buildRank([]float64{0.5, 0.1, 0.3, 0.1})
+	// Ascending frequency: 1 (0.1), 3 (0.1, tie by id), 2 (0.3), 0 (0.5).
+	want := []int32{3, 0, 2, 1}
+	for e, r := range rank {
+		if r != want[e] {
+			t.Errorf("rank[%d] = %d, want %d (full: %v)", e, r, want[e], rank)
+		}
+	}
+}
+
+func TestExactness(t *testing.T) {
+	// Prefix filtering is exact: every pair with B ≥ b1 must be found.
+	// Compare against brute force over a skewed dataset.
+	const n = 300
+	b1 := 0.5
+	p := dist.Zipf(400, 1, 0.4)
+	d := dist.MustProduct(p)
+	rng := hashing.NewSplitMix64(3)
+	data := d.SampleN(rng, n)
+	ix, err := Build(data, p, b1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range data {
+		if q.IsEmpty() {
+			continue
+		}
+		// Ground truth: all ids with B ≥ b1.
+		truth := map[int]bool{}
+		for id, x := range data {
+			if bitvec.BraunBlanquet(q, x) >= b1 {
+				truth[id] = true
+			}
+		}
+		cand := map[int]bool{}
+		for _, id := range ix.Candidates(q) {
+			cand[int(id)] = true
+		}
+		for id := range truth {
+			if !cand[id] {
+				t.Fatalf("query %d: qualifying vector %d missing from candidates (B=%v)",
+					qi, id, bitvec.BraunBlanquet(q, data[id]))
+			}
+		}
+	}
+}
+
+func TestQueryFindsPlantedPair(t *testing.T) {
+	const n = 300
+	b1 := 0.55
+	p := dist.Uniform(800, 0.1)
+	d := dist.MustProduct(p)
+	w, err := datagen.NewAdversarialWorkload(d, n, 40, b1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(w.Data, p, b1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, q := range w.Queries {
+		res := ix.Query(q)
+		if !res.Found {
+			t.Errorf("query %d: exact method failed to find planted pair (B=%v)",
+				k, bitvec.BraunBlanquet(q, w.Data[w.Targets[k]]))
+			continue
+		}
+		if res.Similarity < b1-1e-9 {
+			t.Errorf("returned similarity %v below threshold", res.Similarity)
+		}
+	}
+}
+
+func TestRareTokensShrinkCandidates(t *testing.T) {
+	// The prefix index keys on the rarest tokens: on data with ultra-rare
+	// tokens the candidate lists are tiny, while uniform-frequency data
+	// degenerates toward large scans. This is the paper's
+	// "prefix filtering wins iff ultra-rare tokens exist".
+	const n = 400
+	b1 := 0.5
+	rng := hashing.NewSplitMix64(9)
+
+	rareP := dist.TwoBlock(50, 0.3, 40000, 0.001)
+	rareD := dist.MustProduct(rareP)
+	rareData := rareD.SampleN(rng, n)
+	rareIx, err := Build(rareData, rareP, b1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	unifP := dist.Uniform(100, 0.3)
+	unifD := dist.MustProduct(unifP)
+	unifData := unifD.SampleN(rng, n)
+	unifIx, err := Build(unifData, unifP, b1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rareCand, unifCand := 0, 0
+	for i := 0; i < 50; i++ {
+		rareCand += len(rareIx.Candidates(rareData[i]))
+		unifCand += len(unifIx.Candidates(unifData[i]))
+	}
+	t.Logf("candidates: rare-token data %d, uniform data %d", rareCand, unifCand)
+	if rareCand >= unifCand {
+		t.Errorf("rare-token candidates (%d) should be far below uniform (%d)", rareCand, unifCand)
+	}
+}
+
+func TestQueryBestReturnsArgmax(t *testing.T) {
+	p := dist.Uniform(300, 0.15)
+	d := dist.MustProduct(p)
+	rng := hashing.NewSplitMix64(13)
+	data := d.SampleN(rng, 150)
+	ix, err := Build(data, p, 0.4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range data[:25] {
+		if q.IsEmpty() {
+			continue
+		}
+		res := ix.QueryBest(q)
+		// q itself is indexed; self-similarity 1 must dominate.
+		if !res.Found || res.Similarity < 1-1e-9 {
+			t.Errorf("self QueryBest = %+v", res)
+		}
+	}
+}
+
+func TestEmptyQuery(t *testing.T) {
+	data := []bitvec.Vector{bitvec.New(1, 2)}
+	ix, err := Build(data, []float64{0.1, 0.1, 0.1}, 0.5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := ix.Query(bitvec.New()); res.Found {
+		t.Error("empty query matched")
+	}
+	if got := ix.Candidates(bitvec.New()); len(got) != 0 {
+		t.Error("empty query has candidates")
+	}
+}
+
+func TestUnknownElementsRankRarest(t *testing.T) {
+	// Elements outside the frequency table are treated as rarest, so a
+	// vector containing one indexes under it.
+	data := []bitvec.Vector{bitvec.New(0, 99)} // 99 beyond freq table
+	ix, err := Build(data, []float64{0.5}, 0.9, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prefix length of a 2-set at b1=0.9: o = 2, l = 1 → only the rarest
+	// token (99) is indexed.
+	if _, ok := ix.lists[99]; !ok {
+		t.Error("unknown element should be the prefix token")
+	}
+	if _, ok := ix.lists[0]; ok {
+		t.Error("frequent element should not be in the length-1 prefix")
+	}
+}
+
+func TestStatsConsistency(t *testing.T) {
+	p := dist.Zipf(200, 1, 0.3)
+	d := dist.MustProduct(p)
+	rng := hashing.NewSplitMix64(15)
+	data := d.SampleN(rng, 100)
+	ix, err := Build(data, p, 0.5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range data[:20] {
+		res := ix.QueryBest(q)
+		if res.Stats.Distinct > res.Stats.Candidates {
+			t.Error("distinct exceeds candidates")
+		}
+		if res.Stats.PrefixTokens != PrefixLen(q.Len(), 0.5) {
+			t.Errorf("prefix tokens %d, want %d", res.Stats.PrefixTokens, PrefixLen(q.Len(), 0.5))
+		}
+	}
+}

@@ -1,0 +1,286 @@
+// Package rho solves the exponent equations that govern the running time
+// of every data structure in this library. The paper's bounds are all of
+// the form "query time O(n^ρ) where ρ solves <equation in the item-level
+// probabilities>"; this package evaluates those equations numerically so
+// the experiments can compare predicted exponents against measured ones.
+//
+// Probability vectors are represented as weighted Terms so that the
+// enormous conceptual dimensions of the paper's examples (e.g. n^0.9·C·log n
+// coordinates with probability n^-0.9 in §7.2) can be handled in closed
+// grouped form instead of materializing billions of entries.
+package rho
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Term is a group of W coordinates that all have item-level probability P.
+// W may be fractional: the equations are linear in the multiplicities.
+type Term struct {
+	P float64 // item-level probability, in [0, 1)
+	W float64 // multiplicity (number of coordinates), >= 0
+}
+
+// Terms is a grouped probability vector.
+type Terms []Term
+
+// FromProbs converts a plain probability vector to unit-weight Terms,
+// merging equal probabilities to keep the representation small.
+func FromProbs(ps []float64) Terms {
+	counts := make(map[float64]float64, 16)
+	order := make([]float64, 0, 16)
+	for _, p := range ps {
+		if _, ok := counts[p]; !ok {
+			order = append(order, p)
+		}
+		counts[p]++
+	}
+	out := make(Terms, 0, len(order))
+	for _, p := range order {
+		out = append(out, Term{P: p, W: counts[p]})
+	}
+	return out
+}
+
+// Validate checks that all probabilities are in [0, 1) and weights are
+// non-negative.
+func (ts Terms) Validate() error {
+	for i, t := range ts {
+		if math.IsNaN(t.P) || t.P < 0 || t.P >= 1 {
+			return fmt.Errorf("rho: term %d probability %v outside [0, 1)", i, t.P)
+		}
+		if math.IsNaN(t.W) || t.W < 0 {
+			return fmt.Errorf("rho: term %d weight %v negative", i, t.W)
+		}
+	}
+	return nil
+}
+
+// Count returns Σ W, the (weighted) number of coordinates.
+func (ts Terms) Count() float64 {
+	s := 0.0
+	for _, t := range ts {
+		s += t.W
+	}
+	return s
+}
+
+// SumP returns Σ W·p, the expected set size under the distribution.
+func (ts Terms) SumP() float64 {
+	s := 0.0
+	for _, t := range ts {
+		s += t.W * t.P
+	}
+	return s
+}
+
+// SumPPow returns Σ W·p^e. Zero-probability terms contribute 0 for any
+// e > 0 and W for e = 0 (the convention 0^0 = 1, matching the count of
+// coordinates).
+func (ts Terms) SumPPow(e float64) float64 {
+	s := 0.0
+	for _, t := range ts {
+		if t.P == 0 {
+			if e == 0 {
+				s += t.W
+			}
+			continue
+		}
+		s += t.W * math.Pow(t.P, e)
+	}
+	return s
+}
+
+// MinPositiveP returns the smallest strictly positive probability among
+// terms with positive weight, or 0 if there is none.
+func (ts Terms) MinPositiveP() float64 {
+	minP := 0.0
+	for _, t := range ts {
+		if t.W > 0 && t.P > 0 && (minP == 0 || t.P < minP) {
+			minP = t.P
+		}
+	}
+	return minP
+}
+
+// solver tolerances. The exponent space is [0, maxRho]; paper exponents
+// are in [0, 1] but we leave slack so misuse fails loudly in tests rather
+// than silently saturating.
+const (
+	tol    = 1e-12
+	maxRho = 64
+)
+
+var errNoRoot = errors.New("rho: equation has no root in [0, 64]")
+
+// bisectDecreasing finds x in [0, maxRho] with f(x) = 0 for a continuous
+// non-increasing f. If f(0) <= 0 it returns 0 (the constraint is already
+// satisfied); if f(maxRho) > 0 it returns an error.
+func bisectDecreasing(f func(float64) float64) (float64, error) {
+	if f(0) <= 0 {
+		return 0, nil
+	}
+	lo, hi := 0.0, float64(maxRho)
+	if f(hi) > 0 {
+		return 0, errNoRoot
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		if f(mid) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// AdversarialQueryRho returns the smallest ρ ≥ 0 with
+//
+//	Σ_{i∈q} p_i^ρ ≤ b1·|q|,
+//
+// the per-query exponent of Theorem 2. ts must describe exactly the
+// coordinates of the query (|q| = ts.Count()).
+func AdversarialQueryRho(ts Terms, b1 float64) (float64, error) {
+	if err := ts.Validate(); err != nil {
+		return 0, err
+	}
+	if b1 <= 0 || b1 > 1 {
+		return 0, fmt.Errorf("rho: b1 = %v outside (0, 1]", b1)
+	}
+	q := ts.Count()
+	if q == 0 {
+		return 0, errors.New("rho: empty query")
+	}
+	return bisectDecreasing(func(r float64) float64 {
+		return ts.SumPPow(r) - b1*q
+	})
+}
+
+// AdversarialDataRho returns ρ_u solving
+//
+//	Σ_{i∈[d]} p_i^{1+ρ} = b1·Σ_{i∈[d]} p_i,
+//
+// which controls preprocessing time and space in Theorem 2 (Lemma 9).
+func AdversarialDataRho(ts Terms, b1 float64) (float64, error) {
+	if err := ts.Validate(); err != nil {
+		return 0, err
+	}
+	if b1 <= 0 || b1 > 1 {
+		return 0, fmt.Errorf("rho: b1 = %v outside (0, 1]", b1)
+	}
+	target := b1 * ts.SumP()
+	if target == 0 {
+		return 0, errors.New("rho: distribution with zero mass")
+	}
+	return bisectDecreasing(func(r float64) float64 {
+		return ts.SumPPow(1+r) - target
+	})
+}
+
+// CorrelatedRho returns ρ solving Theorem 1's equation
+//
+//	Σ_{i∈[d]} p_i^{1+ρ} / p̂_i = Σ_{i∈[d]} p_i,   p̂_i = p_i(1−α) + α.
+//
+// The left side strictly exceeds the right at ρ = 0 whenever some p̂_i < 1
+// and decreases in ρ, so the root exists and is unique.
+func CorrelatedRho(ts Terms, alpha float64) (float64, error) {
+	if err := ts.Validate(); err != nil {
+		return 0, err
+	}
+	if alpha <= 0 || alpha > 1 {
+		return 0, fmt.Errorf("rho: alpha = %v outside (0, 1]", alpha)
+	}
+	target := ts.SumP()
+	if target == 0 {
+		return 0, errors.New("rho: distribution with zero mass")
+	}
+	return bisectDecreasing(func(r float64) float64 {
+		s := 0.0
+		for _, t := range ts {
+			if t.P == 0 {
+				continue
+			}
+			phat := t.P*(1-alpha) + alpha
+			s += t.W * math.Pow(t.P, 1+r) / phat
+		}
+		return s - target
+	})
+}
+
+// ChosenPathRho is the closed-form exponent log(b1)/log(b2) of the
+// Christiani–Pagh Chosen Path data structure for the (b1, b2)-approximate
+// Braun-Blanquet similarity problem. Requires 0 < b2 < b1 ≤ 1.
+func ChosenPathRho(b1, b2 float64) (float64, error) {
+	if !(0 < b2 && b2 < b1 && b1 <= 1) {
+		return 0, fmt.Errorf("rho: need 0 < b2 < b1 <= 1, got b1=%v b2=%v", b1, b2)
+	}
+	if b1 == 1 {
+		return 0, nil
+	}
+	return math.Log(b1) / math.Log(b2), nil
+}
+
+// CorrelatedChosenPath computes the ρ-value of solving a correlated-query
+// instance via the worst-case Chosen Path structure, following §7.2: the
+// expected similarity of the planted pair is b1 = α + (1−α)·b2 and of an
+// uncorrelated pair b2 = (Σ p²)/(Σ p). This is the blue curve of Figure 1.
+func CorrelatedChosenPath(ts Terms, alpha float64) (float64, error) {
+	if err := ts.Validate(); err != nil {
+		return 0, err
+	}
+	if alpha <= 0 || alpha > 1 {
+		return 0, fmt.Errorf("rho: alpha = %v outside (0, 1]", alpha)
+	}
+	sum := ts.SumP()
+	if sum == 0 {
+		return 0, errors.New("rho: distribution with zero mass")
+	}
+	b2 := ts.SumPPow(2) / sum
+	b1 := alpha + (1-alpha)*b2
+	return ChosenPathRho(b1, b2)
+}
+
+// PrefixFilterExponent models the cost exponent of prefix filtering with a
+// frequency-ordered inverted index: the cheapest exact strategy probes the
+// rarest query token, touching ≈ n·p_min candidates, i.e. n^γ with
+//
+//	γ = 1 + log_n(p_min),
+//
+// clamped to [0, 1]. With p_min = n^-0.9 this yields the paper's Ω(n^0.1);
+// with all p_i = Ω(1) it yields the trivial exponent 1 ("no non-trivial
+// worst-case guarantee").
+func PrefixFilterExponent(ts Terms, n float64) (float64, error) {
+	if err := ts.Validate(); err != nil {
+		return 0, err
+	}
+	if !(n >= 2) {
+		return 0, fmt.Errorf("rho: n = %v too small", n)
+	}
+	minP := ts.MinPositiveP()
+	if minP == 0 {
+		return 1, nil
+	}
+	g := 1 + math.Log(minP)/math.Log(n)
+	if g < 0 {
+		g = 0
+	}
+	if g > 1 {
+		g = 1
+	}
+	return g, nil
+}
+
+// UniformRhoClosedForm is the no-skew sanity anchor: for p_i = p for all i,
+// Theorem 1's equation reduces to p^ρ = p̂, i.e.
+//
+//	ρ = log(p(1−α)+α) / log(p),
+//
+// which equals the Chosen Path exponent log(b1)/log(b2) with b1 = p̂,
+// b2 = p. Used by tests to pin the solver against algebra.
+func UniformRhoClosedForm(p, alpha float64) float64 {
+	phat := p*(1-alpha) + alpha
+	return math.Log(phat) / math.Log(p)
+}

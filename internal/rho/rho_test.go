@@ -1,0 +1,489 @@
+package rho
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestFromProbsGroups(t *testing.T) {
+	ts := FromProbs([]float64{0.25, 0.1, 0.25, 0.1, 0.1})
+	if len(ts) != 2 {
+		t.Fatalf("got %d groups: %v", len(ts), ts)
+	}
+	if !almostEqual(ts.Count(), 5, 1e-12) {
+		t.Errorf("Count = %v", ts.Count())
+	}
+	if !almostEqual(ts.SumP(), 0.25*2+0.1*3, 1e-12) {
+		t.Errorf("SumP = %v", ts.SumP())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Terms{
+		{{P: -0.1, W: 1}},
+		{{P: 1.0, W: 1}},
+		{{P: 0.2, W: -1}},
+		{{P: math.NaN(), W: 1}},
+	}
+	for i, ts := range bad {
+		if err := ts.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	good := Terms{{P: 0, W: 3}, {P: 0.999, W: 0}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid terms rejected: %v", err)
+	}
+}
+
+func TestSumPPowConventions(t *testing.T) {
+	ts := Terms{{P: 0, W: 2}, {P: 0.5, W: 4}}
+	if got := ts.SumPPow(0); !almostEqual(got, 6, 1e-12) {
+		t.Errorf("e=0: %v, want 6 (0^0 = 1)", got)
+	}
+	if got := ts.SumPPow(1); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("e=1: %v, want 2", got)
+	}
+	if got := ts.SumPPow(2); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("e=2: %v, want 1", got)
+	}
+}
+
+func TestMinPositiveP(t *testing.T) {
+	ts := Terms{{P: 0, W: 5}, {P: 0.3, W: 1}, {P: 0.01, W: 0}, {P: 0.2, W: 2}}
+	if got := ts.MinPositiveP(); got != 0.2 {
+		t.Errorf("MinPositiveP = %v (zero-weight terms must be ignored)", got)
+	}
+	if got := (Terms{{P: 0, W: 1}}).MinPositiveP(); got != 0 {
+		t.Errorf("all-zero MinPositiveP = %v", got)
+	}
+}
+
+// --- AdversarialQueryRho -------------------------------------------------
+
+func TestAdversarialQueryRhoUniformClosedForm(t *testing.T) {
+	// Uniform p: equation m·p^ρ = b1·m → ρ = log(b1)/log(p).
+	p, b1 := 0.125, 1.0/3
+	ts := Terms{{P: p, W: 100}}
+	got, err := AdversarialQueryRho(ts, b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(b1) / math.Log(p)
+	if !almostEqual(got, want, 1e-9) {
+		t.Errorf("rho = %v, want %v", got, want)
+	}
+}
+
+func TestAdversarialQueryRhoPaperExample1(t *testing.T) {
+	// §7.1: half pa=1/4, half pb=n^-0.9, b1=1/3. As n grows the exponent
+	// approaches log(2/3)/log(1/4) ≈ 0.2925.
+	want := math.Log(2.0/3) / math.Log(0.25)
+	prev := math.Inf(1)
+	for _, n := range []float64{1e6, 1e9, 1e12, 1e24} {
+		pb := math.Pow(n, -0.9)
+		ts := Terms{{P: 0.25, W: 50}, {P: pb, W: 50}}
+		got, err := AdversarialQueryRho(ts, 1.0/3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got > prev+1e-12 || got < want-1e-6 {
+			t.Errorf("n=%g: rho = %v not decreasing toward %v (prev %v)", n, got, want, prev)
+		}
+		prev = got
+	}
+	if prev > want+0.005 {
+		t.Errorf("rho at n=1e24 is %v, want → %v", prev, want)
+	}
+	if want > 0.293 {
+		t.Errorf("limit %v should be ≤ 0.293 as printed in the paper", want)
+	}
+}
+
+func TestAdversarialQueryRhoPaperExample2(t *testing.T) {
+	// §7.1 with b1=2/3: ρ should tend to 0 as n grows (rate ~1/ln n).
+	prev := math.Inf(1)
+	for _, n := range []float64{1e3, 1e6, 1e12, 1e24, 1e60} {
+		pb := math.Pow(n, -0.9)
+		ts := Terms{{P: 0.25, W: 50}, {P: pb, W: 50}}
+		got, err := AdversarialQueryRho(ts, 2.0/3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got > prev+1e-12 {
+			t.Errorf("rho not decreasing in n: %v -> %v", prev, got)
+		}
+		prev = got
+	}
+	if prev > 0.01 {
+		t.Errorf("rho at n=1e60 is %v, should be near 0", prev)
+	}
+}
+
+func TestAdversarialQueryRhoAlreadySatisfied(t *testing.T) {
+	// If Σ p^0 = |q| ≤ b1|q| can't happen for b1<1, but a query whose
+	// constraint is met at ρ=0 must return 0: take b1 = 1.
+	ts := Terms{{P: 0.3, W: 10}}
+	got, err := AdversarialQueryRho(ts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("rho = %v, want 0", got)
+	}
+}
+
+func TestAdversarialQueryRhoErrors(t *testing.T) {
+	ts := Terms{{P: 0.3, W: 10}}
+	if _, err := AdversarialQueryRho(ts, 0); err == nil {
+		t.Error("b1=0 should fail")
+	}
+	if _, err := AdversarialQueryRho(ts, 1.5); err == nil {
+		t.Error("b1>1 should fail")
+	}
+	if _, err := AdversarialQueryRho(Terms{}, 0.5); err == nil {
+		t.Error("empty query should fail")
+	}
+	if _, err := AdversarialQueryRho(Terms{{P: -1, W: 1}}, 0.5); err == nil {
+		t.Error("invalid terms should fail")
+	}
+}
+
+func TestAdversarialQueryRhoMonotoneInSkew(t *testing.T) {
+	// Splitting mass into a rarer/more-frequent pair with the same count
+	// at the same b1 should not increase the exponent beyond the uniform
+	// case when rare bits help: spread p into {p·k, p/k} and verify the
+	// solved rho never exceeds uniform rho by more than epsilon... The
+	// clean monotone fact: lowering every probability lowers rho.
+	base := Terms{{P: 0.25, W: 100}}
+	lower := Terms{{P: 0.1, W: 100}}
+	r1, err1 := AdversarialQueryRho(base, 0.4)
+	r2, err2 := AdversarialQueryRho(lower, 0.4)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if r2 >= r1 {
+		t.Errorf("lower probabilities must give smaller rho: %v vs %v", r2, r1)
+	}
+}
+
+// --- AdversarialDataRho --------------------------------------------------
+
+func TestAdversarialDataRhoUniform(t *testing.T) {
+	// Uniform: Σ p^{1+ρ} = b1 Σ p → p^ρ = b1 → ρ = log b1 / log p.
+	p, b1 := 0.2, 0.5
+	ts := Terms{{P: p, W: 30}}
+	got, err := AdversarialDataRho(ts, b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(b1) / math.Log(p)
+	if !almostEqual(got, want, 1e-9) {
+		t.Errorf("rho = %v, want %v", got, want)
+	}
+}
+
+func TestAdversarialDataRhoSkewRaisesPreprocessing(t *testing.T) {
+	// Unlike the query exponent, the *data* exponent grows under skew at
+	// fixed Σp: p ↦ p^{1+ρ} is convex, so spreading the mass raises the
+	// left side of Σ p^{1+ρ} = b1·Σp at every ρ and pushes the root up.
+	// (Skew helps queries, not preprocessing.)
+	uniform := Terms{{P: 0.25, W: 64}}
+	skew := Terms{{P: 0.4, W: 32}, {P: 0.1, W: 32}}
+	if !almostEqual(uniform.SumP(), skew.SumP(), 1e-12) {
+		t.Fatal("test setup: sums differ")
+	}
+	ru, _ := AdversarialDataRho(uniform, 0.5)
+	rs, _ := AdversarialDataRho(skew, 0.5)
+	if rs <= ru {
+		t.Errorf("skewed data rho %v should exceed uniform %v (convexity)", rs, ru)
+	}
+}
+
+func TestAdversarialDataRhoErrors(t *testing.T) {
+	if _, err := AdversarialDataRho(Terms{{P: 0, W: 5}}, 0.5); err == nil {
+		t.Error("zero-mass distribution should fail")
+	}
+	if _, err := AdversarialDataRho(Terms{{P: 0.2, W: 1}}, -1); err == nil {
+		t.Error("bad b1 should fail")
+	}
+}
+
+// --- CorrelatedRho -------------------------------------------------------
+
+func TestCorrelatedRhoUniformMatchesClosedForm(t *testing.T) {
+	for _, p := range []float64{0.05, 0.2, 0.45} {
+		for _, alpha := range []float64{0.3, 2.0 / 3, 0.9} {
+			ts := Terms{{P: p, W: 50}}
+			got, err := CorrelatedRho(ts, alpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := UniformRhoClosedForm(p, alpha)
+			if !almostEqual(got, want, 1e-9) {
+				t.Errorf("p=%v alpha=%v: rho = %v, want %v", p, alpha, got, want)
+			}
+		}
+	}
+}
+
+func TestCorrelatedRhoRecoversChosenPathOnUniform(t *testing.T) {
+	// The paper's headline discussion: in the balanced case our bound
+	// equals Chosen Path's optimal bound.
+	p, alpha := 0.2, 2.0/3
+	ts := Terms{{P: p, W: 1000}}
+	ours, err := CorrelatedRho(ts, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := CorrelatedChosenPath(ts, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CP's b1 = alpha + (1-alpha)p = p̂, b2 = p: identical equations.
+	if !almostEqual(ours, cp, 1e-9) {
+		t.Errorf("uniform case: ours %v vs chosen path %v", ours, cp)
+	}
+}
+
+func TestCorrelatedRhoBeatsChosenPathUnderSkew(t *testing.T) {
+	// Figure 1's qualitative claim: for the half-p/half-p/8 profile our
+	// rho is strictly below Chosen Path for every p.
+	alpha := 2.0 / 3
+	for _, p := range []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5} {
+		ts := Terms{{P: p, W: 500}, {P: p / 8, W: 500}}
+		ours, err := CorrelatedRho(ts, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp, err := CorrelatedChosenPath(ts, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ours >= cp {
+			t.Errorf("p=%v: ours %v should be < chosen path %v", p, ours, cp)
+		}
+	}
+}
+
+func TestCorrelatedRhoPaperSection72Example(t *testing.T) {
+	// 4·C·log n bits at 1/4 and n^0.9·C·log n bits at n^-0.9, α = 2/3:
+	// rho must tend to 0 as n grows.
+	alpha := 2.0 / 3
+	Clog := 100.0
+	prev := math.Inf(1)
+	for _, n := range []float64{1e3, 1e6, 1e12, 1e24, 1e60} {
+		ts := Terms{
+			{P: 0.25, W: 4 * Clog},
+			{P: math.Pow(n, -0.9), W: math.Pow(n, 0.9) * Clog},
+		}
+		got, err := CorrelatedRho(ts, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got > prev+1e-12 {
+			t.Errorf("rho not decreasing: %v -> %v", prev, got)
+		}
+		prev = got
+	}
+	if prev > 0.01 {
+		t.Errorf("rho at n=1e60 is %v, want ~0", prev)
+	}
+}
+
+func TestCorrelatedRhoAlphaOne(t *testing.T) {
+	// alpha=1 → p̂=1 → equation Σ p^{1+ρ} = Σ p holds at ρ=0.
+	ts := Terms{{P: 0.3, W: 10}, {P: 0.1, W: 5}}
+	got, err := CorrelatedRho(ts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("alpha=1 rho = %v, want 0", got)
+	}
+}
+
+func TestCorrelatedRhoMonotoneInAlpha(t *testing.T) {
+	// Higher correlation → easier problem → smaller rho.
+	ts := Terms{{P: 0.25, W: 100}, {P: 0.05, W: 100}}
+	prev := math.Inf(1)
+	for _, alpha := range []float64{0.2, 0.4, 0.6, 0.8, 0.99} {
+		got, err := CorrelatedRho(ts, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got >= prev {
+			t.Errorf("rho should decrease with alpha: alpha=%v rho=%v prev=%v", alpha, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestCorrelatedRhoErrors(t *testing.T) {
+	ts := Terms{{P: 0.2, W: 1}}
+	for _, a := range []float64{0, -0.5, 1.5} {
+		if _, err := CorrelatedRho(ts, a); err == nil {
+			t.Errorf("alpha=%v should fail", a)
+		}
+	}
+	if _, err := CorrelatedRho(Terms{{P: 0, W: 4}}, 0.5); err == nil {
+		t.Error("zero-mass should fail")
+	}
+}
+
+func TestCorrelatedRhoInUnitIntervalProperty(t *testing.T) {
+	f := func(seedP, seedA uint16) bool {
+		p1 := 0.01 + 0.49*float64(seedP)/65535
+		alpha := 0.05 + 0.9*float64(seedA)/65535
+		ts := Terms{{P: p1, W: 10}, {P: p1 / 4, W: 90}}
+		r, err := CorrelatedRho(ts, alpha)
+		if err != nil {
+			return false
+		}
+		return r >= 0 && r <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- ChosenPathRho & CorrelatedChosenPath --------------------------------
+
+func TestChosenPathRhoKnownValues(t *testing.T) {
+	got, err := ChosenPathRho(1.0/3, 0.125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(1.0/3) / math.Log(0.125) // ≈ 0.528
+	if !almostEqual(got, want, 1e-12) {
+		t.Errorf("rho = %v, want %v", got, want)
+	}
+	if want < 0.528 {
+		t.Errorf("paper quotes ≥ 0.528, got %v", want)
+	}
+
+	got2, err := ChosenPathRho(2.0/3, 0.125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got2, 0.19498, 1e-4) { // paper prints 0.194…
+		t.Errorf("rho = %v, want ≈0.195", got2)
+	}
+}
+
+func TestChosenPathRhoEdges(t *testing.T) {
+	if r, err := ChosenPathRho(1, 0.5); err != nil || r != 0 {
+		t.Errorf("b1=1 should give rho 0: %v, %v", r, err)
+	}
+	for _, c := range [][2]float64{{0.5, 0.5}, {0.3, 0.5}, {0, 0.1}, {0.5, 0}, {1.2, 0.5}} {
+		if _, err := ChosenPathRho(c[0], c[1]); err == nil {
+			t.Errorf("b1=%v b2=%v should fail", c[0], c[1])
+		}
+	}
+}
+
+func TestCorrelatedChosenPathFigure1Formula(t *testing.T) {
+	// For half-p/half-p/8: b2 = (65/72)·p, b1 = α + (1−α)b2.
+	p, alpha := 0.3, 2.0/3
+	ts := Terms{{P: p, W: 500}, {P: p / 8, W: 500}}
+	got, err := CorrelatedChosenPath(ts, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := 65.0 / 72 * p
+	b1 := alpha + (1-alpha)*b2
+	want := math.Log(b1) / math.Log(b2)
+	if !almostEqual(got, want, 1e-9) {
+		t.Errorf("rho = %v, want %v", got, want)
+	}
+}
+
+func TestCorrelatedChosenPathErrors(t *testing.T) {
+	if _, err := CorrelatedChosenPath(Terms{{P: 0, W: 1}}, 0.5); err == nil {
+		t.Error("zero mass should fail")
+	}
+	if _, err := CorrelatedChosenPath(Terms{{P: 0.2, W: 1}}, 0); err == nil {
+		t.Error("alpha=0 should fail")
+	}
+}
+
+// --- PrefixFilterExponent ------------------------------------------------
+
+func TestPrefixFilterExponentRareTokens(t *testing.T) {
+	// p_min = n^-0.9 → exponent 0.1 (the paper's Ω(n^0.1)).
+	n := float64(1 << 20)
+	pmin := math.Pow(n, -0.9)
+	ts := Terms{{P: 0.25, W: 10}, {P: pmin, W: 10}}
+	got, err := PrefixFilterExponent(ts, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 0.1, 1e-9) {
+		t.Errorf("exponent = %v, want 0.1", got)
+	}
+}
+
+func TestPrefixFilterExponentNoRareTokens(t *testing.T) {
+	// All probabilities Ω(1) → trivial exponent 1 ("prefix filtering has
+	// ρ-value 1" in Figure 1's caption).
+	ts := Terms{{P: 0.25, W: 100}, {P: 0.03125, W: 100}}
+	got, err := PrefixFilterExponent(ts, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 0.8 {
+		t.Errorf("exponent = %v, want near 1 for constant probabilities", got)
+	}
+}
+
+func TestPrefixFilterExponentClampsAtZero(t *testing.T) {
+	ts := Terms{{P: 1e-12, W: 5}}
+	got, err := PrefixFilterExponent(ts, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("exponent = %v, want clamp to 0", got)
+	}
+}
+
+func TestPrefixFilterExponentErrors(t *testing.T) {
+	if _, err := PrefixFilterExponent(Terms{{P: 0.1, W: 1}}, 1); err == nil {
+		t.Error("n=1 should fail")
+	}
+	if _, err := PrefixFilterExponent(Terms{{P: -1, W: 1}}, 100); err == nil {
+		t.Error("invalid terms should fail")
+	}
+	if g, err := PrefixFilterExponent(Terms{{P: 0, W: 1}}, 100); err != nil || g != 1 {
+		t.Errorf("all-zero distribution: %v, %v (want trivial exponent)", g, err)
+	}
+}
+
+// --- bisection internals -------------------------------------------------
+
+func TestBisectDecreasingExactRoot(t *testing.T) {
+	// f(x) = 2 − x has root 2.
+	got, err := bisectDecreasing(func(x float64) float64 { return 2 - x })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 2, 1e-9) {
+		t.Errorf("root = %v", got)
+	}
+}
+
+func TestBisectDecreasingAlreadyNegative(t *testing.T) {
+	got, err := bisectDecreasing(func(x float64) float64 { return -1 })
+	if err != nil || got != 0 {
+		t.Errorf("got %v, %v", got, err)
+	}
+}
+
+func TestBisectDecreasingNoRoot(t *testing.T) {
+	if _, err := bisectDecreasing(func(x float64) float64 { return 1 }); err == nil {
+		t.Error("expected error when f stays positive")
+	}
+}

@@ -1,0 +1,247 @@
+// Package splitsearch implements the frequent/rare query-splitting
+// strategy of the paper's introduction (§1, "Motivating example") as a
+// working data structure: partition the universe into a frequent part F
+// (the most frequent items covering half the expected set mass) and a
+// rare part R, index the restrictions of the dataset to each part
+// separately, and answer a query by searching both restrictions.
+//
+// For any x with B(x, q) ≥ b1, writing ℓ for the fraction of the overlap
+// that lands in F, either |x∩q∩F| ≥ ℓ|q| or |x∩q∩R| ≥ (b1−ℓ)|q|; the two
+// sub-searches cover both cases. Under the balanced-split assumption
+// (|x∩F| ≈ |x∩R| ≈ |x|/2, which holds by construction of F for typical
+// vectors), the restricted Braun-Blanquet thresholds are 2ℓ and
+// 2(b1−ℓ). Candidates from either side are verified against the full
+// vectors, so the structure never returns a false positive.
+//
+// SkewSearch subsumes this two-level scheme (its thresholds adapt per
+// item, not per half), which is precisely the paper's point; the package
+// exists to make the introduction's argument executable and to serve as
+// a baseline in the ablation benchmarks.
+package splitsearch
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"skewsim/internal/bitvec"
+	"skewsim/internal/core"
+	"skewsim/internal/dist"
+)
+
+// Options tunes the structure.
+type Options struct {
+	// Ell is the overlap fraction assigned to the frequent side. The
+	// guarantee covers overlaps splitting ℓ : b1−ℓ; 0 means b1/2
+	// (symmetric). Must lie in (0, b1).
+	Ell float64
+	// Core options forwarded to both sub-indexes.
+	Seed        uint64
+	Repetitions int
+	Measure     bitvec.Measure
+}
+
+// Index is a built split-search structure.
+type Index struct {
+	data      []bitvec.Vector
+	inFreq    []bool // universe partition mask
+	freq      *core.Index
+	rare      *core.Index
+	b1        float64
+	ell       float64
+	measure   bitvec.Measure
+	freqData  []bitvec.Vector
+	rareData  []bitvec.Vector
+	splitSize int // |F|
+}
+
+// Build partitions the universe of d by descending frequency until half
+// of Σp is covered, restricts every vector, and indexes both parts for
+// adversarial queries.
+func Build(d *dist.Product, data []bitvec.Vector, b1 float64, opt Options) (*Index, error) {
+	if d == nil {
+		return nil, errors.New("splitsearch: nil distribution")
+	}
+	if len(data) == 0 {
+		return nil, errors.New("splitsearch: empty dataset")
+	}
+	if b1 <= 0 || b1 > 1 {
+		return nil, fmt.Errorf("splitsearch: b1 = %v outside (0, 1]", b1)
+	}
+	ell := opt.Ell
+	if ell == 0 {
+		ell = b1 / 2
+	}
+	if ell <= 0 || ell >= b1 {
+		return nil, fmt.Errorf("splitsearch: Ell = %v outside (0, b1)", ell)
+	}
+
+	inFreq := partitionByMass(d)
+	splitSize := 0
+	for _, f := range inFreq {
+		if f {
+			splitSize++
+		}
+	}
+	if splitSize == 0 || splitSize == d.Dim() {
+		return nil, errors.New("splitsearch: distribution has no skew to split on")
+	}
+
+	// Restricted probability vectors: the complement part is zeroed so
+	// the sub-engines treat out-of-part items as absent.
+	freqProbs := make([]float64, d.Dim())
+	rareProbs := make([]float64, d.Dim())
+	for i := 0; i < d.Dim(); i++ {
+		if inFreq[i] {
+			freqProbs[i] = d.P(i)
+		} else {
+			rareProbs[i] = d.P(i)
+		}
+	}
+	freqD, err := dist.NewProduct(freqProbs)
+	if err != nil {
+		return nil, err
+	}
+	rareD, err := dist.NewProduct(rareProbs)
+	if err != nil {
+		return nil, err
+	}
+
+	ix := &Index{
+		data:      data,
+		inFreq:    inFreq,
+		b1:        b1,
+		ell:       ell,
+		measure:   opt.Measure,
+		splitSize: splitSize,
+	}
+	ix.freqData = make([]bitvec.Vector, len(data))
+	ix.rareData = make([]bitvec.Vector, len(data))
+	for id, x := range data {
+		ix.freqData[id], ix.rareData[id] = ix.split(x)
+	}
+
+	b1F := clampThreshold(2 * ell)
+	b1R := clampThreshold(2 * (b1 - ell))
+	copt := core.Options{Seed: opt.Seed, Repetitions: opt.Repetitions, Measure: opt.Measure}
+	ix.freq, err = core.BuildAdversarial(freqD, ix.freqData, b1F, copt)
+	if err != nil {
+		return nil, fmt.Errorf("splitsearch: frequent side: %w", err)
+	}
+	copt.Seed = opt.Seed + 0x9e3779b97f4a7c15
+	ix.rare, err = core.BuildAdversarial(rareD, ix.rareData, b1R, copt)
+	if err != nil {
+		return nil, fmt.Errorf("splitsearch: rare side: %w", err)
+	}
+	return ix, nil
+}
+
+func clampThreshold(t float64) float64 {
+	if t > 1 {
+		return 1
+	}
+	return t
+}
+
+// partitionByMass marks the most frequent items covering half of Σp.
+func partitionByMass(d *dist.Product) []bool {
+	order := make([]int, d.Dim())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return d.P(order[a]) > d.P(order[b]) })
+	half := d.ExpectedSize() / 2
+	mask := make([]bool, d.Dim())
+	acc := 0.0
+	for _, i := range order {
+		if acc >= half {
+			break
+		}
+		mask[i] = true
+		acc += d.P(i)
+	}
+	return mask
+}
+
+// split restricts x to the two universe parts.
+func (ix *Index) split(x bitvec.Vector) (freq, rare bitvec.Vector) {
+	var fb, rb []uint32
+	for _, b := range x.Bits() {
+		if int(b) < len(ix.inFreq) && ix.inFreq[b] {
+			fb = append(fb, b)
+		} else {
+			rb = append(rb, b)
+		}
+	}
+	return bitvec.FromSorted(fb), bitvec.FromSorted(rb)
+}
+
+// SplitSize returns |F|, the number of items on the frequent side.
+func (ix *Index) SplitSize() int { return ix.splitSize }
+
+// Data returns the indexed vectors.
+func (ix *Index) Data() []bitvec.Vector { return ix.data }
+
+// Result mirrors the other indexes' result type.
+type Result struct {
+	ID         int
+	Similarity float64
+	Found      bool
+	Stats      Stats
+}
+
+// Stats aggregates the two sub-searches.
+type Stats struct {
+	FreqCandidates int
+	RareCandidates int
+	Verified       int
+}
+
+// Query returns a vector with full similarity at least b1, gathering
+// candidates from both restricted searches and verifying against the
+// complete vectors.
+func (ix *Index) Query(q bitvec.Vector) Result {
+	res := Result{ID: -1}
+	qF, qR := ix.split(q)
+	seen := make(map[int32]struct{})
+	try := func(ids []int32) bool {
+		for _, id := range ids {
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			res.Stats.Verified++
+			if s := ix.measure.Similarity(q, ix.data[id]); s >= ix.b1 {
+				res.ID, res.Similarity, res.Found = int(id), s, true
+				return true
+			}
+		}
+		return false
+	}
+	fc := ix.freq.Candidates(qF)
+	res.Stats.FreqCandidates = len(fc)
+	if try(fc) {
+		return res
+	}
+	rc := ix.rare.Candidates(qR)
+	res.Stats.RareCandidates = len(rc)
+	try(rc)
+	return res
+}
+
+// Candidates returns the distinct candidates from both sides (join
+// driver interface).
+func (ix *Index) Candidates(q bitvec.Vector) []int32 {
+	qF, qR := ix.split(q)
+	seen := make(map[int32]struct{})
+	var out []int32
+	for _, ids := range [][]int32{ix.freq.Candidates(qF), ix.rare.Candidates(qR)} {
+		for _, id := range ids {
+			if _, dup := seen[id]; !dup {
+				seen[id] = struct{}{}
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package splitsearch
+
+import (
+	"testing"
+
+	"skewsim/internal/bitvec"
+	"skewsim/internal/datagen"
+	"skewsim/internal/dist"
+)
+
+func harmonicLike() *dist.Product {
+	// Two-block stand-in for the motivating example: 200 frequent items
+	// at 0.3 (mass 60) and 6000 rare items at 0.01 (mass 60).
+	return dist.MustProduct(dist.TwoBlock(200, 0.3, 6000, 0.01))
+}
+
+func TestBuildValidation(t *testing.T) {
+	d := harmonicLike()
+	data := []bitvec.Vector{bitvec.New(1, 2)}
+	if _, err := Build(nil, data, 0.5, Options{}); err == nil {
+		t.Error("nil distribution should fail")
+	}
+	if _, err := Build(d, nil, 0.5, Options{}); err == nil {
+		t.Error("empty data should fail")
+	}
+	for _, b1 := range []float64{0, 1.5} {
+		if _, err := Build(d, data, b1, Options{}); err == nil {
+			t.Errorf("b1=%v should fail", b1)
+		}
+	}
+	if _, err := Build(d, data, 0.5, Options{Ell: 0.5}); err == nil {
+		t.Error("Ell >= b1 should fail")
+	}
+	if _, err := Build(d, data, 0.5, Options{Ell: -0.1}); err == nil {
+		t.Error("negative Ell should fail")
+	}
+	// A fully uniform distribution cannot be split: the frequent side
+	// swallows roughly half the items, which is fine — only a
+	// single-item universe degenerates.
+	uni := dist.MustProduct([]float64{0.3})
+	if _, err := Build(uni, data, 0.5, Options{}); err == nil {
+		t.Error("unsplittable universe should fail")
+	}
+}
+
+func TestPartitionCoversHalfMass(t *testing.T) {
+	d := harmonicLike()
+	mask := partitionByMass(d)
+	acc := 0.0
+	for i, f := range mask {
+		if f {
+			acc += d.P(i)
+		}
+	}
+	if acc < d.ExpectedSize()/2-0.31 || acc > d.ExpectedSize()/2+0.31 {
+		t.Errorf("frequent mass %v, want ~%v", acc, d.ExpectedSize()/2)
+	}
+	// With this profile the frequent side must be exactly the 0.3 block.
+	for i := 0; i < 200; i++ {
+		if !mask[i] {
+			t.Fatalf("frequent item %d not in F", i)
+		}
+	}
+}
+
+func TestSplitPartitionsVectors(t *testing.T) {
+	d := harmonicLike()
+	w, _ := datagen.NewAdversarialWorkload(d, 50, 1, 0.5, 3)
+	ix, err := Build(d, w.Data, 0.5, Options{Seed: 1, Repetitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, x := range w.Data {
+		f, r := ix.freqData[id], ix.rareData[id]
+		if f.Len()+r.Len() != x.Len() {
+			t.Fatal("split lost bits")
+		}
+		if f.IntersectionSize(r) != 0 {
+			t.Fatal("split parts overlap")
+		}
+		if !f.Union(r).Equal(x) {
+			t.Fatal("split does not reassemble")
+		}
+	}
+}
+
+func TestQueryRecallOnPlantedWorkload(t *testing.T) {
+	d := harmonicLike()
+	const b1 = 0.6
+	w, err := datagen.NewAdversarialWorkload(d, 300, 40, b1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(d, w.Data, b1, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, q := range w.Queries {
+		res := ix.Query(q)
+		if res.Found {
+			found++
+			if got := bitvec.BraunBlanquet(q, w.Data[res.ID]); got < b1-1e-9 {
+				t.Errorf("returned similarity %v below b1", got)
+			}
+		}
+	}
+	if rate := float64(found) / float64(len(w.Queries)); rate < 0.8 {
+		t.Errorf("split-search recall %v, want ≥ 0.8", rate)
+	}
+}
+
+func TestQueryNoFalsePositives(t *testing.T) {
+	d := harmonicLike()
+	w, _ := datagen.NewAdversarialWorkload(d, 200, 20, 0.6, 9)
+	ix, err := Build(d, w.Data, 0.6, Options{Seed: 2, Repetitions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range w.Queries {
+		res := ix.Query(q)
+		if res.Found && res.Similarity < 0.6-1e-9 {
+			t.Fatal("sub-threshold result returned")
+		}
+	}
+}
+
+func TestCandidatesDistinct(t *testing.T) {
+	d := harmonicLike()
+	w, _ := datagen.NewAdversarialWorkload(d, 150, 5, 0.5, 11)
+	ix, err := Build(d, w.Data, 0.5, Options{Seed: 3, Repetitions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range w.Queries {
+		ids := ix.Candidates(q)
+		seen := map[int32]bool{}
+		for _, id := range ids {
+			if seen[id] {
+				t.Fatal("duplicate candidate")
+			}
+			seen[id] = true
+		}
+	}
+	if len(ix.Data()) != 150 || ix.SplitSize() == 0 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestEmptyQuery(t *testing.T) {
+	d := harmonicLike()
+	w, _ := datagen.NewAdversarialWorkload(d, 50, 1, 0.5, 13)
+	ix, err := Build(d, w.Data, 0.5, Options{Seed: 4, Repetitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := ix.Query(bitvec.New()); res.Found {
+		t.Error("empty query matched")
+	}
+}

@@ -1,0 +1,200 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness needs: summary statistics, quantiles, histograms, and ordinary
+// least squares on log-log data for fitting empirical cost exponents
+// against the ρ values predicted by the theory.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the usual moments of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Var    float64 // unbiased sample variance
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary of xs. It returns a zero Summary for an
+// empty sample.
+func Summarize(xs []float64) Summary {
+	n := len(xs)
+	if n == 0 {
+		return Summary{}
+	}
+	s := Summary{N: n, Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(n)
+	if n > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Var = ss / float64(n-1)
+		s.Std = math.Sqrt(s.Var)
+	}
+	s.Median = Quantile(xs, 0.5)
+	return s
+}
+
+// Quantile returns the q-th quantile (q in [0,1]) of xs using linear
+// interpolation between order statistics. It copies and sorts internally.
+// Returns NaN for an empty sample or q outside [0,1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean, or NaN for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Linear is a fitted line y = Intercept + Slope·x with goodness of fit R².
+type Linear struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// FitLine performs ordinary least squares on (x, y) pairs. It needs at
+// least two distinct x values.
+func FitLine(x, y []float64) (Linear, error) {
+	if len(x) != len(y) {
+		return Linear{}, fmt.Errorf("stats: length mismatch %d vs %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return Linear{}, errors.New("stats: need at least 2 points")
+	}
+	mx, my := Mean(x), Mean(y)
+	sxx, sxy, syy := 0.0, 0.0, 0.0
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Linear{}, errors.New("stats: all x values identical")
+	}
+	slope := sxy / sxx
+	fit := Linear{Slope: slope, Intercept: my - slope*mx}
+	if syy == 0 {
+		fit.R2 = 1 // constant y perfectly fit by horizontal line
+	} else {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	}
+	return fit, nil
+}
+
+// FitExponent fits cost ≈ a·n^e by OLS on (ln n, ln cost) and returns the
+// exponent e. Non-positive values are rejected since the model lives on
+// the log scale.
+func FitExponent(ns []int, costs []float64) (Linear, error) {
+	if len(ns) != len(costs) {
+		return Linear{}, fmt.Errorf("stats: length mismatch %d vs %d", len(ns), len(costs))
+	}
+	lx := make([]float64, len(ns))
+	ly := make([]float64, len(costs))
+	for i := range ns {
+		if ns[i] <= 0 || costs[i] <= 0 {
+			return Linear{}, fmt.Errorf("stats: non-positive point (%d, %v) at %d", ns[i], costs[i], i)
+		}
+		lx[i] = math.Log(float64(ns[i]))
+		ly[i] = math.Log(costs[i])
+	}
+	return FitLine(lx, ly)
+}
+
+// Histogram counts xs into `buckets` equal-width bins over [lo, hi).
+// Values outside the range are clamped into the first/last bin so the
+// total count always equals len(xs).
+func Histogram(xs []float64, lo, hi float64, buckets int) []int {
+	if buckets < 1 || hi <= lo {
+		return nil
+	}
+	counts := make([]int, buckets)
+	w := (hi - lo) / float64(buckets)
+	for _, x := range xs {
+		b := int((x - lo) / w)
+		if b < 0 {
+			b = 0
+		}
+		if b >= buckets {
+			b = buckets - 1
+		}
+		counts[b]++
+	}
+	return counts
+}
+
+// GeometricSpace returns k integers spaced geometrically between lo and hi
+// (inclusive), deduplicated and sorted: the standard n-axis for scaling
+// experiments.
+func GeometricSpace(lo, hi, k int) []int {
+	if lo < 1 || hi < lo || k < 1 {
+		return nil
+	}
+	if k == 1 {
+		return []int{hi}
+	}
+	ratio := math.Pow(float64(hi)/float64(lo), 1/float64(k-1))
+	out := make([]int, 0, k)
+	seen := make(map[int]bool, k)
+	v := float64(lo)
+	for i := 0; i < k; i++ {
+		n := int(math.Round(v))
+		if n < lo {
+			n = lo
+		}
+		if n > hi {
+			n = hi
+		}
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+		v *= ratio
+	}
+	sort.Ints(out)
+	return out
+}
