@@ -9,8 +9,10 @@
 package skewsim_test
 
 import (
+	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"testing"
 
 	"skewsim/internal/bitvec"
@@ -383,6 +385,89 @@ func BenchmarkAblationConditionalWeighting(b *testing.B) {
 			b.ReportMetric(float64(hits)/float64(b.N*len(w.Queries)), "recall")
 		})
 	}
+}
+
+// --- query pipeline (dedup refactor, batching, parallel queries) -----------
+
+// BenchmarkQueryPath compares the three entry points of the unified
+// candidate pipeline on the Fig1 workload. Every op processes the full
+// query set, so ns/op and allocs/op are directly comparable between
+// variants; run with -benchmem to see the allocation profile of the
+// epoch-stamped dedup (the pre-refactor traversal allocated a fresh
+// map[int32]struct{} plus one string key per bucket probe per query).
+func BenchmarkQueryPath(b *testing.B) {
+	d, w := benchWorkload(b, 2000)
+	ix, err := core.BuildCorrelated(d, w.Data, 2.0/3, core.Options{Seed: 1, Repetitions: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("single-loop", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, q := range w.Queries {
+				ix.Query(q)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ix.BatchQuery(w.Queries)
+		}
+	})
+	for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("parallel-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ix.QueryParallel(w.Queries, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkLSFTraversal isolates one lsf repetition's candidate walk (the
+// layer the refactor rewrote): exhaustive traversal via CandidateIDs and
+// early-exit traversal via Query.
+func BenchmarkLSFTraversal(b *testing.B) {
+	const n = 2000
+	d, w := benchWorkload(b, n)
+	clogn := d.ExpectedSize()
+	phat := d.ConditionalProbs(2.0 / 3)
+	engine, err := lsf.NewEngine(n, lsf.Params{
+		Seed:  5,
+		Probs: d.Probs(),
+		Threshold: func(_ bitvec.Vector, j int, i uint32) float64 {
+			ph := 2.0 / 3
+			if int(i) < len(phat) {
+				ph = phat[i]
+			}
+			denom := ph*clogn - float64(j)
+			if denom <= 1 {
+				return 1
+			}
+			return 1 / denom
+		},
+		Stop: lsf.ProductStopRule(n),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := lsf.BuildIndexParallel(engine, w.Data, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("candidate-ids", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ix.CandidateIDs(w.Queries[i%len(w.Queries)])
+		}
+	})
+	b.Run("query-early-exit", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ix.Query(w.Queries[i%len(w.Queries)], 0.5, bitvec.BraunBlanquetMeasure)
+		}
+	})
 }
 
 // --- extension subsystems ---------------------------------------------------

@@ -93,8 +93,7 @@ func runSearch(args []string) {
 	data := loadVectors(*dataPath)
 	queries := loadVectors(*queryPath)
 	ix := buildIndex(data, *b1, *alpha, *seed)
-	for i, q := range queries {
-		res := ix.Query(q)
+	for i, res := range ix.QueryParallel(queries, 0) {
 		if res.Found {
 			fmt.Printf("query %d: match id=%d similarity=%.4f (filters=%d candidates=%d)\n",
 				i, res.ID, res.Similarity, res.Stats.Filters, res.Stats.Candidates)

@@ -1,0 +1,3 @@
+module skewsim
+
+go 1.22

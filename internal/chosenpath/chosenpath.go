@@ -44,11 +44,12 @@ type Options struct {
 
 // Index is a built Chosen Path structure.
 type Index struct {
-	data    []bitvec.Vector
-	reps    []*lsf.Index
-	b1, b2  float64
-	depth   int
-	measure bitvec.Measure
+	data      []bitvec.Vector
+	reps      []*lsf.Index
+	b1, b2    float64
+	depth     int
+	measure   bitvec.Measure
+	visitPool lsf.VisitedPool
 }
 
 // PathLength returns the fixed depth k = ⌈ln n / ln(1/b2)⌉ used for
@@ -203,16 +204,28 @@ func (ix *Index) QueryBest(q bitvec.Vector) Result {
 	return res
 }
 
+// QueryParallel answers the queries over `workers` goroutines (<= 0
+// selects GOMAXPROCS), returning results identical to calling Query in a
+// loop, in input order. Provided so the baseline stays comparable with
+// SkewSearch's batched query path.
+func (ix *Index) QueryParallel(qs []bitvec.Vector, workers int) []Result {
+	out := make([]Result, len(qs))
+	lsf.ForEachParallel(len(qs), workers, func(k int) {
+		out[k] = ix.Query(qs[k])
+	})
+	return out
+}
+
 // Candidates returns the distinct candidate ids over all repetitions,
 // for the join driver.
 func (ix *Index) Candidates(q bitvec.Vector) []int32 {
-	seen := make(map[int32]struct{})
+	vis := ix.visitPool.Get(len(ix.data))
+	defer ix.visitPool.Put(vis)
 	var out []int32
 	for _, rep := range ix.reps {
 		ids, _ := rep.CandidateIDs(q)
 		for _, id := range ids {
-			if _, dup := seen[id]; !dup {
-				seen[id] = struct{}{}
+			if vis.FirstVisit(id) {
 				out = append(out, id)
 			}
 		}

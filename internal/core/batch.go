@@ -1,0 +1,42 @@
+package core
+
+import (
+	"skewsim/internal/bitvec"
+	"skewsim/internal/lsf"
+)
+
+// BatchQuery answers the queries in input order through Query. Results
+// are identical to calling Query in a loop; the batch form exists so
+// callers have one entry point whether they parallelize or not.
+func (ix *Index) BatchQuery(qs []bitvec.Vector) []Result {
+	out := make([]Result, len(qs))
+	for k, q := range qs {
+		out[k] = ix.Query(q)
+	}
+	return out
+}
+
+// QueryParallel is BatchQuery fanned out over `workers` goroutines
+// (workers <= 0 selects GOMAXPROCS), mirroring the Workers option of
+// preprocessing. The index is read-only during queries — the underlying
+// lsf repetitions hand each goroutine its own pooled visited set — so the
+// results are identical to BatchQuery, in input order.
+func (ix *Index) QueryParallel(qs []bitvec.Vector, workers int) []Result {
+	out := make([]Result, len(qs))
+	lsf.ForEachParallel(len(qs), workers, func(k int) {
+		out[k] = ix.Query(qs[k])
+	})
+	return out
+}
+
+// BatchCandidates returns Candidates for every query, fanned out over
+// `workers` goroutines (workers <= 0 selects GOMAXPROCS). For callers
+// that want raw candidate sets in bulk; note the join driver verifies
+// inside its own workers instead of materializing these.
+func (ix *Index) BatchCandidates(qs []bitvec.Vector, workers int) [][]int32 {
+	out := make([][]int32, len(qs))
+	lsf.ForEachParallel(len(qs), workers, func(k int) {
+		out[k] = ix.Candidates(qs[k])
+	})
+	return out
+}

@@ -122,6 +122,9 @@ type Index struct {
 	alpha     float64 // correlated mode only
 	b1        float64 // adversarial mode only
 	fallback  bool
+	// visitPool recycles the epoch-stamped sets that deduplicate
+	// candidates across repetitions (Candidates, QueryTopK).
+	visitPool lsf.VisitedPool
 	// retained for serialization: engine seeds and limits.
 	seeds         []uint64
 	maxDepth      int
@@ -347,13 +350,13 @@ func (ix *Index) QueryBest(q bitvec.Vector) Result {
 // Candidates returns the distinct candidate ids over all repetitions.
 // Used by the join driver and by experiments analyzing candidate sets.
 func (ix *Index) Candidates(q bitvec.Vector) []int32 {
-	seen := make(map[int32]struct{})
+	vis := ix.visitPool.Get(len(ix.data))
+	defer ix.visitPool.Put(vis)
 	var out []int32
 	for _, rep := range ix.reps {
 		ids, _ := rep.CandidateIDs(q)
 		for _, id := range ids {
-			if _, dup := seen[id]; !dup {
-				seen[id] = struct{}{}
+			if vis.FirstVisit(id) {
 				out = append(out, id)
 			}
 		}

@@ -24,16 +24,16 @@ func (ix *Index) QueryTopK(q bitvec.Vector, k int) ([]Match, Stats) {
 	if k <= 0 {
 		return nil, stats
 	}
-	seen := make(map[int32]struct{})
+	vis := ix.visitPool.Get(len(ix.data))
+	defer ix.visitPool.Put(vis)
 	var matches []Match
 	for _, rep := range ix.reps {
 		ids, st := rep.CandidateIDs(q)
 		stats.add(st)
 		for _, id := range ids {
-			if _, dup := seen[id]; dup {
+			if !vis.FirstVisit(id) {
 				continue
 			}
-			seen[id] = struct{}{}
 			s := ix.measure.Similarity(q, ix.data[id])
 			if s > 0 {
 				matches = append(matches, Match{ID: int(id), Similarity: s})

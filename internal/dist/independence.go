@@ -1,0 +1,192 @@
+package dist
+
+import (
+	"math"
+	"sort"
+
+	"skewsim/internal/bitvec"
+	"skewsim/internal/hashing"
+)
+
+// IndependenceRatio measures the data's deviation from the product model
+// (the Table 1 measurement): it samples `samples` uniform random subsets
+// I ⊆ [dim] of size setSize and returns
+//
+//	Σ_I observed(I) / Σ_I predicted(I)
+//
+// where observed(I) is the fraction of vectors with 1s on all of I and
+// predicted(I) = Π_{i∈I} f_i is the co-occurrence rate independence would
+// imply from the empirical item frequencies f. The ratio is ≈ 1 on truly
+// independent data and grows with positive correlation. Returns 1 when
+// the predicted mass of every sampled subset is zero (no evidence either
+// way, e.g. empty data).
+func IndependenceRatio(data []bitvec.Vector, dim, setSize, samples int, seed uint64) float64 {
+	return independenceRatio(data, dim, setSize, samples, seed, false)
+}
+
+// IndependenceRatioWeighted is IndependenceRatio with subsets drawn with
+// probability proportional to item mass (frequency) instead of uniformly,
+// so frequent items dominate the measurement as they do in real
+// co-occurrence counts — the sampling Table 1's analog calibration uses.
+// Items whose predicted co-occurrence cannot be resolved at this dataset
+// size (f_i < n^(-1/setSize), i.e. expected subset count below one even
+// in the best case) are excluded: their observed counts are almost surely
+// zero and would only add noise, never signal.
+func IndependenceRatioWeighted(data []bitvec.Vector, dim, setSize, samples int, seed uint64) float64 {
+	return independenceRatio(data, dim, setSize, samples, seed, true)
+}
+
+func independenceRatio(data []bitvec.Vector, dim, setSize, samples int, seed uint64, weighted bool) float64 {
+	if len(data) == 0 || dim < setSize || setSize < 1 || samples < 1 {
+		return 1
+	}
+	freqs := EstimateFrequencies(data, dim)
+	postings := buildPostings(data, dim)
+	positive := 0
+	for _, f := range freqs {
+		if f > 0 {
+			positive++
+		}
+	}
+	if positive < setSize {
+		return 1
+	}
+
+	// Weighted mode draws from the observable head of the spectrum.
+	var eligible []int
+	var cum []float64 // cumulative mass over eligible, for weighted draws
+	if weighted {
+		eligible = observableItems(freqs, len(data), setSize)
+		if len(eligible) < setSize {
+			return 1
+		}
+		cum = make([]float64, len(eligible))
+		acc := 0.0
+		for k, i := range eligible {
+			acc += freqs[i]
+			cum[k] = acc
+		}
+	}
+
+	rng := hashing.NewSplitMix64(seed)
+	draw := func() int {
+		if !weighted {
+			return int(rng.NextBelow(uint64(dim)))
+		}
+		u := rng.NextUnit() * cum[len(cum)-1]
+		return eligible[sort.SearchFloat64s(cum, u)]
+	}
+
+	subset := make([]int, 0, setSize)
+	var obsSum, predSum float64
+	for s := 0; s < samples; s++ {
+		subset = subset[:0]
+		for len(subset) < setSize {
+			i := draw()
+			dup := false
+			for _, j := range subset {
+				if j == i {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				subset = append(subset, i)
+			}
+		}
+		pred := 1.0
+		for _, i := range subset {
+			pred *= freqs[i]
+		}
+		predSum += pred
+		obsSum += float64(coOccurrences(postings, subset)) / float64(len(data))
+	}
+	if predSum == 0 {
+		return 1
+	}
+	return obsSum / predSum
+}
+
+// observableItems returns the items whose frequency clears the
+// resolvability floor n^(-1/setSize) (a size-setSize subset of such items
+// has predicted count ≥ 1 under independence), padded with the most
+// frequent remaining items up to a minimum pool of 8 so tiny datasets
+// still get a measurement. Sorted by decreasing frequency.
+func observableItems(freqs []float64, n, setSize int) []int {
+	order := make([]int, 0, len(freqs))
+	for i, f := range freqs {
+		if f > 0 {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return freqs[order[a]] > freqs[order[b]] })
+	floor := math.Pow(float64(n), -1/float64(setSize))
+	cut := 0
+	for cut < len(order) && freqs[order[cut]] >= floor {
+		cut++
+	}
+	const minPool = 8
+	if cut < minPool {
+		cut = minPool
+		if cut > len(order) {
+			cut = len(order)
+		}
+	}
+	return order[:cut]
+}
+
+// buildPostings returns, per item, the sorted list of vector ids
+// containing it.
+func buildPostings(data []bitvec.Vector, dim int) [][]int32 {
+	postings := make([][]int32, dim)
+	for id, x := range data {
+		for _, b := range x.Bits() {
+			if int(b) < dim {
+				postings[b] = append(postings[b], int32(id))
+			}
+		}
+	}
+	return postings
+}
+
+// coOccurrences counts vectors containing every item of the subset, by
+// scanning the shortest posting list and probing the others.
+func coOccurrences(postings [][]int32, subset []int) int {
+	shortest := subset[0]
+	for _, i := range subset[1:] {
+		if len(postings[i]) < len(postings[shortest]) {
+			shortest = i
+		}
+	}
+	count := 0
+	for _, id := range postings[shortest] {
+		all := true
+		for _, i := range subset {
+			if i == shortest {
+				continue
+			}
+			if !containsID(postings[i], id) {
+				all = false
+				break
+			}
+		}
+		if all {
+			count++
+		}
+	}
+	return count
+}
+
+// containsID reports whether the sorted posting list holds id.
+func containsID(list []int32, id int32) bool {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if list[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(list) && list[lo] == id
+}

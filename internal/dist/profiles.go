@@ -1,0 +1,114 @@
+package dist
+
+import "math"
+
+// Uniform returns d items each with probability p.
+func Uniform(d int, p float64) []float64 {
+	out := make([]float64, d)
+	for i := range out {
+		out[i] = p
+	}
+	return out
+}
+
+// Zipf returns a Zipfian profile p_i = pMax / (i+1)^s: the most frequent
+// item has probability pMax and rank-r frequency decays as r^-s.
+func Zipf(d int, pMax, s float64) []float64 {
+	out := make([]float64, d)
+	for i := range out {
+		out[i] = pMax / math.Pow(float64(i+1), s)
+	}
+	return out
+}
+
+// Harmonic returns the motivating example's profile p_i = 1/(i+1)
+// (the paper's §1 uses p_i = 1/i with 1-based items).
+func Harmonic(d int) []float64 {
+	return Zipf(d, 1, 1)
+}
+
+// TwoBlock returns na items with probability pa followed by nb items with
+// probability pb — the §7.1 worked-example profile.
+func TwoBlock(na int, pa float64, nb int, pb float64) []float64 {
+	out := make([]float64, 0, na+nb)
+	for i := 0; i < na; i++ {
+		out = append(out, pa)
+	}
+	for i := 0; i < nb; i++ {
+		out = append(out, pb)
+	}
+	return out
+}
+
+// Fig1Profile returns the Figure 1 profile over d items: half the items
+// have probability p, the other half p/8.
+func Fig1Profile(d int, p float64) []float64 {
+	out := make([]float64, d)
+	head := (d + 1) / 2
+	for i := range out {
+		if i < head {
+			out[i] = p
+		} else {
+			out[i] = p / 8
+		}
+	}
+	return out
+}
+
+// PiecewiseZipfSegment is one segment of a piecewise-Zipfian frequency
+// spectrum (Figure 2 reports real spectra are "close to piecewise
+// Zipfian"). The segment covers ranks up to ⌈FracEnd·d⌉ and decays with
+// exponent S relative to the segment's own start.
+type PiecewiseZipfSegment struct {
+	// FracEnd is the fraction of the universe (by rank) where the segment
+	// ends; the last segment must have FracEnd = 1.
+	FracEnd float64
+	// S is the Zipf exponent within the segment.
+	S float64
+}
+
+// PiecewiseZipf materializes a piecewise-Zipfian profile of dimension d:
+// the rank-1 item has frequency pMax, and within each segment the
+// frequency decays as (local rank)^-S starting from the frequency reached
+// at the previous segment's end, so the spectrum is non-increasing and
+// continuous at the boundaries. An empty segment list means a single
+// segment with S = 1 (plain Zipf).
+func PiecewiseZipf(d int, pMax float64, segs []PiecewiseZipfSegment) []float64 {
+	if len(segs) == 0 {
+		segs = []PiecewiseZipfSegment{{FracEnd: 1, S: 1}}
+	}
+	out := make([]float64, d)
+	segStart := 0 // first rank (0-based) of the current segment
+	base := pMax  // frequency at the segment's start
+	segIdx := 0
+	for i := 0; i < d; i++ {
+		// i > 0 guards degenerate FracEnd <= 0 segments: rank 1 always
+		// belongs to the first segment (and carries pMax), empty segments
+		// are skipped once a predecessor rank exists to anchor base.
+		for segIdx < len(segs)-1 && i > 0 && float64(i) >= segs[segIdx].FracEnd*float64(d) {
+			segIdx++
+			segStart = i
+			base = out[i-1]
+		}
+		local := float64(i-segStart) + 1
+		out[i] = base / math.Pow(local, segs[segIdx].S)
+	}
+	return out
+}
+
+// Clamp returns a copy of probs with every value clamped into [lo, 1],
+// the model's valid probability range.
+func Clamp(probs []float64, lo float64) []float64 {
+	out := make([]float64, len(probs))
+	for i, p := range probs {
+		switch {
+		case p < lo:
+			out[i] = lo
+		case p > 1:
+			out[i] = 1
+		default:
+			out[i] = p
+		}
+	}
+	return out
+}

@@ -60,8 +60,7 @@ func Estimated(cfg EstimatedConfig) (*Table, error) {
 			return nil, fmt.Errorf("experiments: estimated: %w", err)
 		}
 		hits, cands, filters := 0, 0, 0
-		for k, q := range w.Queries {
-			res := ix.Query(q)
+		for k, res := range ix.QueryParallel(w.Queries, 0) {
 			cands += res.Stats.Candidates
 			filters += res.Stats.Filters
 			if res.Found && res.ID == w.Targets[k] {

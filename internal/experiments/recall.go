@@ -72,8 +72,7 @@ func Recall(cfg RecallConfig) (*Table, error) {
 				return nil, fmt.Errorf("experiments: recall: %w", err)
 			}
 			exact, any := 0, 0
-			for k, q := range w.Queries {
-				res := ix.Query(q)
+			for k, res := range ix.QueryParallel(w.Queries, 0) {
 				if res.Found {
 					any++
 					if res.ID == w.Targets[k] {

@@ -23,6 +23,7 @@ type CandidateSource interface {
 	Data() []bitvec.Vector
 }
 
+
 // Pair is one joined pair: R[RIdx] matches S[SIdx] with the given
 // similarity.
 type Pair struct {
@@ -72,9 +73,12 @@ func Run(index CandidateSource, r []bitvec.Vector, threshold float64, m bitvec.M
 
 // RunParallel is Run with queries fanned out over `workers` goroutines
 // (<= 0 selects GOMAXPROCS). All five index types answer read-only
-// queries, so sharing the index is safe; results are identical to Run
-// (same pairs, same sort order). Stats candidates are summed across
-// workers.
+// queries, so sharing the index is safe — each worker draws its own
+// pooled visited set from the allocation-light candidate pipeline — and
+// both candidate generation and verification run inside the workers,
+// streaming pairs without materializing candidate lists. Results are
+// identical to Run (same pairs, same sort order). Stats candidates are
+// summed across workers.
 func RunParallel(index CandidateSource, r []bitvec.Vector, threshold float64, m bitvec.Measure, workers int) ([]Pair, Stats, error) {
 	if index == nil {
 		return nil, Stats{}, errors.New("join: nil index")

@@ -182,9 +182,8 @@ func (e *Engine) Filters(x bitvec.Vector) FilterSet {
 				if s < 1 && e.hasher.UnitExt(v.elems, i) >= s {
 					continue
 				}
-				elems := make([]uint32, len(v.elems)+1)
-				copy(elems, v.elems)
-				elems[len(v.elems)] = i
+				elems := append(make([]uint32, 0, len(v.elems)+1), v.elems...)
+				elems = append(elems, i)
 				child := path{elems: elems, logInvP: v.logInvP + e.weigher.LogInvP(v.elems, i)}
 				if e.stop(child.logInvP, len(child.elems)) {
 					fs.Paths = append(fs.Paths, child.elems)
@@ -202,6 +201,9 @@ func (e *Engine) Filters(x bitvec.Vector) FilterSet {
 	return fs
 }
 
+// containsElem is a linear scan on purpose: paths are at most maxDepth
+// (≈ log2 n) elements long, so O(depth) beats any set structure's
+// constant factors and allocates nothing.
 func containsElem(elems []uint32, v uint32) bool {
 	for _, e := range elems {
 		if e == v {
@@ -211,9 +213,11 @@ func containsElem(elems []uint32, v uint32) bool {
 	return false
 }
 
-// PathKey encodes a path as a compact string for use as a map key in the
-// inverted index. Distinct paths get distinct keys (big-endian fixed
-// width per element).
+// PathKey encodes a path as a compact string (big-endian fixed width per
+// element); distinct paths get distinct keys. The inverted index now
+// buckets by 64-bit path hashes, so PathKey survives only where a total
+// order or exact string identity is wanted: the serialization format's
+// deterministic bucket ordering and test assertions.
 func PathKey(path []uint32) string {
 	b := make([]byte, 4*len(path))
 	for k, e := range path {

@@ -2,6 +2,7 @@ package lsf
 
 import (
 	"errors"
+	"sync"
 
 	"skewsim/internal/bitvec"
 )
@@ -9,13 +10,90 @@ import (
 // Index is the inverted filter index of §3: for every path chosen by some
 // data vector it stores the list of vectors that chose it. Space is
 // linear in Σ_x |F(x)| plus the data itself.
+//
+// Buckets are keyed by a 64-bit hash of the path. Each bucket retains its
+// path so lookups verify equality and hash collisions chain instead of
+// mixing candidate lists; queries therefore never allocate a key (the old
+// representation re-encoded every path into a string per probe).
 type Index struct {
 	engine  *Engine
 	data    []bitvec.Vector
-	buckets map[string][]int32
+	buckets map[uint64]*bucket
+	// visitPool recycles the epoch-stamped visited sets queries use for
+	// candidate deduplication, so steady-state queries allocate nothing
+	// for dedup and concurrent queries each get their own set.
+	visitPool VisitedPool
 	// stats from construction
 	totalFilters   int
 	truncatedCount int
+	bucketCount    int
+}
+
+// bucket is one inverted-index posting list. next chains buckets whose
+// distinct paths share a 64-bit key hash (astronomically rare, but
+// correctness must not depend on that).
+type bucket struct {
+	path []uint32
+	ids  []int32
+	next *bucket
+}
+
+// hashPath maps a path to its bucket key: splitmix-style mixing folded
+// over the elements, seeded with the length so prefixes of a path do not
+// trivially collide with it.
+func hashPath(path []uint32) uint64 {
+	h := uint64(len(path))*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	for _, e := range path {
+		h ^= uint64(e) + 1
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 29
+	}
+	h *= 0x94d049bb133111eb
+	return h ^ (h >> 32)
+}
+
+func pathsEqual(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// insert appends id to the bucket of path, creating (or chaining) the
+// bucket as needed. The path slice is retained.
+func (ix *Index) insert(path []uint32, id int32) {
+	h := hashPath(path)
+	for b := ix.buckets[h]; b != nil; b = b.next {
+		if pathsEqual(b.path, path) {
+			b.ids = append(b.ids, id)
+			return
+		}
+	}
+	ix.buckets[h] = &bucket{path: path, ids: []int32{id}, next: ix.buckets[h]}
+	ix.bucketCount++
+}
+
+// insertBucket installs a whole posting list at once (the
+// deserialization path; the stream never repeats a path).
+func (ix *Index) insertBucket(path []uint32, ids []int32) {
+	h := hashPath(path)
+	ix.buckets[h] = &bucket{path: path, ids: ids, next: ix.buckets[h]}
+	ix.bucketCount++
+}
+
+// postings returns the ids sharing the path, or nil. Never allocates.
+func (ix *Index) postings(path []uint32) []int32 {
+	for b := ix.buckets[hashPath(path)]; b != nil; b = b.next {
+		if pathsEqual(b.path, path) {
+			return b.ids
+		}
+	}
+	return nil
 }
 
 // BuildStats summarizes index construction work, the empirical counterpart
@@ -27,27 +105,35 @@ type BuildStats struct {
 	Truncated    int // vectors whose filter sets hit the work budget
 }
 
+// newIndex allocates an empty index over data.
+func newIndex(engine *Engine, data []bitvec.Vector) *Index {
+	return &Index{
+		engine:  engine,
+		data:    data,
+		buckets: make(map[uint64]*bucket, len(data)*2),
+	}
+}
+
+// addFilterSet inserts one vector's filters, updating build statistics.
+func (ix *Index) addFilterSet(id int32, fs FilterSet) {
+	if fs.Truncated {
+		ix.truncatedCount++
+	}
+	for _, p := range fs.Paths {
+		ix.insert(p, id)
+	}
+	ix.totalFilters += len(fs.Paths)
+}
+
 // BuildIndex computes F(x) for every data vector and constructs the
 // inverted index. The data slice is retained (not copied).
 func BuildIndex(engine *Engine, data []bitvec.Vector) (*Index, error) {
 	if engine == nil {
 		return nil, errors.New("lsf: nil engine")
 	}
-	ix := &Index{
-		engine:  engine,
-		data:    data,
-		buckets: make(map[string][]int32, len(data)*2),
-	}
+	ix := newIndex(engine, data)
 	for id, x := range data {
-		fs := engine.Filters(x)
-		if fs.Truncated {
-			ix.truncatedCount++
-		}
-		for _, p := range fs.Paths {
-			k := PathKey(p)
-			ix.buckets[k] = append(ix.buckets[k], int32(id))
-		}
-		ix.totalFilters += len(fs.Paths)
+		ix.addFilterSet(int32(id), engine.Filters(x))
 	}
 	return ix, nil
 }
@@ -57,7 +143,7 @@ func (ix *Index) Stats() BuildStats {
 	return BuildStats{
 		Vectors:      len(ix.data),
 		TotalFilters: ix.totalFilters,
-		Buckets:      len(ix.buckets),
+		Buckets:      ix.bucketCount,
 		Truncated:    ix.truncatedCount,
 	}
 }
@@ -79,53 +165,119 @@ type QueryStats struct {
 	Truncated bool
 }
 
+// Visited deduplicates candidate ids with an epoch-stamped array: reset
+// is O(1) (bump the epoch) instead of O(distinct) map clearing, and
+// membership is a single array load. The zero value is ready to use.
+// Exported so the layers above (SkewSearch repetitions, the baselines,
+// the split-search driver) share one dedup mechanism instead of
+// allocating a map per query.
+type Visited struct {
+	stamp []uint32
+	epoch uint32
+}
+
+// Begin prepares the set for a pass over ids in [0, n), forgetting any
+// previous pass in O(1).
+func (v *Visited) Begin(n int) {
+	if cap(v.stamp) < n {
+		v.stamp = make([]uint32, n)
+		v.epoch = 0
+	}
+	v.stamp = v.stamp[:n]
+	v.epoch++
+	if v.epoch == 0 { // wrapped: stamps from 2^32 passes ago could alias
+		for i := range v.stamp {
+			v.stamp[i] = 0
+		}
+		v.epoch = 1
+	}
+}
+
+// FirstVisit reports whether id is new this pass, marking it visited.
+func (v *Visited) FirstVisit(id int32) bool {
+	if v.stamp[id] == v.epoch {
+		return false
+	}
+	v.stamp[id] = v.epoch
+	return true
+}
+
+// VisitedPool recycles Visited sets so concurrent queries each get their
+// own and steady-state queries allocate nothing for dedup. The zero
+// value is ready to use; every consumer of Visited in this codebase
+// (lsf, core, the baselines, splitsearch) shares this one implementation.
+type VisitedPool struct {
+	pool sync.Pool
+}
+
+// Get returns a Visited ready for a pass over ids in [0, n).
+func (p *VisitedPool) Get(n int) *Visited {
+	v, _ := p.pool.Get().(*Visited)
+	if v == nil {
+		v = &Visited{}
+	}
+	v.Begin(n)
+	return v
+}
+
+// Put returns the set to the pool.
+func (p *VisitedPool) Put(v *Visited) { p.pool.Put(v) }
+
+// traverse is the single candidate-traversal implementation behind every
+// query entry point: it computes F(q) once, walks the buckets of each
+// filter, deduplicates ids, and streams each distinct candidate into sink
+// in first-encounter order. The sink returns false to stop early (the
+// threshold query's early exit); stats always reflect exactly the work
+// performed up to the stop.
+func (ix *Index) traverse(q bitvec.Vector, stats *QueryStats, sink func(id int32) bool) {
+	fs := ix.engine.Filters(q)
+	stats.Filters = len(fs.Paths)
+	stats.Truncated = fs.Truncated
+	if len(fs.Paths) == 0 {
+		return
+	}
+	vis := ix.visitPool.Get(len(ix.data))
+	defer ix.visitPool.Put(vis)
+	for _, p := range fs.Paths {
+		for _, id := range ix.postings(p) {
+			stats.Candidates++
+			if !vis.FirstVisit(id) {
+				continue
+			}
+			stats.Distinct++
+			if !sink(id) {
+				return
+			}
+		}
+	}
+}
+
 // Query returns the first indexed vector with measure-similarity at least
 // threshold among the candidates sharing a filter with q, following the
 // paper's query procedure. found reports whether any candidate passed.
 func (ix *Index) Query(q bitvec.Vector, threshold float64, m bitvec.Measure) (best int, sim float64, stats QueryStats, found bool) {
-	fs := ix.engine.Filters(q)
-	stats.Filters = len(fs.Paths)
-	stats.Truncated = fs.Truncated
-	seen := make(map[int32]struct{})
-	for _, p := range fs.Paths {
-		for _, id := range ix.buckets[PathKey(p)] {
-			stats.Candidates++
-			if _, dup := seen[id]; dup {
-				continue
-			}
-			seen[id] = struct{}{}
-			stats.Distinct++
-			s := m.Similarity(q, ix.data[id])
-			if s >= threshold {
-				return int(id), s, stats, true
-			}
+	best, sim = -1, 0
+	ix.traverse(q, &stats, func(id int32) bool {
+		if s := m.Similarity(q, ix.data[id]); s >= threshold {
+			best, sim, found = int(id), s, true
+			return false
 		}
-	}
-	return -1, 0, stats, false
+		return true
+	})
+	return best, sim, stats, found
 }
 
 // QueryBest examines every candidate (instead of stopping at the first
 // above threshold) and returns the most similar one. Used by the join
 // driver and by experiments that need exact candidate-set behaviour.
 func (ix *Index) QueryBest(q bitvec.Vector, m bitvec.Measure) (best int, sim float64, stats QueryStats, found bool) {
-	fs := ix.engine.Filters(q)
-	stats.Filters = len(fs.Paths)
-	stats.Truncated = fs.Truncated
 	best, sim = -1, -1
-	seen := make(map[int32]struct{})
-	for _, p := range fs.Paths {
-		for _, id := range ix.buckets[PathKey(p)] {
-			stats.Candidates++
-			if _, dup := seen[id]; dup {
-				continue
-			}
-			seen[id] = struct{}{}
-			stats.Distinct++
-			if s := m.Similarity(q, ix.data[id]); s > sim {
-				best, sim = int(id), s
-			}
+	ix.traverse(q, &stats, func(id int32) bool {
+		if s := m.Similarity(q, ix.data[id]); s > sim {
+			best, sim = int(id), s
 		}
-	}
+		return true
+	})
 	if best < 0 {
 		return -1, 0, stats, false
 	}
@@ -136,20 +288,11 @@ func (ix *Index) QueryBest(q bitvec.Vector, m bitvec.Measure) (best int, sim flo
 // with q, plus stats. Exposed for experiments that analyze candidate sets
 // directly.
 func (ix *Index) CandidateIDs(q bitvec.Vector) ([]int32, QueryStats) {
-	fs := ix.engine.Filters(q)
-	stats := QueryStats{Filters: len(fs.Paths), Truncated: fs.Truncated}
-	seen := make(map[int32]struct{})
+	var stats QueryStats
 	var ids []int32
-	for _, p := range fs.Paths {
-		for _, id := range ix.buckets[PathKey(p)] {
-			stats.Candidates++
-			if _, dup := seen[id]; dup {
-				continue
-			}
-			seen[id] = struct{}{}
-			ids = append(ids, id)
-		}
-	}
-	stats.Distinct = len(ids)
+	ix.traverse(q, &stats, func(id int32) bool {
+		ids = append(ids, id)
+		return true
+	})
 	return ids, stats
 }

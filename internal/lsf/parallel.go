@@ -3,7 +3,6 @@ package lsf
 import (
 	"errors"
 	"runtime"
-	"sync"
 
 	"skewsim/internal/bitvec"
 )
@@ -29,37 +28,13 @@ func BuildIndexParallel(engine *Engine, data []bitvec.Vector, workers int) (*Ind
 	}
 
 	sets := make([]FilterSet, len(data))
-	var wg sync.WaitGroup
-	next := make(chan int, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for id := range next {
-				sets[id] = engine.Filters(data[id])
-			}
-		}()
-	}
-	for id := range data {
-		next <- id
-	}
-	close(next)
-	wg.Wait()
+	ForEachParallel(len(data), workers, func(id int) {
+		sets[id] = engine.Filters(data[id])
+	})
 
-	ix := &Index{
-		engine:  engine,
-		data:    data,
-		buckets: make(map[string][]int32, len(data)*2),
-	}
+	ix := newIndex(engine, data)
 	for id, fs := range sets {
-		if fs.Truncated {
-			ix.truncatedCount++
-		}
-		for _, p := range fs.Paths {
-			k := PathKey(p)
-			ix.buckets[k] = append(ix.buckets[k], int32(id))
-		}
-		ix.totalFilters += len(fs.Paths)
+		ix.addFilterSet(int32(id), fs)
 	}
 	return ix, nil
 }

@@ -31,15 +31,28 @@ func parallelTestEngine(t *testing.T, n int) (*Engine, []bitvec.Vector) {
 	return e, data
 }
 
+// bucketSnapshot flattens the hash-chained buckets into a path-keyed map
+// for representation-independent comparison.
+func bucketSnapshot(ix *Index) map[string][]int32 {
+	out := make(map[string][]int32, ix.bucketCount)
+	for _, b := range ix.buckets {
+		for ; b != nil; b = b.next {
+			out[PathKey(b.path)] = b.ids
+		}
+	}
+	return out
+}
+
 func indexesEqual(a, b *Index) bool {
 	if a.totalFilters != b.totalFilters || a.truncatedCount != b.truncatedCount {
 		return false
 	}
-	if len(a.buckets) != len(b.buckets) {
+	as, bs := bucketSnapshot(a), bucketSnapshot(b)
+	if len(as) != len(bs) {
 		return false
 	}
-	for k, ids := range a.buckets {
-		other, ok := b.buckets[k]
+	for k, ids := range as {
+		other, ok := bs[k]
 		if !ok || len(other) != len(ids) {
 			return false
 		}

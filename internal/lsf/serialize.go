@@ -47,27 +47,34 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	if err := write(uint64(ix.truncatedCount)); err != nil {
 		return n, err
 	}
-	if err := write(uint64(len(ix.buckets))); err != nil {
+	if err := write(uint64(ix.bucketCount)); err != nil {
 		return n, err
 	}
-	keys := make([]string, 0, len(ix.buckets))
-	for k := range ix.buckets {
-		keys = append(keys, k)
+	// Dump buckets in sorted PathKey order so output stays deterministic
+	// (and identical to the pre-hash-bucket format).
+	type entry struct {
+		key string
+		ids []int32
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		if err := write(uint32(len(k))); err != nil {
+	entries := make([]entry, 0, ix.bucketCount)
+	for _, b := range ix.buckets {
+		for ; b != nil; b = b.next {
+			entries = append(entries, entry{key: PathKey(b.path), ids: b.ids})
+		}
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].key < entries[b].key })
+	for _, e := range entries {
+		if err := write(uint32(len(e.key))); err != nil {
 			return n, err
 		}
-		if _, err := bw.WriteString(k); err != nil {
+		if _, err := bw.WriteString(e.key); err != nil {
 			return n, err
 		}
-		n += int64(len(k))
-		ids := ix.buckets[k]
-		if err := write(uint32(len(ids))); err != nil {
+		n += int64(len(e.key))
+		if err := write(uint32(len(e.ids))); err != nil {
 			return n, err
 		}
-		if err := write(ids); err != nil {
+		if err := write(e.ids); err != nil {
 			return n, err
 		}
 	}
@@ -100,20 +107,16 @@ func ReadIndexFrom(r io.Reader, engine *Engine, data []bitvec.Vector) (*Index, e
 	if total > maxReasonable || buckets > maxReasonable {
 		return nil, fmt.Errorf("lsf: implausible header (total=%d buckets=%d)", total, buckets)
 	}
-	ix := &Index{
-		engine:         engine,
-		data:           data,
-		buckets:        make(map[string][]int32, buckets),
-		totalFilters:   int(total),
-		truncatedCount: int(trunc),
-	}
+	ix := newIndex(engine, data)
+	ix.totalFilters = int(total)
+	ix.truncatedCount = int(trunc)
 	sum := uint64(0)
 	for b := uint64(0); b < buckets; b++ {
 		var keyLen uint32
 		if err := binary.Read(br, binary.LittleEndian, &keyLen); err != nil {
 			return nil, fmt.Errorf("lsf: bucket %d key length: %w", b, err)
 		}
-		if keyLen == 0 || keyLen > 1<<16 {
+		if keyLen == 0 || keyLen > 1<<16 || keyLen%4 != 0 {
 			return nil, fmt.Errorf("lsf: bucket %d implausible key length %d", b, keyLen)
 		}
 		key := make([]byte, keyLen)
@@ -137,10 +140,20 @@ func ReadIndexFrom(r io.Reader, engine *Engine, data []bitvec.Vector) (*Index, e
 			}
 		}
 		sum += uint64(idCount)
-		ix.buckets[string(key)] = ids
+		ix.insertBucket(pathFromKey(key), ids)
 	}
 	if sum != total {
 		return nil, fmt.Errorf("lsf: bucket ids sum to %d, header claims %d", sum, total)
 	}
 	return ix, nil
+}
+
+// pathFromKey decodes a PathKey byte string back into its element path.
+func pathFromKey(key []byte) []uint32 {
+	path := make([]uint32, len(key)/4)
+	for k := range path {
+		path[k] = uint32(key[4*k])<<24 | uint32(key[4*k+1])<<16 |
+			uint32(key[4*k+2])<<8 | uint32(key[4*k+3])
+	}
+	return path
 }

@@ -27,6 +27,7 @@ import (
 	"skewsim/internal/bitvec"
 	"skewsim/internal/core"
 	"skewsim/internal/dist"
+	"skewsim/internal/lsf"
 )
 
 // Options tunes the structure.
@@ -53,6 +54,7 @@ type Index struct {
 	freqData  []bitvec.Vector
 	rareData  []bitvec.Vector
 	splitSize int // |F|
+	visitPool lsf.VisitedPool
 }
 
 // Build partitions the universe of d by descending frequency until half
@@ -203,13 +205,13 @@ type Stats struct {
 func (ix *Index) Query(q bitvec.Vector) Result {
 	res := Result{ID: -1}
 	qF, qR := ix.split(q)
-	seen := make(map[int32]struct{})
+	vis := ix.visitPool.Get(len(ix.data))
+	defer ix.visitPool.Put(vis)
 	try := func(ids []int32) bool {
 		for _, id := range ids {
-			if _, dup := seen[id]; dup {
+			if !vis.FirstVisit(id) {
 				continue
 			}
-			seen[id] = struct{}{}
 			res.Stats.Verified++
 			if s := ix.measure.Similarity(q, ix.data[id]); s >= ix.b1 {
 				res.ID, res.Similarity, res.Found = int(id), s, true
@@ -233,12 +235,12 @@ func (ix *Index) Query(q bitvec.Vector) Result {
 // driver interface).
 func (ix *Index) Candidates(q bitvec.Vector) []int32 {
 	qF, qR := ix.split(q)
-	seen := make(map[int32]struct{})
+	vis := ix.visitPool.Get(len(ix.data))
+	defer ix.visitPool.Put(vis)
 	var out []int32
 	for _, ids := range [][]int32{ix.freq.Candidates(qF), ix.rare.Candidates(qR)} {
 		for _, id := range ids {
-			if _, dup := seen[id]; !dup {
-				seen[id] = struct{}{}
+			if vis.FirstVisit(id) {
 				out = append(out, id)
 			}
 		}
