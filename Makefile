@@ -1,0 +1,35 @@
+GO ?= go
+
+# Benchmarks covered by the smoke run and the JSON perf record: the
+# query-pipeline and build micro-benchmarks the perf trajectory is held
+# to, plus the bitvec merge kernels and serialization.
+BENCH_PATTERN ?= QueryPath|LSFTraversal|BuildSkewSearch|BuildChosenPath|IntersectionSize|SerializeIndex
+
+.PHONY: all build vet test bench bench-json
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Smoke-run the micro-benchmarks: one iteration each, with allocation
+# counters, so CI catches benchmarks that stop compiling or crash
+# without paying for statistically meaningful timings.
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=1x ./...
+
+# Same smoke run, converted to a machine-readable perf record
+# (BENCH_PR2.json: name, ns/op, B/op, allocs/op, custom metrics per
+# benchmark) so the benchmark trajectory can be diffed across PRs. Two
+# steps, not a pipe, so a crashing benchmark fails the target instead
+# of being swallowed by the converter's exit code; the raw benchmark
+# log still reaches the terminal via benchjson's stderr passthrough.
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=1x ./... > bench.log
+	$(GO) run ./cmd/benchjson < bench.log > BENCH_PR2.json; st=$$?; rm -f bench.log; exit $$st

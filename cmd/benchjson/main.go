@@ -1,0 +1,92 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// JSON array on stdout, one object per benchmark line: name, iterations,
+// and every reported metric (ns/op, B/op, allocs/op, plus any custom
+// b.ReportMetric units like filters/op or recall). It exists so CI can
+// emit a machine-readable perf record (BENCH_PR2.json) per run and the
+// benchmark trajectory can be diffed across PRs without scraping text.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BPerOp     *float64           `json:"b_per_op,omitempty"`
+	AllocsPerOp *float64          `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	var results []Result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line) // pass the raw log through for humans
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: fields[0], Iterations: iters}
+		for k := 2; k+1 < len(fields); k += 2 {
+			v, err := strconv.ParseFloat(fields[k], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[k+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				b := v
+				r.BPerOp = &b
+			case "allocs/op":
+				a := v
+				r.AllocsPerOp = &a
+			default:
+				if r.Metrics == nil {
+					r.Metrics = make(map[string]float64)
+				}
+				r.Metrics[unit] = v
+			}
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		// An empty record means the bench pattern matched nothing or the
+		// output format changed — either way the perf trajectory would
+		// silently go dark, so fail loudly instead of emitting `null`.
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines parsed from input")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

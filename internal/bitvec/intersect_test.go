@@ -1,0 +1,118 @@
+package bitvec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// linearIntersectionSize is the plain merge, kept here as the reference
+// the galloping branch is tested against.
+func linearIntersectionSize(a, b []uint32) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+func randomSorted(rng *rand.Rand, n, universe int) []uint32 {
+	seen := make(map[uint32]bool, n)
+	for len(seen) < n {
+		seen[uint32(rng.Intn(universe))] = true
+	}
+	out := make([]uint32, 0, n)
+	for v := range seen {
+		out = append(out, v)
+	}
+	// insertion sort is fine at test sizes; keep it dependency-free
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// TestIntersectionSizeGallopMatchesLinear drives both merge branches over
+// randomized size-skewed pairs, including the extremes that pick the
+// galloping path, and checks them against the reference merge.
+func TestIntersectionSizeGallopMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sizes := [][2]int{
+		{0, 100}, {1, 1}, {1, 1000}, {3, 500}, {10, 10}, {10, 500},
+		{17, 17 * gallopRatio}, {17, 17*gallopRatio - 1}, {50, 5000}, {200, 200},
+	}
+	for trial := 0; trial < 50; trial++ {
+		for _, sz := range sizes {
+			universe := 4 * (sz[0] + sz[1] + 1)
+			a := randomSorted(rng, sz[0], universe)
+			b := randomSorted(rng, sz[1], universe)
+			va, vb := FromSorted(a), FromSorted(b)
+			want := linearIntersectionSize(a, b)
+			if got := va.IntersectionSize(vb); got != want {
+				t.Fatalf("|a|=%d |b|=%d: IntersectionSize = %d, want %d", sz[0], sz[1], got, want)
+			}
+			if got := vb.IntersectionSize(va); got != want {
+				t.Fatalf("|b|=%d |a|=%d (swapped): IntersectionSize = %d, want %d", sz[1], sz[0], got, want)
+			}
+		}
+	}
+}
+
+func TestGallopIntersectionSharedElements(t *testing.T) {
+	// Fully nested: a ⊂ b.
+	a := []uint32{5, 100, 1000, 5000}
+	b := make([]uint32, 0, 6000)
+	for i := uint32(0); i < 6000; i++ {
+		b = append(b, i)
+	}
+	if got := gallopIntersectionSize(a, b); got != len(a) {
+		t.Fatalf("nested gallop = %d, want %d", got, len(a))
+	}
+	// Disjoint, a entirely above b's range.
+	if got := gallopIntersectionSize([]uint32{9000, 9001}, b); got != 0 {
+		t.Fatalf("disjoint gallop = %d, want 0", got)
+	}
+}
+
+// BenchmarkIntersectionSizeSkewed locates the linear/galloping crossover:
+// a short list against a ratio× longer one. Run with -bench to re-derive
+// gallopRatio if the element type or hardware assumptions change; the
+// "forced-linear" and "forced-gallop" variants time both branches on the
+// same inputs independent of the dispatch heuristic.
+func BenchmarkIntersectionSizeSkewed(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	const short = 64
+	for _, ratio := range []int{1, 4, 8, 16, 64, 256} {
+		long := short * ratio
+		universe := 8 * long
+		a := randomSorted(rng, short, universe)
+		bb := randomSorted(rng, long, universe)
+		b.Run(fmt.Sprintf("ratio-%d/dispatch", ratio), func(b *testing.B) {
+			va, vb := FromSorted(a), FromSorted(bb)
+			for i := 0; i < b.N; i++ {
+				va.IntersectionSize(vb)
+			}
+		})
+		b.Run(fmt.Sprintf("ratio-%d/forced-linear", ratio), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				linearIntersectionSize(a, bb)
+			}
+		})
+		b.Run(fmt.Sprintf("ratio-%d/forced-gallop", ratio), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				gallopIntersectionSize(a, bb)
+			}
+		})
+	}
+}

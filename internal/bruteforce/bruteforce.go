@@ -5,8 +5,9 @@
 package bruteforce
 
 import (
+	"cmp"
 	"errors"
-	"sort"
+	"slices"
 
 	"skewsim/internal/bitvec"
 )
@@ -91,11 +92,11 @@ func (ix *Index) QueryTopK(q bitvec.Vector, k int) []Match {
 			matches = append(matches, Match{ID: id, Similarity: s})
 		}
 	}
-	sort.Slice(matches, func(a, b int) bool {
-		if matches[a].Similarity != matches[b].Similarity {
-			return matches[a].Similarity > matches[b].Similarity
+	slices.SortFunc(matches, func(a, b Match) int {
+		if a.Similarity != b.Similarity {
+			return cmp.Compare(b.Similarity, a.Similarity)
 		}
-		return matches[a].ID < matches[b].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 	if len(matches) > k {
 		matches = matches[:k]

@@ -223,12 +223,12 @@ func (ix *Index) Candidates(q bitvec.Vector) []int32 {
 	defer ix.visitPool.Put(vis)
 	var out []int32
 	for _, rep := range ix.reps {
-		ids, _ := rep.CandidateIDs(q)
-		for _, id := range ids {
+		rep.ForEachCandidate(q, func(id int32) bool {
 			if vis.FirstVisit(id) {
 				out = append(out, id)
 			}
-		}
+			return true
+		})
 	}
 	return out
 }

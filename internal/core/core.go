@@ -349,17 +349,19 @@ func (ix *Index) QueryBest(q bitvec.Vector) Result {
 
 // Candidates returns the distinct candidate ids over all repetitions.
 // Used by the join driver and by experiments analyzing candidate sets.
+// Each repetition streams its candidates straight into the cross-
+// repetition dedup, so no per-repetition slices are materialized.
 func (ix *Index) Candidates(q bitvec.Vector) []int32 {
 	vis := ix.visitPool.Get(len(ix.data))
 	defer ix.visitPool.Put(vis)
 	var out []int32
 	for _, rep := range ix.reps {
-		ids, _ := rep.CandidateIDs(q)
-		for _, id := range ids {
+		rep.ForEachCandidate(q, func(id int32) bool {
 			if vis.FirstVisit(id) {
 				out = append(out, id)
 			}
-		}
+			return true
+		})
 	}
 	return out
 }

@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"skewsim/internal/bitvec"
 )
@@ -28,23 +29,23 @@ func (ix *Index) QueryTopK(q bitvec.Vector, k int) ([]Match, Stats) {
 	defer ix.visitPool.Put(vis)
 	var matches []Match
 	for _, rep := range ix.reps {
-		ids, st := rep.CandidateIDs(q)
-		stats.add(st)
-		for _, id := range ids {
+		st := rep.ForEachCandidate(q, func(id int32) bool {
 			if !vis.FirstVisit(id) {
-				continue
+				return true
 			}
 			s := ix.measure.Similarity(q, ix.data[id])
 			if s > 0 {
 				matches = append(matches, Match{ID: int(id), Similarity: s})
 			}
-		}
+			return true
+		})
+		stats.add(st)
 	}
-	sort.Slice(matches, func(a, b int) bool {
-		if matches[a].Similarity != matches[b].Similarity {
-			return matches[a].Similarity > matches[b].Similarity
+	slices.SortFunc(matches, func(a, b Match) int {
+		if a.Similarity != b.Similarity {
+			return cmp.Compare(b.Similarity, a.Similarity)
 		}
-		return matches[a].ID < matches[b].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 	if len(matches) > k {
 		matches = matches[:k]

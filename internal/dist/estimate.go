@@ -1,9 +1,10 @@
 package dist
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"skewsim/internal/bitvec"
 )
@@ -61,6 +62,6 @@ func EstimateProduct(data []bitvec.Vector, dim int) (*Product, error) {
 func SortedFrequencies(probs []float64) []float64 {
 	out := make([]float64, len(probs))
 	copy(out, probs)
-	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	slices.SortFunc(out, func(a, b float64) int { return cmp.Compare(b, a) })
 	return out
 }

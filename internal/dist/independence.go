@@ -1,8 +1,9 @@
 package dist
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 
 	"skewsim/internal/bitvec"
 	"skewsim/internal/hashing"
@@ -74,7 +75,8 @@ func independenceRatio(data []bitvec.Vector, dim, setSize, samples int, seed uin
 			return int(rng.NextBelow(uint64(dim)))
 		}
 		u := rng.NextUnit() * cum[len(cum)-1]
-		return eligible[sort.SearchFloat64s(cum, u)]
+		k, _ := slices.BinarySearch(cum, u)
+		return eligible[k]
 	}
 
 	subset := make([]int, 0, setSize)
@@ -119,7 +121,7 @@ func observableItems(freqs []float64, n, setSize int) []int {
 			order = append(order, i)
 		}
 	}
-	sort.Slice(order, func(a, b int) bool { return freqs[order[a]] > freqs[order[b]] })
+	slices.SortFunc(order, func(a, b int) int { return cmp.Compare(freqs[b], freqs[a]) })
 	floor := math.Pow(float64(n), -1/float64(setSize))
 	cut := 0
 	for cut < len(order) && freqs[order[cut]] >= floor {

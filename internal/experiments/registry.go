@@ -3,7 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 )
 
 // Runner executes one experiment with its default configuration and
@@ -68,7 +68,7 @@ func IDs() []string {
 	for id := range registry {
 		ids = append(ids, id)
 	}
-	sort.Strings(ids)
+	slices.Sort(ids)
 	return ids
 }
 

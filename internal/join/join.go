@@ -7,9 +7,10 @@
 package join
 
 import (
+	"cmp"
 	"errors"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"skewsim/internal/bitvec"
@@ -23,6 +24,15 @@ type CandidateSource interface {
 	Data() []bitvec.Vector
 }
 
+// sortPairs orders join output deterministically by (RIdx, SIdx).
+func sortPairs(pairs []Pair) {
+	slices.SortFunc(pairs, func(a, b Pair) int {
+		if a.RIdx != b.RIdx {
+			return cmp.Compare(a.RIdx, b.RIdx)
+		}
+		return cmp.Compare(a.SIdx, b.SIdx)
+	})
+}
 
 // Pair is one joined pair: R[RIdx] matches S[SIdx] with the given
 // similarity.
@@ -61,12 +71,7 @@ func Run(index CandidateSource, r []bitvec.Vector, threshold float64, m bitvec.M
 			}
 		}
 	}
-	sort.Slice(pairs, func(a, b int) bool {
-		if pairs[a].RIdx != pairs[b].RIdx {
-			return pairs[a].RIdx < pairs[b].RIdx
-		}
-		return pairs[a].SIdx < pairs[b].SIdx
-	})
+	sortPairs(pairs)
 	st.Pairs = len(pairs)
 	return pairs, st, nil
 }
@@ -128,12 +133,7 @@ func RunParallel(index CandidateSource, r []bitvec.Vector, threshold float64, m 
 		pairs = append(pairs, perWorker[wID]...)
 		st.Candidates += candCounts[wID]
 	}
-	sort.Slice(pairs, func(a, b int) bool {
-		if pairs[a].RIdx != pairs[b].RIdx {
-			return pairs[a].RIdx < pairs[b].RIdx
-		}
-		return pairs[a].SIdx < pairs[b].SIdx
-	})
+	sortPairs(pairs)
 	st.Pairs = len(pairs)
 	return pairs, st, nil
 }
@@ -159,12 +159,7 @@ func SelfJoin(index CandidateSource, threshold float64, m bitvec.Measure) ([]Pai
 			}
 		}
 	}
-	sort.Slice(pairs, func(a, b int) bool {
-		if pairs[a].RIdx != pairs[b].RIdx {
-			return pairs[a].RIdx < pairs[b].RIdx
-		}
-		return pairs[a].SIdx < pairs[b].SIdx
-	})
+	sortPairs(pairs)
 	st.Pairs = len(pairs)
 	return pairs, st, nil
 }

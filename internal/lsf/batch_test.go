@@ -16,10 +16,8 @@ func referenceStats(ix *Index, q bitvec.Vector) QueryStats {
 	fs := ix.engine.Filters(q)
 	stats := QueryStats{Filters: len(fs.Paths), Truncated: fs.Truncated}
 	byKey := make(map[string][]int32)
-	for _, b := range ix.buckets {
-		for ; b != nil; b = b.next {
-			byKey[PathKey(b.path)] = b.ids
-		}
+	for b := range ix.pathSpans {
+		byKey[PathKey(ix.bucketPath(int32(b)))] = ix.bucketIDs(int32(b))
 	}
 	seen := make(map[int32]struct{})
 	for _, p := range fs.Paths {
@@ -142,39 +140,48 @@ func TestVisitedEpochWraparound(t *testing.T) {
 }
 
 // TestBucketCollisionChaining simulates two distinct paths landing on the
-// same 64-bit key: the chain must keep their posting lists separate, for
-// both incremental inserts and lookups.
+// same 64-bit key: the builder's chain and the frozen open-addressing
+// table must keep their posting lists separate, for both incremental
+// inserts and post-freeze lookups.
 func TestBucketCollisionChaining(t *testing.T) {
 	e, data := parallelTestEngine(t, 10)
-	ix := newIndex(e, data)
+	bld := newIndexBuilder(e, data)
 	pathA := []uint32{1, 2, 3}
 	pathB := []uint32{7, 8} // any other path; we force the collision below
 
-	// Plant B's bucket at A's hash slot, as if hashPath had collided.
+	// Plant B's bucket under A's hash, as if hashPath had collided.
 	hA := hashPath(pathA)
-	ix.buckets[hA] = &bucket{path: pathB, ids: []int32{5}}
-	ix.bucketCount++
+	bld.keys = append(bld.keys, hA)
+	bld.chain = append(bld.chain, -1)
+	bld.byHash[hA] = 0
+	bld.pathSpans = append(bld.pathSpans, Span{Off: 0, Len: uint32(len(pathB))})
+	bld.pathElems = append(bld.pathElems, pathB...)
+	bld.postings = append(bld.postings, posting{bucket: 0, id: 5})
 
-	// insert(A) must walk the chain, see the path mismatch, and prepend a
+	// insert(A) must walk the chain, see the path mismatch, and open a
 	// fresh bucket instead of contaminating B's ids.
-	ix.insert(pathA, 1)
-	ix.insert(pathA, 2)
+	bld.insert(pathA, 1)
+	bld.insert(pathA, 2)
+	ix := bld.freeze()
+	// The frozen probe for A must step past B's slot (same key, different
+	// path) and land on A's bucket.
 	if ids := ix.postings(pathA); len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
 		t.Fatalf("postings(A) = %v, want [1 2]", ids)
 	}
-	// B's planted bucket is only reachable through the collision chain;
-	// walk it directly to confirm it survived untouched.
-	var viaChain []int32
-	for b := ix.buckets[hA]; b != nil; b = b.next {
-		if pathsEqual(b.path, pathB) {
-			viaChain = b.ids
+	// B is only reachable through its bucket number (its planted key is
+	// A's hash, not hashPath(B)); read the arenas directly to confirm it
+	// survived untouched.
+	var viaBucket []int32
+	for b := range ix.pathSpans {
+		if pathsEqual(ix.bucketPath(int32(b)), pathB) {
+			viaBucket = ix.bucketIDs(int32(b))
 		}
 	}
-	if len(viaChain) != 1 || viaChain[0] != 5 {
-		t.Fatalf("chained bucket B = %v, want [5]", viaChain)
+	if len(viaBucket) != 1 || viaBucket[0] != 5 {
+		t.Fatalf("collided bucket B = %v, want [5]", viaBucket)
 	}
-	if ix.bucketCount != 2 {
-		t.Fatalf("bucketCount = %d, want 2", ix.bucketCount)
+	if got := len(ix.pathSpans); got != 2 {
+		t.Fatalf("bucket count = %d, want 2", got)
 	}
 }
 

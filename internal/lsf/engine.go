@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"skewsim/internal/bitvec"
 	"skewsim/internal/hashing"
@@ -82,6 +83,9 @@ type Engine struct {
 	weigher    PathWeigher
 	maxDepth   int
 	maxFilters int
+	// scratch recycles the frontier stacks of FiltersInto so steady-state
+	// filter generation performs no allocations beyond arena growth.
+	scratch sync.Pool
 }
 
 // DefaultMaxDepth is the depth cap for dataset size n: with all p_i ≤ 1/2
@@ -140,16 +144,28 @@ func NewEngine(n int, p Params) (*Engine, error) {
 	}, nil
 }
 
-// path is one node of the recursion tree.
-type path struct {
-	elems   []uint32
-	logInvP float64
+// Span addresses one path inside a FilterSet's element arena.
+type Span struct {
+	// Off is the index of the path's first element in Elems.
+	Off uint32
+	// Len is the path length.
+	Len uint32
 }
 
-// FilterSet is the result of computing F(x).
+// FilterSet is the result of computing F(x). All path elements live in a
+// single arena (Elems) addressed by (offset, length) spans, so one filter
+// set costs O(1) slice headers regardless of how many filters it holds,
+// and a Reset/FiltersInto cycle reuses the arena capacity.
 type FilterSet struct {
-	// Paths holds the completed filters. Each is a sequence of distinct
-	// elements of x in the order they were chosen.
+	// Elems is the arena holding every completed path back to back.
+	Elems []uint32
+	// Spans addresses the completed filters inside Elems, in generation
+	// order. Each path is a sequence of distinct elements of x in the
+	// order they were chosen.
+	Spans []Span
+	// Paths is a compatibility view of the arena: Paths[k] aliases the
+	// k-th span of Elems. It is populated by Filters but left nil by the
+	// allocation-light FiltersInto; new code should use Len/Path.
 	Paths [][]uint32
 	// Truncated reports that the work budget was exhausted; the filter
 	// set is incomplete and callers should treat the vector specially
@@ -159,46 +175,110 @@ type FilterSet struct {
 	Expanded int
 }
 
+// Len returns the number of completed filters.
+func (fs *FilterSet) Len() int { return len(fs.Spans) }
+
+// Path returns the k-th filter as a view into the arena. The slice is
+// valid until the next Reset/FiltersInto and must not be modified.
+func (fs *FilterSet) Path(k int) []uint32 {
+	s := fs.Spans[k]
+	return fs.Elems[s.Off : s.Off+s.Len]
+}
+
+// Reset empties the set, keeping the arena capacity for reuse.
+func (fs *FilterSet) Reset() {
+	fs.Elems = fs.Elems[:0]
+	fs.Spans = fs.Spans[:0]
+	fs.Paths = nil
+	fs.Truncated = false
+	fs.Expanded = 0
+}
+
+// filterScratch holds the per-depth frontier stacks of one FiltersInto
+// call: the frontier at depth j is count(curLog) paths of exactly j
+// elements each, stored back to back in cur with stride j. The two
+// levels ping-pong, so a whole filter generation touches exactly two
+// growable arenas plus the two logInvP stacks.
+type filterScratch struct {
+	cur, next       []uint32
+	curLog, nextLog []float64
+}
+
 // Filters computes F(x) under the engine's threshold and stopping rule.
 // The empty vector has no filters. Deterministic given the engine seed.
+// The returned set has the Paths compatibility view populated; hot paths
+// should prefer FiltersInto with a reused FilterSet.
 func (e *Engine) Filters(x bitvec.Vector) FilterSet {
 	var fs FilterSet
-	if x.IsEmpty() {
-		return fs
+	e.FiltersInto(x, &fs)
+	if n := fs.Len(); n > 0 {
+		fs.Paths = make([][]uint32, n)
+		for k := range fs.Paths {
+			fs.Paths[k] = fs.Path(k)
+		}
 	}
-	frontier := []path{{elems: nil, logInvP: 0}}
-	for depth := 0; depth < e.maxDepth && len(frontier) > 0; depth++ {
-		var next []path
-		for _, v := range frontier {
+	return fs
+}
+
+// FiltersInto computes F(x), appending the completed paths to fs's arena
+// and accumulating Expanded/Truncated. It produces exactly the same
+// filters in the same order as Filters but performs no allocations in
+// steady state: path elements land in fs.Elems, and the frontier stacks
+// come from a per-engine pool. Callers that reuse one FilterSet must
+// Reset it between vectors (or deliberately batch several vectors'
+// filters into one arena). The Paths view is not populated.
+func (e *Engine) FiltersInto(x bitvec.Vector, fs *FilterSet) {
+	if x.IsEmpty() {
+		return
+	}
+	base := fs.Len()
+	sc, _ := e.scratch.Get().(*filterScratch)
+	if sc == nil {
+		sc = new(filterScratch)
+	}
+	cur, next := sc.cur[:0], sc.next[:0]
+	curLog, nextLog := sc.curLog[:0], sc.nextLog[:0]
+	defer func() {
+		sc.cur, sc.next, sc.curLog, sc.nextLog = cur, next, curLog, nextLog
+		e.scratch.Put(sc)
+	}()
+	curLog = append(curLog, 0) // the root: empty path, Σ log(1/p) = 0
+	for depth := 0; depth < e.maxDepth && len(curLog) > 0; depth++ {
+		next, nextLog = next[:0], nextLog[:0]
+		for pi, plog := range curLog {
+			elems := cur[pi*depth : pi*depth+depth]
 			fs.Expanded++
 			for _, i := range x.Bits() {
-				if containsElem(v.elems, i) {
+				if containsElem(elems, i) {
 					continue // sampling without replacement
 				}
 				s := e.threshold(x, depth, i)
 				if s <= 0 {
 					continue
 				}
-				if s < 1 && e.hasher.UnitExt(v.elems, i) >= s {
+				if s < 1 && e.hasher.UnitExt(elems, i) >= s {
 					continue
 				}
-				elems := append(make([]uint32, 0, len(v.elems)+1), v.elems...)
-				elems = append(elems, i)
-				child := path{elems: elems, logInvP: v.logInvP + e.weigher.LogInvP(v.elems, i)}
-				if e.stop(child.logInvP, len(child.elems)) {
-					fs.Paths = append(fs.Paths, child.elems)
+				logInvP := plog + e.weigher.LogInvP(elems, i)
+				if e.stop(logInvP, depth+1) {
+					off := uint32(len(fs.Elems))
+					fs.Elems = append(fs.Elems, elems...)
+					fs.Elems = append(fs.Elems, i)
+					fs.Spans = append(fs.Spans, Span{Off: off, Len: uint32(depth + 1)})
 				} else {
-					next = append(next, child)
+					next = append(next, elems...)
+					next = append(next, i)
+					nextLog = append(nextLog, logInvP)
 				}
-				if len(fs.Paths)+len(next) > e.maxFilters {
+				if fs.Len()-base+len(nextLog) > e.maxFilters {
 					fs.Truncated = true
-					return fs
+					return
 				}
 			}
 		}
-		frontier = next
+		cur, next = next, cur
+		curLog, nextLog = nextLog, curLog
 	}
-	return fs
 }
 
 // containsElem is a linear scan on purpose: paths are at most maxDepth

@@ -2,6 +2,7 @@ package lsf
 
 import (
 	"errors"
+	"math"
 	"sync"
 
 	"skewsim/internal/bitvec"
@@ -11,31 +12,42 @@ import (
 // data vector it stores the list of vectors that chose it. Space is
 // linear in Σ_x |F(x)| plus the data itself.
 //
-// Buckets are keyed by a 64-bit hash of the path. Each bucket retains its
-// path so lookups verify equality and hash collisions chain instead of
-// mixing candidate lists; queries therefore never allocate a key (the old
-// representation re-encoded every path into a string per probe).
+// The index is frozen: construction goes through an indexBuilder, and the
+// finished structure is four flat arenas plus an open-addressing key
+// table — no per-bucket heap objects, no pointers for the GC to trace,
+// and traversal is pure array arithmetic:
+//
+//   - tableKeys/tableIdx: an open-addressing (linear-probe) table mapping
+//     a 64-bit path hash to a bucket number; distinct paths that collide
+//     on the hash simply occupy separate slots, and every probe verifies
+//     path equality, so correctness never depends on hash quality.
+//   - pathSpans/pathElems: every distinct path's elements, back to back
+//     in one arena, addressed by (offset, length) spans per bucket.
+//   - idOff/ids: the posting lists in CSR form — bucket b's ids are
+//     ids[idOff[b]:idOff[b+1]], in insertion (= vector id) order.
 type Index struct {
-	engine  *Engine
-	data    []bitvec.Vector
-	buckets map[uint64]*bucket
+	engine *Engine
+	data   []bitvec.Vector
 	// visitPool recycles the epoch-stamped visited sets queries use for
 	// candidate deduplication, so steady-state queries allocate nothing
 	// for dedup and concurrent queries each get their own set.
 	visitPool VisitedPool
+	// fsPool recycles per-query FilterSets (arena + spans) so traversal
+	// reuses filter storage across queries.
+	fsPool sync.Pool
+
+	// frozen layout
+	tableKeys []uint64 // path hash per slot (valid where tableIdx >= 0)
+	tableIdx  []int32  // bucket number per slot; -1 = empty
+	tableMask uint64   // len(tableIdx) is a power of two
+	pathSpans []Span   // per bucket: the path's span in pathElems
+	pathElems []uint32 // arena of all distinct paths' elements
+	idOff     []uint32 // CSR offsets into ids; len = buckets + 1
+	ids       []int32  // all posting lists, bucket-major
+
 	// stats from construction
 	totalFilters   int
 	truncatedCount int
-	bucketCount    int
-}
-
-// bucket is one inverted-index posting list. next chains buckets whose
-// distinct paths share a 64-bit key hash (astronomically rare, but
-// correctness must not depend on that).
-type bucket struct {
-	path []uint32
-	ids  []int32
-	next *bucket
 }
 
 // hashPath maps a path to its bucket key: splitmix-style mixing folded
@@ -64,36 +76,34 @@ func pathsEqual(a, b []uint32) bool {
 	return true
 }
 
-// insert appends id to the bucket of path, creating (or chaining) the
-// bucket as needed. The path slice is retained.
-func (ix *Index) insert(path []uint32, id int32) {
-	h := hashPath(path)
-	for b := ix.buckets[h]; b != nil; b = b.next {
-		if pathsEqual(b.path, path) {
-			b.ids = append(b.ids, id)
-			return
-		}
-	}
-	ix.buckets[h] = &bucket{path: path, ids: []int32{id}, next: ix.buckets[h]}
-	ix.bucketCount++
+// bucketPath returns bucket b's path as a view into the arena.
+func (ix *Index) bucketPath(b int32) []uint32 {
+	s := ix.pathSpans[b]
+	return ix.pathElems[s.Off : s.Off+s.Len]
 }
 
-// insertBucket installs a whole posting list at once (the
-// deserialization path; the stream never repeats a path).
-func (ix *Index) insertBucket(path []uint32, ids []int32) {
-	h := hashPath(path)
-	ix.buckets[h] = &bucket{path: path, ids: ids, next: ix.buckets[h]}
-	ix.bucketCount++
+// bucketIDs returns bucket b's posting list as a view into the CSR arena.
+func (ix *Index) bucketIDs(b int32) []int32 {
+	return ix.ids[ix.idOff[b]:ix.idOff[b+1]]
 }
 
-// postings returns the ids sharing the path, or nil. Never allocates.
+// postings returns the ids sharing the path, or nil. Never allocates:
+// one linear-probe walk over the key table, path equality verified
+// against the span arena.
 func (ix *Index) postings(path []uint32) []int32 {
-	for b := ix.buckets[hashPath(path)]; b != nil; b = b.next {
-		if pathsEqual(b.path, path) {
-			return b.ids
+	if len(ix.tableIdx) == 0 {
+		return nil
+	}
+	h := hashPath(path)
+	for slot := h & ix.tableMask; ; slot = (slot + 1) & ix.tableMask {
+		b := ix.tableIdx[slot]
+		if b < 0 {
+			return nil
+		}
+		if ix.tableKeys[slot] == h && pathsEqual(ix.bucketPath(b), path) {
+			return ix.bucketIDs(b)
 		}
 	}
-	return nil
 }
 
 // BuildStats summarizes index construction work, the empirical counterpart
@@ -105,37 +115,172 @@ type BuildStats struct {
 	Truncated    int // vectors whose filter sets hit the work budget
 }
 
-// newIndex allocates an empty index over data.
-func newIndex(engine *Engine, data []bitvec.Vector) *Index {
-	return &Index{
-		engine:  engine,
-		data:    data,
-		buckets: make(map[uint64]*bucket, len(data)*2),
+// posting is one (bucket, id) occurrence recorded during construction;
+// the freeze step counting-sorts these into the CSR arrays.
+type posting struct {
+	bucket int32
+	id     int32
+}
+
+// indexBuilder accumulates the mutable state of index construction: a
+// hash→bucket map with explicit collision chains, the (already final)
+// path arena, and a flat posting log. Everything is a handful of large
+// growable slices — the only per-bucket cost is one Span and one chain
+// link, not a heap object.
+type indexBuilder struct {
+	engine    *Engine
+	data      []bitvec.Vector
+	byHash    map[uint64]int32 // path hash -> head of bucket chain
+	chain     []int32          // per bucket: next bucket with same hash, -1 = end
+	keys      []uint64         // per bucket: path hash
+	pathSpans []Span
+	pathElems []uint32
+	postings  []posting
+
+	totalFilters   int
+	truncatedCount int
+}
+
+func newIndexBuilder(engine *Engine, data []bitvec.Vector) *indexBuilder {
+	return &indexBuilder{
+		engine: engine,
+		data:   data,
+		byHash: make(map[uint64]int32, len(data)*2),
+	}
+}
+
+// bucketFor returns the bucket number for path, creating it (and copying
+// the path into the arena) if new.
+func (b *indexBuilder) bucketFor(path []uint32) int32 {
+	h := hashPath(path)
+	head, ok := b.byHash[h]
+	if ok {
+		for bi := head; bi >= 0; bi = b.chain[bi] {
+			s := b.pathSpans[bi]
+			if pathsEqual(b.pathElems[s.Off:s.Off+s.Len], path) {
+				return bi
+			}
+		}
+	} else {
+		head = -1
+	}
+	bi := int32(len(b.keys))
+	b.keys = append(b.keys, h)
+	b.chain = append(b.chain, head)
+	b.byHash[h] = bi
+	if uint64(len(b.pathElems))+uint64(len(path)) > math.MaxUint32 {
+		// Span offsets are uint32; wrapping would silently alias earlier
+		// paths. Fail loudly — an index this size needs the sharded layout.
+		panic("lsf: path element arena exceeds 2^32 entries")
+	}
+	off := uint32(len(b.pathElems))
+	b.pathElems = append(b.pathElems, path...)
+	b.pathSpans = append(b.pathSpans, Span{Off: off, Len: uint32(len(path))})
+	return bi
+}
+
+// insert appends id to the bucket of path, creating the bucket as needed.
+// The path is copied into the arena, never retained.
+func (b *indexBuilder) insert(path []uint32, id int32) {
+	b.postings = append(b.postings, posting{bucket: b.bucketFor(path), id: id})
+}
+
+// insertBucket installs a whole posting list at once (the
+// deserialization path; the stream never repeats a path).
+func (b *indexBuilder) insertBucket(path []uint32, ids []int32) {
+	bi := b.bucketFor(path)
+	for _, id := range ids {
+		b.postings = append(b.postings, posting{bucket: bi, id: id})
 	}
 }
 
 // addFilterSet inserts one vector's filters, updating build statistics.
-func (ix *Index) addFilterSet(id int32, fs FilterSet) {
+func (b *indexBuilder) addFilterSet(id int32, fs *FilterSet) {
 	if fs.Truncated {
-		ix.truncatedCount++
+		b.truncatedCount++
 	}
-	for _, p := range fs.Paths {
-		ix.insert(p, id)
+	for k := 0; k < fs.Len(); k++ {
+		b.insert(fs.Path(k), id)
 	}
-	ix.totalFilters += len(fs.Paths)
+	b.totalFilters += fs.Len()
+}
+
+// freeze counting-sorts the posting log into CSR form, builds the
+// open-addressing key table at load factor ≤ 1/2, and returns the
+// immutable index. Posting order within a bucket is insertion order
+// (the scatter below is stable), so results are identical to walking
+// the old chained buckets.
+func (b *indexBuilder) freeze() *Index {
+	nb := len(b.keys)
+	if uint64(len(b.postings)) > math.MaxUint32 {
+		// CSR offsets are uint32; see the matching guard in bucketFor.
+		panic("lsf: posting log exceeds 2^32 entries")
+	}
+	idOff := make([]uint32, nb+1)
+	for _, p := range b.postings {
+		idOff[p.bucket+1]++
+	}
+	for i := 0; i < nb; i++ {
+		idOff[i+1] += idOff[i]
+	}
+	ids := make([]int32, len(b.postings))
+	cursor := make([]uint32, nb)
+	copy(cursor, idOff[:nb])
+	for _, p := range b.postings {
+		ids[cursor[p.bucket]] = p.id
+		cursor[p.bucket]++
+	}
+
+	size := 4
+	for size < 2*nb {
+		size <<= 1
+	}
+	mask := uint64(size - 1)
+	tableKeys := make([]uint64, size)
+	tableIdx := make([]int32, size)
+	for i := range tableIdx {
+		tableIdx[i] = -1
+	}
+	for bi := 0; bi < nb; bi++ {
+		slot := b.keys[bi] & mask
+		for tableIdx[slot] >= 0 {
+			slot = (slot + 1) & mask
+		}
+		tableIdx[slot] = int32(bi)
+		tableKeys[slot] = b.keys[bi]
+	}
+
+	return &Index{
+		engine:         b.engine,
+		data:           b.data,
+		tableKeys:      tableKeys,
+		tableIdx:       tableIdx,
+		tableMask:      mask,
+		pathSpans:      b.pathSpans,
+		pathElems:      b.pathElems,
+		idOff:          idOff,
+		ids:            ids,
+		totalFilters:   b.totalFilters,
+		truncatedCount: b.truncatedCount,
+	}
 }
 
 // BuildIndex computes F(x) for every data vector and constructs the
-// inverted index. The data slice is retained (not copied).
+// inverted index. The data slice is retained (not copied). One FilterSet
+// arena is reused across all vectors, so filter generation allocates
+// nothing after warm-up; the builder's arenas grow amortized.
 func BuildIndex(engine *Engine, data []bitvec.Vector) (*Index, error) {
 	if engine == nil {
 		return nil, errors.New("lsf: nil engine")
 	}
-	ix := newIndex(engine, data)
+	b := newIndexBuilder(engine, data)
+	var fs FilterSet
 	for id, x := range data {
-		ix.addFilterSet(int32(id), engine.Filters(x))
+		fs.Reset()
+		engine.FiltersInto(x, &fs)
+		b.addFilterSet(int32(id), &fs)
 	}
-	return ix, nil
+	return b.freeze(), nil
 }
 
 // Stats returns construction statistics.
@@ -143,7 +288,7 @@ func (ix *Index) Stats() BuildStats {
 	return BuildStats{
 		Vectors:      len(ix.data),
 		TotalFilters: ix.totalFilters,
-		Buckets:      ix.bucketCount,
+		Buckets:      len(ix.pathSpans),
 		Truncated:    ix.truncatedCount,
 	}
 }
@@ -180,15 +325,18 @@ type Visited struct {
 // previous pass in O(1).
 func (v *Visited) Begin(n int) {
 	if cap(v.stamp) < n {
+		// A fresh slice is already zeroed; start the epoch sequence over.
 		v.stamp = make([]uint32, n)
-		v.epoch = 0
+		v.epoch = 1
+		return
 	}
 	v.stamp = v.stamp[:n]
 	v.epoch++
-	if v.epoch == 0 { // wrapped: stamps from 2^32 passes ago could alias
-		for i := range v.stamp {
-			v.stamp[i] = 0
-		}
+	if v.epoch == 0 {
+		// Wrapped: stamps from 2^32 passes ago could alias the new epoch.
+		// Clear the full capacity, not just the current length — a later
+		// Begin with a larger n would otherwise see pre-wrap stamps.
+		clear(v.stamp[:cap(v.stamp)])
 		v.epoch = 1
 	}
 }
@@ -224,22 +372,28 @@ func (p *VisitedPool) Get(n int) *Visited {
 func (p *VisitedPool) Put(v *Visited) { p.pool.Put(v) }
 
 // traverse is the single candidate-traversal implementation behind every
-// query entry point: it computes F(q) once, walks the buckets of each
-// filter, deduplicates ids, and streams each distinct candidate into sink
-// in first-encounter order. The sink returns false to stop early (the
-// threshold query's early exit); stats always reflect exactly the work
-// performed up to the stop.
+// query entry point: it computes F(q) once (into a pooled arena), walks
+// the CSR posting list of each filter, deduplicates ids, and streams each
+// distinct candidate into sink in first-encounter order. The sink returns
+// false to stop early (the threshold query's early exit); stats always
+// reflect exactly the work performed up to the stop.
 func (ix *Index) traverse(q bitvec.Vector, stats *QueryStats, sink func(id int32) bool) {
-	fs := ix.engine.Filters(q)
-	stats.Filters = len(fs.Paths)
+	fs, _ := ix.fsPool.Get().(*FilterSet)
+	if fs == nil {
+		fs = new(FilterSet)
+	}
+	defer ix.fsPool.Put(fs)
+	fs.Reset()
+	ix.engine.FiltersInto(q, fs)
+	stats.Filters = fs.Len()
 	stats.Truncated = fs.Truncated
-	if len(fs.Paths) == 0 {
+	if fs.Len() == 0 {
 		return
 	}
 	vis := ix.visitPool.Get(len(ix.data))
 	defer ix.visitPool.Put(vis)
-	for _, p := range fs.Paths {
-		for _, id := range ix.postings(p) {
+	for k := 0; k < fs.Len(); k++ {
+		for _, id := range ix.postings(fs.Path(k)) {
 			stats.Candidates++
 			if !vis.FirstVisit(id) {
 				continue
@@ -250,6 +404,17 @@ func (ix *Index) traverse(q bitvec.Vector, stats *QueryStats, sink func(id int32
 			}
 		}
 	}
+}
+
+// ForEachCandidate streams the distinct data ids sharing at least one
+// filter with q into sink, in first-encounter order, until sink returns
+// false. It is the exported form of the traversal core, letting the
+// layers above (cross-repetition dedup in core, the baselines) consume
+// candidates without materializing per-repetition slices.
+func (ix *Index) ForEachCandidate(q bitvec.Vector, sink func(id int32) bool) QueryStats {
+	var stats QueryStats
+	ix.traverse(q, &stats, sink)
+	return stats
 }
 
 // Query returns the first indexed vector with measure-similarity at least
@@ -288,11 +453,17 @@ func (ix *Index) QueryBest(q bitvec.Vector, m bitvec.Measure) (best int, sim flo
 // with q, plus stats. Exposed for experiments that analyze candidate sets
 // directly.
 func (ix *Index) CandidateIDs(q bitvec.Vector) ([]int32, QueryStats) {
+	return ix.AppendCandidateIDs(nil, q)
+}
+
+// AppendCandidateIDs is CandidateIDs appending into dst (which may be
+// nil), so callers looping over queries can reuse one buffer and keep the
+// traversal allocation-free in steady state.
+func (ix *Index) AppendCandidateIDs(dst []int32, q bitvec.Vector) ([]int32, QueryStats) {
 	var stats QueryStats
-	var ids []int32
 	ix.traverse(q, &stats, func(id int32) bool {
-		ids = append(ids, id)
+		dst = append(dst, id)
 		return true
 	})
-	return ids, stats
+	return dst, stats
 }

@@ -27,14 +27,17 @@ func BuildIndexParallel(engine *Engine, data []bitvec.Vector, workers int) (*Ind
 		return BuildIndex(engine, data)
 	}
 
+	// Each worker fills its own arena-backed FilterSet (one Elems/Spans
+	// pair per vector instead of one slice per path), then insertion runs
+	// single-threaded in id order so the result is bit-identical.
 	sets := make([]FilterSet, len(data))
 	ForEachParallel(len(data), workers, func(id int) {
-		sets[id] = engine.Filters(data[id])
+		engine.FiltersInto(data[id], &sets[id])
 	})
 
-	ix := newIndex(engine, data)
-	for id, fs := range sets {
-		ix.addFilterSet(int32(id), fs)
+	b := newIndexBuilder(engine, data)
+	for id := range sets {
+		b.addFilterSet(int32(id), &sets[id])
 	}
-	return ix, nil
+	return b.freeze(), nil
 }

@@ -31,14 +31,12 @@ func parallelTestEngine(t *testing.T, n int) (*Engine, []bitvec.Vector) {
 	return e, data
 }
 
-// bucketSnapshot flattens the hash-chained buckets into a path-keyed map
+// bucketSnapshot flattens the frozen bucket arenas into a path-keyed map
 // for representation-independent comparison.
 func bucketSnapshot(ix *Index) map[string][]int32 {
-	out := make(map[string][]int32, ix.bucketCount)
-	for _, b := range ix.buckets {
-		for ; b != nil; b = b.next {
-			out[PathKey(b.path)] = b.ids
-		}
+	out := make(map[string][]int32, len(ix.pathSpans))
+	for b := range ix.pathSpans {
+		out[PathKey(ix.bucketPath(int32(b)))] = ix.bucketIDs(int32(b))
 	}
 	return out
 }

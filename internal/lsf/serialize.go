@@ -6,7 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
+	"strings"
 
 	"skewsim/internal/bitvec"
 )
@@ -47,22 +48,23 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	if err := write(uint64(ix.truncatedCount)); err != nil {
 		return n, err
 	}
-	if err := write(uint64(ix.bucketCount)); err != nil {
+	if err := write(uint64(len(ix.pathSpans))); err != nil {
 		return n, err
 	}
 	// Dump buckets in sorted PathKey order so output stays deterministic
-	// (and identical to the pre-hash-bucket format).
+	// (and identical to the pre-freeze and pre-hash-bucket formats). Both
+	// the keys and the posting lists serialize straight out of the frozen
+	// arenas; only the sort permutation is materialized here.
 	type entry struct {
 		key string
 		ids []int32
 	}
-	entries := make([]entry, 0, ix.bucketCount)
-	for _, b := range ix.buckets {
-		for ; b != nil; b = b.next {
-			entries = append(entries, entry{key: PathKey(b.path), ids: b.ids})
-		}
+	entries := make([]entry, 0, len(ix.pathSpans))
+	for b := range ix.pathSpans {
+		b := int32(b)
+		entries = append(entries, entry{key: PathKey(ix.bucketPath(b)), ids: ix.bucketIDs(b)})
 	}
-	sort.Slice(entries, func(a, b int) bool { return entries[a].key < entries[b].key })
+	slices.SortFunc(entries, func(a, b entry) int { return strings.Compare(a.key, b.key) })
 	for _, e := range entries {
 		if err := write(uint32(len(e.key))); err != nil {
 			return n, err
@@ -107,9 +109,9 @@ func ReadIndexFrom(r io.Reader, engine *Engine, data []bitvec.Vector) (*Index, e
 	if total > maxReasonable || buckets > maxReasonable {
 		return nil, fmt.Errorf("lsf: implausible header (total=%d buckets=%d)", total, buckets)
 	}
-	ix := newIndex(engine, data)
-	ix.totalFilters = int(total)
-	ix.truncatedCount = int(trunc)
+	bld := newIndexBuilder(engine, data)
+	bld.totalFilters = int(total)
+	bld.truncatedCount = int(trunc)
 	sum := uint64(0)
 	for b := uint64(0); b < buckets; b++ {
 		var keyLen uint32
@@ -140,12 +142,12 @@ func ReadIndexFrom(r io.Reader, engine *Engine, data []bitvec.Vector) (*Index, e
 			}
 		}
 		sum += uint64(idCount)
-		ix.insertBucket(pathFromKey(key), ids)
+		bld.insertBucket(pathFromKey(key), ids)
 	}
 	if sum != total {
 		return nil, fmt.Errorf("lsf: bucket ids sum to %d, header claims %d", sum, total)
 	}
-	return ix, nil
+	return bld.freeze(), nil
 }
 
 // pathFromKey decodes a PathKey byte string back into its element path.

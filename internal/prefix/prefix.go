@@ -15,9 +15,10 @@
 package prefix
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"skewsim/internal/bitvec"
 )
@@ -78,12 +79,11 @@ func buildRank(freqs []float64) []int32 {
 	for i := range order {
 		order[i] = int32(i)
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		fa, fb := freqs[order[a]], freqs[order[b]]
-		if fa != fb {
-			return fa < fb
+	slices.SortStableFunc(order, func(a, b int32) int {
+		if fa, fb := freqs[a], freqs[b]; fa != fb {
+			return cmp.Compare(fa, fb)
 		}
-		return order[a] < order[b]
+		return cmp.Compare(a, b)
 	})
 	rank := make([]int32, len(freqs))
 	for pos, e := range order {
@@ -127,8 +127,8 @@ func (ix *Index) prefixTokens(x bitvec.Vector) []uint32 {
 	}
 	sorted := make([]uint32, x.Len())
 	copy(sorted, x.Bits())
-	sort.Slice(sorted, func(a, b int) bool {
-		return ix.rankOf(sorted[a]) < ix.rankOf(sorted[b])
+	slices.SortFunc(sorted, func(a, b uint32) int {
+		return cmp.Compare(ix.rankOf(a), ix.rankOf(b))
 	})
 	return sorted[:l]
 }

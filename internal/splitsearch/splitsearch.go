@@ -20,9 +20,10 @@
 package splitsearch
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"skewsim/internal/bitvec"
 	"skewsim/internal/core"
@@ -151,7 +152,7 @@ func partitionByMass(d *dist.Product) []bool {
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool { return d.P(order[a]) > d.P(order[b]) })
+	slices.SortStableFunc(order, func(a, b int) int { return cmp.Compare(d.P(b), d.P(a)) })
 	half := d.ExpectedSize() / 2
 	mask := make([]bool, d.Dim())
 	acc := 0.0

@@ -8,7 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Summary holds the usual moments of a sample.
@@ -63,7 +63,7 @@ func Quantile(xs []float64, q float64) float64 {
 	}
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
-	sort.Float64s(sorted)
+	slices.Sort(sorted)
 	if len(sorted) == 1 {
 		return sorted[0]
 	}
@@ -195,6 +195,6 @@ func GeometricSpace(lo, hi, k int) []int {
 		}
 		v *= ratio
 	}
-	sort.Ints(out)
+	slices.Sort(out)
 	return out
 }
