@@ -2,10 +2,15 @@ GO ?= go
 
 # Benchmarks covered by the smoke run and the JSON perf record: the
 # query-pipeline and build micro-benchmarks the perf trajectory is held
-# to, plus the bitvec merge kernels and serialization.
-BENCH_PATTERN ?= QueryPath|LSFTraversal|BuildSkewSearch|BuildChosenPath|IntersectionSize|SerializeIndex
+# to, the bitvec merge kernels and serialization, plus the serving
+# subsystem (segmented query vs frozen-only, shard fan-out, online
+# insert).
+BENCH_PATTERN ?= QueryPath|LSFTraversal|BuildSkewSearch|BuildChosenPath|IntersectionSize|SerializeIndex|Segmented|Shard
 
-.PHONY: all build vet test bench bench-json
+# The JSON perf record for this PR's benchmark snapshot.
+BENCH_OUT ?= BENCH_PR3.json
+
+.PHONY: all build vet test race fuzz bench bench-json
 
 all: build vet test
 
@@ -18,6 +23,19 @@ vet:
 test:
 	$(GO) test ./...
 
+# Full suite under the race detector — the concurrency acceptance run
+# for the serving subsystem (segment/server stress tests).
+race:
+	$(GO) test -race ./...
+
+# Short fuzz smoke over the byte-level parsers. Each target gets a few
+# seconds of mutation on top of the checked-in seeds.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzRead$$' -fuzztime $(FUZZTIME) ./internal/dataio
+	$(GO) test -run '^$$' -fuzz '^FuzzReadIndexFrom$$' -fuzztime $(FUZZTIME) ./internal/lsf
+	$(GO) test -run '^$$' -fuzz '^FuzzSerializeRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/lsf
+
 # Smoke-run the micro-benchmarks: one iteration each, with allocation
 # counters, so CI catches benchmarks that stop compiling or crash
 # without paying for statistically meaningful timings.
@@ -25,11 +43,11 @@ bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=1x ./...
 
 # Same smoke run, converted to a machine-readable perf record
-# (BENCH_PR2.json: name, ns/op, B/op, allocs/op, custom metrics per
+# ($(BENCH_OUT): name, ns/op, B/op, allocs/op, custom metrics per
 # benchmark) so the benchmark trajectory can be diffed across PRs. Two
 # steps, not a pipe, so a crashing benchmark fails the target instead
 # of being swallowed by the converter's exit code; the raw benchmark
 # log still reaches the terminal via benchjson's stderr passthrough.
 bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=1x ./... > bench.log
-	$(GO) run ./cmd/benchjson < bench.log > BENCH_PR2.json; st=$$?; rm -f bench.log; exit $$st
+	$(GO) run ./cmd/benchjson < bench.log > $(BENCH_OUT); st=$$?; rm -f bench.log; exit $$st

@@ -21,12 +21,12 @@ import (
 
 // Result is one benchmark measurement.
 type Result struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	NsPerOp    float64            `json:"ns_per_op"`
-	BPerOp     *float64           `json:"b_per_op,omitempty"`
-	AllocsPerOp *float64          `json:"allocs_per_op,omitempty"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BPerOp      *float64           `json:"b_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 func main() {

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// runLoad is the throughput driver for a running skewsimd: it streams
+// the -data sets through /v1/insert (in batches) and then fires the
+// -queries sets at /v1/search from -concurrency goroutines, reporting
+// requests/s and latency quantiles for both phases. It measures the
+// daemon end to end — JSON decode, shard fan-out, segment merge — which
+// is the number the serving-throughput section of EXPERIMENTS.md
+// records.
+func runLoad(args []string) {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "skewsimd base URL")
+	dataPath := fs.String("data", "", "sets to insert (optional)")
+	queryPath := fs.String("queries", "", "sets to search (optional)")
+	concurrency := fs.Int("concurrency", 8, "concurrent client connections")
+	batch := fs.Int("batch", 64, "sets per insert request")
+	mode := fs.String("mode", "best", "search mode: best | first | topk")
+	k := fs.Int("k", 10, "k for topk searches")
+	threshold := fs.Float64("threshold", 0.5, "threshold for first searches")
+	repeat := fs.Int("repeat", 1, "passes over the query file")
+	_ = fs.Parse(args)
+	if *dataPath == "" && *queryPath == "" {
+		fatal(fmt.Errorf("load needs -data and/or -queries"))
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	if *dataPath != "" {
+		vecs := loadVectors(*dataPath)
+		var reqs [][][]uint32
+		for start := 0; start < len(vecs); start += *batch {
+			end := min(start+*batch, len(vecs))
+			sets := make([][]uint32, 0, end-start)
+			for _, v := range vecs[start:end] {
+				sets = append(sets, v.Bits())
+			}
+			reqs = append(reqs, sets)
+		}
+		lat, elapsed := fire(client, *concurrency, len(reqs), func(i int) error {
+			return post(client, *addr+"/v1/insert", map[string]interface{}{"sets": reqs[i]})
+		})
+		report("insert", lat, elapsed, len(vecs))
+	}
+	if *queryPath != "" {
+		qs := loadVectors(*queryPath)
+		total := len(qs) * *repeat
+		lat, elapsed := fire(client, *concurrency, total, func(i int) error {
+			body := map[string]interface{}{"set": qs[i%len(qs)].Bits(), "mode": *mode}
+			switch *mode {
+			case "topk":
+				body["k"] = *k
+			case "first":
+				body["threshold"] = *threshold
+			}
+			return post(client, *addr+"/v1/search", body)
+		})
+		report("search", lat, elapsed, total)
+	}
+}
+
+// fire runs n requests through `concurrency` workers, returning the
+// per-request latencies and the wall-clock elapsed time.
+func fire(client *http.Client, concurrency, n int, do func(i int) error) ([]time.Duration, time.Duration) {
+	start := time.Now()
+	lat := make([]time.Duration, n)
+	var next atomic.Int64
+	var failed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < min(concurrency, n); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				t0 := time.Now()
+				if err := do(i); err != nil {
+					failed.Add(1)
+					fmt.Fprintln(os.Stderr, "skewsim load:", err)
+				}
+				lat[i] = time.Since(t0)
+			}
+		}()
+	}
+	wg.Wait()
+	if f := failed.Load(); f > 0 {
+		fatal(fmt.Errorf("%d/%d requests failed", f, n))
+	}
+	return lat, time.Since(start)
+}
+
+func post(client *http.Client, url string, body interface{}) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("%s: %s (%s)", url, resp.Status, e.Error)
+	}
+	// Drain so the connection is reused.
+	var sink json.RawMessage
+	return json.NewDecoder(resp.Body).Decode(&sink)
+}
+
+func report(phase string, lat []time.Duration, elapsed time.Duration, items int) {
+	if len(lat) == 0 {
+		fmt.Printf("%s: 0 requests (empty input)\n", phase)
+		return
+	}
+	var total time.Duration
+	for _, l := range lat {
+		total += l
+	}
+	sorted := slices.Clone(lat)
+	slices.Sort(sorted)
+	q := func(p float64) time.Duration { return sorted[int(p*float64(len(sorted)-1))] }
+	fmt.Printf("%s: %d requests (%d items) in %v — %.0f items/s, latency mean %v, p50 %v, p95 %v, p99 %v\n",
+		phase, len(lat), items, elapsed.Round(time.Millisecond),
+		float64(items)/elapsed.Seconds(),
+		total/time.Duration(len(lat)), q(0.50), q(0.95), q(0.99))
+}

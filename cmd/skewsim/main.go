@@ -8,6 +8,8 @@
 //	skewsim search -data s.txt -queries q.txt -alpha 0.8     # correlated mode
 //	skewsim join   -data s.txt -queries q.txt -threshold 0.6 # R ⋈ S
 //	skewsim selfjoin -data s.txt -threshold 0.8              # S ⋈ S
+//	skewsim load -addr http://localhost:8080 -data s.txt -queries q.txt
+//	                                                         # drive a skewsimd daemon
 package main
 
 import (
@@ -33,13 +35,15 @@ func main() {
 		runJoin(os.Args[2:], false)
 	case "selfjoin":
 		runJoin(os.Args[2:], true)
+	case "load":
+		runLoad(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: skewsim <search|join|selfjoin> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: skewsim <search|join|selfjoin|load> [flags]")
 	os.Exit(2)
 }
 
@@ -49,12 +53,7 @@ func fatal(err error) {
 }
 
 func loadVectors(path string) []bitvec.Vector {
-	f, err := os.Open(path)
-	if err != nil {
-		fatal(err)
-	}
-	defer f.Close()
-	vs, err := dataio.Read(f)
+	vs, err := dataio.ReadFile(path) // transparently gunzips .gz dumps
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,150 @@
+// Command skewsimd serves a sharded, online-mutable SkewSearch index
+// over HTTP/JSON: inserts and deletes apply immediately (segmented
+// memtable + frozen CSR segments per shard), queries fan out across
+// shards, and the whole index can be snapshotted to a file and restored
+// at startup.
+//
+// Endpoints (see internal/server/http.go for request/response bodies):
+//
+//	POST /v1/insert    add sets, returns assigned ids
+//	POST /v1/delete    tombstone ids
+//	POST /v1/search    best / first-above-threshold / top-k search
+//	GET  /v1/stats     aggregated + per-shard sizes
+//	POST /v1/snapshot  persist the index to a server-local file
+//
+// The engine runs the paper's adversarial scheme by default (-b1), or
+// the correlated scheme with -alpha. Item probabilities come from a
+// warm-start dataset (-data, the §9 estimation strategy) or from a
+// synthetic Zipf profile (-dim/-pmax) when starting empty.
+//
+// Examples:
+//
+//	skewsimd -addr :8080 -data s.txt -b1 0.5
+//	skewsimd -addr :8080 -dim 4096 -n 100000 -shards 8
+//	skewsimd -restore index.snap -data s.txt   # params must match the writer
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"skewsim/internal/bitvec"
+	"skewsim/internal/core"
+	"skewsim/internal/dataio"
+	"skewsim/internal/dist"
+	"skewsim/internal/segment"
+	"skewsim/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		shards      = flag.Int("shards", 4, "SegmentedIndex shards")
+		workers     = flag.Int("workers", 0, "fan-out worker bound (0 = GOMAXPROCS, clamped to shards)")
+		memtable    = flag.Int("memtable", 4096, "vectors per memtable before freezing")
+		maxSegments = flag.Int("max-segments", 4, "per-shard segment count that triggers compaction")
+		reps        = flag.Int("reps", 0, "filter repetitions (0 = ceil(log2 n)+1)")
+		b1          = flag.Float64("b1", 0.5, "adversarial similarity threshold")
+		alpha       = flag.Float64("alpha", 0, "correlated mode with this correlation (overrides -b1)")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		n           = flag.Int("n", 1<<16, "expected steady-state dataset size (stopping rule)")
+		dim         = flag.Int("dim", 1024, "universe size for the synthetic Zipf profile (no -data)")
+		pmax        = flag.Float64("pmax", 0.5, "max item probability for the synthetic Zipf profile")
+		dataPath    = flag.String("data", "", "warm-start dataset: estimate probabilities from it and preload it")
+		restorePath = flag.String("restore", "", "restore a /v1/snapshot file at startup instead of starting empty")
+		snapshotDir = flag.String("snapshot-dir", ".", "directory /v1/snapshot may write into (empty disables the endpoint)")
+	)
+	flag.Parse()
+
+	var (
+		d       *dist.Product
+		preload []bitvec.Vector
+		err     error
+	)
+	if *dataPath != "" {
+		preload, err = dataio.ReadFile(*dataPath) // .gz dumps stream transparently
+		if err != nil {
+			log.Fatalf("skewsimd: %v", err)
+		}
+		if d, err = dist.EstimateProduct(preload, 0); err != nil {
+			log.Fatalf("skewsimd: estimating probabilities: %v", err)
+		}
+	} else {
+		if d, err = dist.NewProduct(dist.Zipf(*dim, *pmax, 1.0)); err != nil {
+			log.Fatalf("skewsimd: %v", err)
+		}
+	}
+
+	mode, param := core.Adversarial, *b1
+	if *alpha > 0 {
+		mode, param = core.Correlated, *alpha
+	}
+	params, err := core.EngineParams(mode, d, *n, param, core.Options{Seed: *seed, Repetitions: *reps})
+	if err != nil {
+		log.Fatalf("skewsimd: %v", err)
+	}
+	cfg := server.Config{
+		Shards:  *shards,
+		Workers: *workers,
+		Segment: segment.Config{
+			Params:       params,
+			N:            *n,
+			MemtableSize: *memtable,
+			MaxSegments:  *maxSegments,
+		},
+	}
+
+	var srv *server.Server
+	if *restorePath != "" {
+		f, err := os.Open(*restorePath)
+		if err != nil {
+			log.Fatalf("skewsimd: %v", err)
+		}
+		srv, err = server.ReadSnapshot(f, cfg)
+		f.Close()
+		if err != nil {
+			log.Fatalf("skewsimd: restoring %s: %v", *restorePath, err)
+		}
+		log.Printf("restored %d live vectors from %s", srv.Stats().Live, *restorePath)
+	} else {
+		if srv, err = server.New(cfg); err != nil {
+			log.Fatalf("skewsimd: %v", err)
+		}
+		if len(preload) > 0 {
+			if _, err := srv.InsertBatch(preload); err != nil {
+				log.Fatalf("skewsimd: preloading: %v", err)
+			}
+			log.Printf("preloaded %d vectors from %s", len(preload), *dataPath)
+		}
+	}
+	defer srv.Close()
+
+	// Threshold-mode searches that omit a threshold fall back to the
+	// mode's verification threshold (b1, or α/1.3 in correlated mode).
+	verify, err := core.VerificationThreshold(mode, param)
+	if err != nil {
+		log.Fatalf("skewsimd: %v", err)
+	}
+	handler := server.NewHandler(srv, server.HandlerConfig{
+		SnapshotDir:      *snapshotDir,
+		DefaultThreshold: verify,
+	})
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: handler,
+		// Bounded timeouts so a stalled client cannot wedge a serving
+		// goroutine indefinitely; body size is capped in the handler.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Printf("skewsimd: %s mode, %d shards, serving on %s", mode, srv.Shards(), *addr)
+	if err := hs.ListenAndServe(); err != nil {
+		log.Fatal(fmt.Errorf("skewsimd: %w", err))
+	}
+}

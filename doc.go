@@ -8,12 +8,17 @@
 // MinHash LSH, prefix filtering, brute force), the probabilistic data
 // model, exponent solvers, dataset generators, a similarity-join driver,
 // and the experiment harness that regenerates every table and figure of
-// the paper are in the sibling internal packages; see DESIGN.md for the
+// the paper are in the sibling internal packages. For serving rather
+// than experiments, internal/segment makes the index online-mutable
+// (memtable + frozen CSR segments, LSM-style) and internal/server
+// shards it behind the cmd/skewsimd HTTP daemon. See DESIGN.md for the
 // full inventory and EXPERIMENTS.md for paper-vs-measured results.
 //
 // Quick start:
 //
 //	go run ./examples/quickstart
+//	go run ./examples/serving       # online insert/delete/query
 //	go run ./cmd/experiments        # regenerate all paper artifacts
+//	go run ./cmd/skewsimd           # HTTP serving daemon
 //	go test -bench=. -benchmem      # benchmark harness
 package skewsim

@@ -1,0 +1,94 @@
+// Serving: run SkewSearch as an online index — insert and delete while
+// querying, watch memtables freeze into CSR segments and compact, then
+// snapshot and restore, all through the segmented serving layer that
+// cmd/skewsimd exposes over HTTP.
+//
+// Run with: go run ./examples/serving
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"skewsim/internal/bitvec"
+	"skewsim/internal/core"
+	"skewsim/internal/dist"
+	"skewsim/internal/hashing"
+	"skewsim/internal/segment"
+)
+
+func main() {
+	// The same engine parameterization a static core.Index would use —
+	// core.EngineParams is the shared source, so the mutable index runs
+	// the paper's adversarial scheme with identical filter mappings.
+	const n = 4096 // expected steady-state size (stopping rule)
+	d, err := dist.NewProduct(dist.Zipf(512, 0.5, 1.0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	params, err := core.EngineParams(core.Adversarial, d, n, 0.5, core.Options{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx, err := segment.New(segment.Config{
+		Params:       params,
+		N:            n,
+		MemtableSize: 256, // small, to make freezing visible here
+		MaxSegments:  2,   // aggressive compaction, same reason
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer idx.Close()
+
+	// Stream inserts: memtables fill, rotate, and freeze into CSR
+	// segments in the background while the index stays queryable.
+	rng := hashing.NewSplitMix64(99)
+	data := d.SampleN(rng, 1500)
+	ids := make([]int64, len(data))
+	for i, v := range data {
+		if ids[i], err = idx.Insert(v); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Delete a tenth; tombstones mask them immediately, compaction
+	// reclaims them when segments merge.
+	for i := 0; i < len(ids); i += 10 {
+		idx.Delete(ids[i])
+	}
+	idx.WaitIdle()
+	st := idx.Stats()
+	fmt.Printf("after %d inserts / %d deletes: %d live, %d frozen segments %v, %d in memtable (%d freezes, %d compactions)\n",
+		len(ids), len(ids)/10, st.Live, st.Segments, st.SegmentSizes, st.Memtable, st.Freezes, st.Compactions)
+
+	// Query while mutable: a planted near-duplicate of a live vector.
+	q := data[1]
+	match, qs, found := idx.QueryBest(q, bitvec.BraunBlanquetMeasure)
+	fmt.Printf("self-query over %d segments: found=%v id=%d sim=%.2f (%d candidates, %d distinct)\n",
+		qs.Segments, found, match.ID, match.Similarity, qs.Candidates, qs.Distinct)
+
+	top, _ := idx.TopK(q, 3, bitvec.BraunBlanquetMeasure)
+	fmt.Printf("top-3:")
+	for _, m := range top {
+		fmt.Printf(" (%d, %.2f)", m.ID, m.Similarity)
+	}
+	fmt.Println()
+
+	// Snapshot the layered state and restore it into a fresh index —
+	// same Params, same answers, ids and tombstones preserved.
+	var snap bytes.Buffer
+	if _, err := idx.WriteSnapshot(&snap); err != nil {
+		log.Fatal(err)
+	}
+	restored, err := segment.ReadSnapshot(&snap, segment.Config{
+		Params: params, N: n, MemtableSize: 256, MaxSegments: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer restored.Close()
+	rmatch, _, rfound := restored.QueryBest(q, bitvec.BraunBlanquetMeasure)
+	fmt.Printf("restored %d live vectors; same query: found=%v id=%d sim=%.2f\n",
+		restored.Stats().Live, rfound, rmatch.ID, rmatch.Similarity)
+}

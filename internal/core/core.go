@@ -27,7 +27,6 @@ import (
 
 	"skewsim/internal/bitvec"
 	"skewsim/internal/dist"
-	"skewsim/internal/hashing"
 	"skewsim/internal/lsf"
 	"skewsim/internal/rho"
 )
@@ -144,7 +143,6 @@ func BuildAdversarial(d *dist.Product, data []bitvec.Vector, b1 float64, opt Opt
 	if b1 <= 0 || b1 > 1 {
 		return nil, fmt.Errorf("core: b1 = %v outside (0, 1]", b1)
 	}
-	threshold := adversarialThreshold(b1)
 	ix := &Index{
 		mode:      Adversarial,
 		d:         d,
@@ -154,7 +152,7 @@ func BuildAdversarial(d *dist.Product, data []bitvec.Vector, b1 float64, opt Opt
 		measure:   opt.Measure,
 		fallback:  !opt.DisableFallback,
 	}
-	if err := ix.buildReps(threshold, opt); err != nil {
+	if err := ix.buildReps(b1, opt); err != nil {
 		return nil, err
 	}
 	return ix, nil
@@ -172,8 +170,6 @@ func BuildCorrelated(d *dist.Product, data []bitvec.Vector, alpha float64, opt O
 	if alpha <= 0 || alpha > 1 {
 		return nil, fmt.Errorf("core: alpha = %v outside (0, 1]", alpha)
 	}
-	n := len(data)
-	threshold := correlatedThreshold(d, n, alpha)
 	ix := &Index{
 		mode: Correlated,
 		d:    d,
@@ -185,7 +181,7 @@ func BuildCorrelated(d *dist.Product, data []bitvec.Vector, alpha float64, opt O
 		alpha:     alpha,
 		fallback:  !opt.DisableFallback,
 	}
-	if err := ix.buildReps(threshold, opt); err != nil {
+	if err := ix.buildReps(alpha, opt); err != nil {
 		return nil, err
 	}
 	return ix, nil
@@ -227,32 +223,21 @@ func correlatedThreshold(d *dist.Product, n int, alpha float64) lsf.ThresholdFun
 	}
 }
 
-func (ix *Index) buildReps(threshold lsf.ThresholdFunc, opt Options) error {
+func (ix *Index) buildReps(param float64, opt Options) error {
 	n := len(ix.data)
-	reps := opt.Repetitions
-	if reps == 0 {
-		reps = int(math.Ceil(math.Log2(float64(n)))) + 1
+	params, err := EngineParams(ix.mode, ix.d, n, param, opt)
+	if err != nil {
+		return err
 	}
-	if reps < 1 {
-		return fmt.Errorf("core: Repetitions %d must be >= 1", opt.Repetitions)
-	}
-	seeds := hashing.NewSplitMix64(opt.Seed)
+	reps := len(params)
 	ix.reps = make([]*lsf.Index, reps)
 	ix.seeds = make([]uint64, reps)
 	ix.maxDepth = opt.MaxDepth
 	ix.maxFilters = opt.MaxFiltersPerVector
 	ix.customWeigher = opt.Weigher != nil
 	for r := range ix.reps {
-		ix.seeds[r] = seeds.Next()
-		engine, err := lsf.NewEngine(n, lsf.Params{
-			Seed:                ix.seeds[r],
-			Probs:               ix.d.Probs(),
-			Threshold:           threshold,
-			Stop:                lsf.ProductStopRule(n),
-			MaxDepth:            opt.MaxDepth,
-			MaxFiltersPerVector: opt.MaxFiltersPerVector,
-			Weigher:             opt.Weigher,
-		})
+		ix.seeds[r] = params[r].Seed
+		engine, err := lsf.NewEngine(n, params[r])
 		if err != nil {
 			return err
 		}

@@ -12,8 +12,10 @@ package dataio
 
 import (
 	"bufio"
+	"compress/gzip"
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 	"strings"
 
@@ -21,8 +23,24 @@ import (
 )
 
 // Read parses vectors from r. Blank lines and lines starting with '#' are
-// skipped. Duplicate ids within a line are merged.
+// skipped. Duplicate ids within a line are merged. Gzip-compressed input
+// is detected by its magic bytes and decompressed transparently, so the
+// benchmark dumps can stay compressed on disk and still stream straight
+// into the daemon or the experiment harness.
 func Read(r io.Reader) ([]bitvec.Vector, error) {
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("dataio: gzip: %w", err)
+		}
+		defer gz.Close()
+		return readPlain(gz)
+	}
+	return readPlain(br)
+}
+
+func readPlain(r io.Reader) ([]bitvec.Vector, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 	var out []bitvec.Vector
@@ -72,4 +90,42 @@ func Write(w io.Writer, data []bitvec.Vector) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// IsGzipPath reports whether path names a gzip-compressed dump by
+// extension. Read does not need it (it sniffs magic bytes); Write-side
+// callers use it to decide whether to compress.
+func IsGzipPath(path string) bool { return strings.HasSuffix(path, ".gz") }
+
+// ReadFile reads a dataset file, decompressing transparently (by magic
+// bytes, not extension — a mislabeled file still reads correctly).
+func ReadFile(path string) ([]bitvec.Vector, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// WriteFile writes a dataset file, gzip-compressing when the path ends
+// in ".gz" so compressed dumps round-trip through ReadFile.
+func WriteFile(path string, data []bitvec.Vector) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	if !IsGzipPath(path) {
+		return Write(f, data)
+	}
+	gz := gzip.NewWriter(f)
+	if err := Write(gz, data); err != nil {
+		return err
+	}
+	return gz.Close()
 }

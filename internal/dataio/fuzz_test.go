@@ -1,0 +1,59 @@
+package dataio
+
+import (
+	"bytes"
+	"compress/gzip"
+	"slices"
+	"testing"
+)
+
+// FuzzRead feeds arbitrary bytes (plain and gzip-framed) through Read:
+// it must never panic, and whatever it accepts must survive a
+// Write/Read round trip unchanged (empty vectors excluded — the text
+// format cannot represent them). Seeds cover the grammar corners:
+// comments, blanks, duplicates, huge ids, bad tokens, gzip framing.
+func FuzzRead(f *testing.F) {
+	f.Add([]byte("3 17 4211\n8 9\n"))
+	f.Add([]byte("# comment\n\n1\n"))
+	f.Add([]byte("5 5 5\n"))
+	f.Add([]byte("4294967295\n"))
+	f.Add([]byte("4294967296\n")) // one past uint32: must error
+	f.Add([]byte("1 2 x\n"))
+	f.Add([]byte("-1\n"))
+	f.Add([]byte{0x1f, 0x8b})             // truncated gzip header
+	f.Add([]byte{0x1f, 0x8b, 0x08, 0x00}) // longer truncated gzip
+	var gzSeed bytes.Buffer
+	gw := gzip.NewWriter(&gzSeed)
+	gw.Write([]byte("1 2 3\n10 20\n"))
+	gw.Close()
+	f.Add(gzSeed.Bytes())
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		vecs, err := Read(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := Write(&out, vecs); err != nil {
+			t.Fatalf("Write of accepted input failed: %v", err)
+		}
+		back, err := Read(&out)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		kept := vecs[:0]
+		for _, v := range vecs {
+			if !v.IsEmpty() {
+				kept = append(kept, v)
+			}
+		}
+		if len(back) != len(kept) {
+			t.Fatalf("round trip: %d vectors, want %d", len(back), len(kept))
+		}
+		for i := range back {
+			if !slices.Equal(back[i].Bits(), kept[i].Bits()) {
+				t.Fatalf("round trip vector %d: %v != %v", i, back[i], kept[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,81 @@
+package dataio
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+
+	"skewsim/internal/bitvec"
+)
+
+func TestReadSniffsGzip(t *testing.T) {
+	var plain bytes.Buffer
+	data := []bitvec.Vector{bitvec.New(3, 17, 4211), bitvec.New(8, 9)}
+	if err := Write(&plain, data); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	var zipped bytes.Buffer
+	gz := gzip.NewWriter(&zipped)
+	if _, err := gz.Write(plain.Bytes()); err != nil {
+		t.Fatalf("gzip write: %v", err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatalf("gzip close: %v", err)
+	}
+	got, err := Read(&zipped)
+	if err != nil {
+		t.Fatalf("Read(gzip): %v", err)
+	}
+	if len(got) != len(data) {
+		t.Fatalf("got %d vectors, want %d", len(got), len(data))
+	}
+	for i := range got {
+		if !slices.Equal(got[i].Bits(), data[i].Bits()) {
+			t.Fatalf("vector %d: %v != %v", i, got[i], data[i])
+		}
+	}
+}
+
+func TestReadRejectsCorruptGzip(t *testing.T) {
+	// Valid magic, garbage stream: must error, not hang or panic.
+	if _, err := Read(bytes.NewReader([]byte{0x1f, 0x8b, 0xff, 0x00, 0x13})); err == nil {
+		t.Fatal("corrupt gzip accepted")
+	}
+}
+
+func TestFileRoundTripGzip(t *testing.T) {
+	data := []bitvec.Vector{bitvec.New(1, 2, 3), bitvec.New(1000000), bitvec.New(5)}
+	dir := t.TempDir()
+	for _, name := range []string{"d.txt", "d.txt.gz"} {
+		path := filepath.Join(dir, name)
+		if err := WriteFile(path, data); err != nil {
+			t.Fatalf("WriteFile(%s): %v", name, err)
+		}
+		got, err := ReadFile(path)
+		if err != nil {
+			t.Fatalf("ReadFile(%s): %v", name, err)
+		}
+		if len(got) != len(data) {
+			t.Fatalf("%s: %d vectors, want %d", name, len(got), len(data))
+		}
+		for i := range got {
+			if !slices.Equal(got[i].Bits(), data[i].Bits()) {
+				t.Fatalf("%s vector %d mismatch", name, i)
+			}
+		}
+	}
+	// The .gz file must actually be compressed (magic bytes present).
+	raw, err := os.ReadFile(filepath.Join(dir, "d.txt.gz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw[0] != 0x1f || raw[1] != 0x8b {
+		t.Fatalf("WriteFile(.gz) produced uncompressed output: % x", raw[:2])
+	}
+	if IsGzipPath("a/b.txt") || !IsGzipPath("a/b.txt.gz") {
+		t.Fatal("IsGzipPath misclassifies")
+	}
+}

@@ -215,6 +215,37 @@ func TestRunParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestRunParallelClampsTinyBatches: a worker bound far above |R| must
+// degrade to the serial path (RunParallel clamps workers to len(r)),
+// producing identical pairs with no idle goroutines.
+func TestRunParallelClampsTinyBatches(t *testing.T) {
+	probs := dist.Zipf(500, 1, 0.4)
+	d := dist.MustProduct(probs)
+	rng := hashing.NewSplitMix64(31)
+	s := d.SampleN(rng, 100)
+	r := d.SampleN(rng, 2)
+	pfx, err := prefix.Build(s, probs, 0.5, prefix.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, stSerial, err := Run(pfx, r, 0.5, bitvec.BraunBlanquetMeasure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, stPar, err := RunParallel(pfx, r, 0.5, bitvec.BraunBlanquetMeasure, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(serial) || stPar != stSerial {
+		t.Fatalf("workers=1024 over %d queries diverged: %d vs %d pairs", len(r), len(par), len(serial))
+	}
+	for i := range serial {
+		if par[i] != serial[i] {
+			t.Fatalf("pair %d differs", i)
+		}
+	}
+}
+
 func TestRunParallelValidation(t *testing.T) {
 	if _, _, err := RunParallel(nil, nil, 0.5, bitvec.BraunBlanquetMeasure, 2); err == nil {
 		t.Error("nil index should fail")

@@ -150,7 +150,7 @@ func TestBucketCollisionChaining(t *testing.T) {
 	pathB := []uint32{7, 8} // any other path; we force the collision below
 
 	// Plant B's bucket under A's hash, as if hashPath had collided.
-	hA := hashPath(pathA)
+	hA := HashPath(pathA)
 	bld.keys = append(bld.keys, hA)
 	bld.chain = append(bld.chain, -1)
 	bld.byHash[hA] = 0
@@ -169,7 +169,7 @@ func TestBucketCollisionChaining(t *testing.T) {
 		t.Fatalf("postings(A) = %v, want [1 2]", ids)
 	}
 	// B is only reachable through its bucket number (its planted key is
-	// A's hash, not hashPath(B)); read the arenas directly to confirm it
+	// A's hash, not HashPath(B)); read the arenas directly to confirm it
 	// survived untouched.
 	var viaBucket []int32
 	for b := range ix.pathSpans {
@@ -193,9 +193,9 @@ func TestHashPathPrefixAndPermutationDistinct(t *testing.T) {
 	}
 	seen := map[uint64][]uint32{}
 	for _, p := range paths {
-		h := hashPath(p)
+		h := HashPath(p)
 		if prev, dup := seen[h]; dup {
-			t.Fatalf("hashPath(%v) == hashPath(%v)", p, prev)
+			t.Fatalf("HashPath(%v) == HashPath(%v)", p, prev)
 		}
 		seen[h] = p
 	}

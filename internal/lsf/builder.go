@@ -1,0 +1,47 @@
+package lsf
+
+import "skewsim/internal/bitvec"
+
+// Builder is the exported face of index construction for callers that
+// already hold filter buckets — the segment layer's memtable freeze and
+// segment compaction. BuildIndex computes F(x) per vector and is the
+// right entry point when only the data is known; Builder instead replays
+// pre-computed (path, ids) buckets straight into the frozen CSR layout,
+// so freezing a memtable or merging two frozen segments never recomputes
+// a filter.
+//
+// Paths may repeat across AddBucket calls (compaction merges the same
+// path from several segments); postings for a repeated path concatenate
+// in call order. Ids are the caller's local id space and must index into
+// data. Freeze invalidates the builder.
+type Builder struct {
+	b *indexBuilder
+}
+
+// NewBuilder starts construction of an index over data (retained, not
+// copied) that will answer queries through engine.
+func NewBuilder(engine *Engine, data []bitvec.Vector) *Builder {
+	return &Builder{b: newIndexBuilder(engine, data)}
+}
+
+// AddBucket appends ids to the bucket of path, creating the bucket on
+// first sight. The path is copied into the arena; ids are copied into
+// the posting log. Each posting counts toward TotalFilters, preserving
+// the Σ_x |F(x)| identity (every posting is one (vector, filter)
+// occurrence).
+func (bl *Builder) AddBucket(path []uint32, ids []int32) {
+	bl.b.insertBucket(path, ids)
+	bl.b.totalFilters += len(ids)
+}
+
+// AddTruncated accumulates the count of vectors whose filter generation
+// hit the work budget, carried over from the structures being replayed.
+func (bl *Builder) AddTruncated(n int) { bl.b.truncatedCount += n }
+
+// Freeze counting-sorts the accumulated buckets into the immutable CSR
+// index. The builder must not be used afterwards.
+func (bl *Builder) Freeze() *Index {
+	ix := bl.b.freeze()
+	bl.b = nil
+	return ix
+}

@@ -50,10 +50,11 @@ type Index struct {
 	truncatedCount int
 }
 
-// hashPath maps a path to its bucket key: splitmix-style mixing folded
+// HashPath maps a path to its bucket key: splitmix-style mixing folded
 // over the elements, seeded with the length so prefixes of a path do not
-// trivially collide with it.
-func hashPath(path []uint32) uint64 {
+// trivially collide with it. Exported so the mutable memtable layer
+// (internal/segment) buckets by the same key as the frozen index.
+func HashPath(path []uint32) uint64 {
 	h := uint64(len(path))*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
 	for _, e := range path {
 		h ^= uint64(e) + 1
@@ -94,7 +95,7 @@ func (ix *Index) postings(path []uint32) []int32 {
 	if len(ix.tableIdx) == 0 {
 		return nil
 	}
-	h := hashPath(path)
+	h := HashPath(path)
 	for slot := h & ix.tableMask; ; slot = (slot + 1) & ix.tableMask {
 		b := ix.tableIdx[slot]
 		if b < 0 {
@@ -103,6 +104,27 @@ func (ix *Index) postings(path []uint32) []int32 {
 		if ix.tableKeys[slot] == h && pathsEqual(ix.bucketPath(b), path) {
 			return ix.bucketIDs(b)
 		}
+	}
+}
+
+// Postings returns the posting list of the exact path as a read-only view
+// into the CSR arena, or nil when no indexed vector chose it. It is the
+// segment-facing probe: the segmented index (internal/segment) computes
+// F(q) once and probes every frozen segment per path instead of paying
+// one full traversal per segment.
+func (ix *Index) Postings(path []uint32) []int32 { return ix.postings(path) }
+
+// ForEachBucket visits every (path, posting list) bucket of the frozen
+// index. Both slices are views into the arenas and must not be modified
+// or retained across calls. Bucket order is the internal bucket
+// numbering (first-insertion order), not sorted; callers needing a
+// deterministic order must sort (see WriteTo). This is the replay hook
+// segment compaction uses to merge frozen segments without recomputing
+// any filters.
+func (ix *Index) ForEachBucket(fn func(path []uint32, ids []int32)) {
+	for b := range ix.pathSpans {
+		b := int32(b)
+		fn(ix.bucketPath(b), ix.bucketIDs(b))
 	}
 }
 
@@ -152,7 +174,7 @@ func newIndexBuilder(engine *Engine, data []bitvec.Vector) *indexBuilder {
 // bucketFor returns the bucket number for path, creating it (and copying
 // the path into the arena) if new.
 func (b *indexBuilder) bucketFor(path []uint32) int32 {
-	h := hashPath(path)
+	h := HashPath(path)
 	head, ok := b.byHash[h]
 	if ok {
 		for bi := head; bi >= 0; bi = b.chain[bi] {
@@ -186,7 +208,9 @@ func (b *indexBuilder) insert(path []uint32, id int32) {
 }
 
 // insertBucket installs a whole posting list at once (the
-// deserialization path; the stream never repeats a path).
+// deserialization path and the exported Builder). A repeated path
+// appends to its existing bucket, which is what segment compaction
+// relies on when the same path arrives from several source segments.
 func (b *indexBuilder) insertBucket(path []uint32, ids []int32) {
 	bi := b.bucketFor(path)
 	for _, id := range ids {

@@ -132,9 +132,17 @@ func ReadIndexFrom(r io.Reader, engine *Engine, data []bitvec.Vector) (*Index, e
 		if uint64(idCount) > total {
 			return nil, fmt.Errorf("lsf: bucket %d id count %d exceeds total %d", b, idCount, total)
 		}
-		ids := make([]int32, idCount)
-		if err := binary.Read(br, binary.LittleEndian, ids); err != nil {
-			return nil, fmt.Errorf("lsf: bucket %d ids: %w", b, err)
+		// Read posting lists in bounded chunks: a corrupt header cannot
+		// force a single giant allocation before the stream runs dry.
+		ids := make([]int32, 0, min(idCount, 1<<16))
+		var chunk [1 << 12]int32
+		for remaining := idCount; remaining > 0; {
+			c := chunk[:min(remaining, uint32(len(chunk)))]
+			if err := binary.Read(br, binary.LittleEndian, c); err != nil {
+				return nil, fmt.Errorf("lsf: bucket %d ids: %w", b, err)
+			}
+			ids = append(ids, c...)
+			remaining -= uint32(len(c))
 		}
 		for _, id := range ids {
 			if id < 0 || int(id) >= len(data) {

@@ -1,0 +1,104 @@
+package segment
+
+import (
+	"testing"
+
+	"skewsim/internal/bitvec"
+	"skewsim/internal/core"
+	"skewsim/internal/dist"
+	"skewsim/internal/hashing"
+)
+
+// benchIndex builds a segmented index over n Zipf vectors. layered=true
+// leaves the LSM shape ragged (several frozen segments plus a live
+// memtable); layered=false compacts everything into one frozen segment,
+// which is the static-index baseline the layered overhead is measured
+// against.
+func benchIndex(b *testing.B, n int, layered bool) (*SegmentedIndex, []bitvec.Vector) {
+	b.Helper()
+	d, err := dist.NewProduct(dist.Zipf(256, 0.5, 1.0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	params, err := core.EngineParams(core.Adversarial, d, n, 0.5, core.Options{Seed: 9, Repetitions: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{Params: params, N: n, MemtableSize: n / 8, MaxSegments: 100}
+	if !layered {
+		cfg.MaxSegments = 1
+	}
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.Close)
+	rng := hashing.NewSplitMix64(17)
+	for _, v := range d.SampleN(rng, n) {
+		if _, err := s.Insert(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !layered {
+		s.Flush()
+	}
+	s.WaitIdle()
+	return s, d.SampleN(rng, 256)
+}
+
+// BenchmarkSegmentedQuery compares query cost through the layered shape
+// (memtable + several frozen segments) against the fully compacted
+// single-segment form — the price of servability over the frozen-only
+// index, per query.
+func BenchmarkSegmentedQuery(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		layered bool
+	}{
+		{"layered", true},
+		{"frozen-only", false},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			s, qs := benchIndex(b, 4096, bc.layered)
+			st := s.Stats()
+			b.ReportMetric(float64(st.Segments), "segments")
+			b.ReportMetric(float64(st.Memtable), "memtable")
+			m := bitvec.BraunBlanquetMeasure
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.QueryBest(qs[i%len(qs)], m)
+			}
+		})
+	}
+}
+
+// BenchmarkSegmentedInsert measures online insert cost (filter
+// generation plus memtable append; freeze amortizes in the background
+// worker).
+func BenchmarkSegmentedInsert(b *testing.B) {
+	d, err := dist.NewProduct(dist.Zipf(256, 0.5, 1.0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	params, err := core.EngineParams(core.Adversarial, d, 4096, 0.5, core.Options{Seed: 9, Repetitions: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(Config{Params: params, N: 4096, MemtableSize: 1024, MaxSegments: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.Close)
+	rng := hashing.NewSplitMix64(23)
+	vs := d.SampleN(rng, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Insert(vs[i%len(vs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	s.WaitIdle()
+}

@@ -1,0 +1,69 @@
+package segment
+
+import (
+	"slices"
+
+	"skewsim/internal/lsf"
+)
+
+// memtable is the mutable head of a SegmentedIndex: the pre-freeze
+// chained-bucket map index the library used before the CSR layout, kept
+// exactly because its strength is the opposite of the frozen arenas' —
+// O(1) inserts, no rebuild — and its weakness (pointer-chasing, per-
+// bucket heap objects) is bounded by the small memtable size. One
+// memtable holds one bucket map per repetition engine plus the slots it
+// covers, in insertion order. A memtable is mutated only while it is the
+// active head (under the index write lock); once rotated into the
+// flushing list it is immutable and safe to read without coordination.
+type memtable struct {
+	reps []memRep
+	// slots are the index-wide slot numbers of the vectors in this
+	// memtable, in insertion order. Freezing assigns local ids by
+	// position in this slice.
+	slots []int32
+}
+
+func newMemtable(reps int) *memtable {
+	mt := &memtable{reps: make([]memRep, reps)}
+	for r := range mt.reps {
+		mt.reps[r].buckets = make(map[uint64][]mbucket)
+	}
+	return mt
+}
+
+// memRep is one repetition's bucket map: path hash → chain of buckets,
+// with path equality verified per bucket so hash collisions stay
+// correct (the same contract as the frozen key table).
+type memRep struct {
+	buckets   map[uint64][]mbucket
+	truncated int // vectors whose filter generation hit the work budget
+}
+
+type mbucket struct {
+	path  []uint32
+	slots []int32
+}
+
+// add appends slot to the bucket of path, creating it (and copying the
+// path — callers pass views into reused filter arenas) on first sight.
+func (m *memRep) add(path []uint32, slot int32) {
+	h := lsf.HashPath(path)
+	chain := m.buckets[h]
+	for i := range chain {
+		if slices.Equal(chain[i].path, path) {
+			chain[i].slots = append(chain[i].slots, slot)
+			return
+		}
+	}
+	m.buckets[h] = append(chain, mbucket{path: slices.Clone(path), slots: []int32{slot}})
+}
+
+// postings returns the slots sharing the exact path, or nil.
+func (m *memRep) postings(path []uint32) []int32 {
+	for _, b := range m.buckets[lsf.HashPath(path)] {
+		if slices.Equal(b.path, path) {
+			return b.slots
+		}
+	}
+	return nil
+}

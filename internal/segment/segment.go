@@ -1,0 +1,627 @@
+// Package segment turns the library's build-once indexes into an online
+// serving structure: a SegmentedIndex accepts Insert/Delete while
+// answering queries, LSM-style. Writes land in a small mutable memtable
+// (the chained-bucket map index); full memtables rotate into a flushing
+// list and a background worker freezes them into immutable CSR segments
+// (the frozen arenas of internal/lsf, via its segment-facing Builder);
+// a compaction pass merges small segments and physically drops
+// tombstoned vectors. Queries compute F(q) once per repetition engine
+// and probe the memtables and every frozen segment per path, merging
+// candidates through one epoch-stamped lsf.Visited set, so the layered
+// structure answers exactly like a single static index over the live
+// data (asserted differentially in the tests).
+//
+// Consistency model: a single RWMutex guards the index. Insert/Delete
+// are atomic and immediately visible to queries that start after they
+// return; a query sees one consistent snapshot (it holds the read lock
+// for its whole traversal). Freezing and compaction move postings
+// between layers without changing the visible candidate set: the
+// memtable stays queryable in the flushing list until its CSR segment
+// is installed, and deleted vectors are masked by the slot-level
+// tombstone array until compaction rewrites their segment. Ids are
+// never reused, including after Delete.
+//
+// The repetition engines are fixed at construction (typically from
+// core.EngineParams, so the segmented index runs the same SkewSearch
+// scheme as the static core.Index); the stopping rule's n is the
+// expected steady-state size. Re-estimating probabilities as the data
+// drifts is a planned follow-up, not handled here.
+package segment
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"skewsim/internal/bitvec"
+	"skewsim/internal/lsf"
+)
+
+// Config sizes a SegmentedIndex.
+type Config struct {
+	// Params configures one lsf engine per repetition (required). Use
+	// core.EngineParams to get the paper's threshold schemes with
+	// properly derived per-repetition seeds.
+	Params []lsf.Params
+	// N is the dataset size the engines are tuned for (default depth
+	// caps). Defaults to 1 << 16. This does not bound the index.
+	N int
+	// MemtableSize is the number of vectors a memtable accepts before it
+	// rotates to the freeze queue. Defaults to 4096.
+	MemtableSize int
+	// MaxSegments triggers compaction: when more than this many frozen
+	// segments exist, the background worker merges the two smallest
+	// (dropping tombstoned vectors) until at or under the limit.
+	// Defaults to 4.
+	MaxSegments int
+}
+
+// withDefaults fills unset fields. Non-positive values mean "default":
+// a negative MaxSegments would otherwise make needsCompact true with an
+// empty segment list and panic the worker.
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.N <= 0 {
+		out.N = 1 << 16
+	}
+	if out.MemtableSize <= 0 {
+		out.MemtableSize = 4096
+	}
+	if out.MaxSegments <= 0 {
+		out.MaxSegments = 4
+	}
+	return out
+}
+
+// frozenSeg is one immutable segment: a local data slice indexed by the
+// per-repetition CSR indexes, plus the mapping from local ids back to
+// index-wide slots.
+type frozenSeg struct {
+	slots []int32 // local id -> slot
+	reps  []*lsf.Index
+}
+
+func (g *frozenSeg) size() int { return len(g.slots) }
+
+// Match is one query result.
+type Match struct {
+	// ID is the external id the vector was inserted under.
+	ID int64
+	// Similarity under the verification measure.
+	Similarity float64
+}
+
+// QueryStats aggregates the work of one query across repetitions and
+// layers, extending lsf.QueryStats with the segment dimension.
+type QueryStats struct {
+	Reps       int // repetition engines traversed
+	Filters    int // Σ |F(q)| over repetitions
+	Candidates int // candidate occurrences over all layers
+	Distinct   int // distinct live candidates streamed
+	Truncated  int // repetitions whose filter generation hit the budget
+	Segments   int // frozen segments consulted
+}
+
+// Merge accumulates another query's stats into s (the shard router sums
+// per-shard work into one record; Segments adds up because shards hold
+// disjoint segment sets).
+func (s *QueryStats) Merge(o QueryStats) {
+	s.Reps += o.Reps
+	s.Filters += o.Filters
+	s.Candidates += o.Candidates
+	s.Distinct += o.Distinct
+	s.Truncated += o.Truncated
+	s.Segments += o.Segments
+}
+
+// IndexStats is a point-in-time size report.
+type IndexStats struct {
+	Live         int   // inserted minus deleted
+	Total        int   // slots ever allocated (deletes keep their slot)
+	Memtable     int   // vectors in the active memtable
+	Flushing     int   // vectors in rotated, not-yet-frozen memtables
+	Segments     int   // frozen segment count
+	SegmentSizes []int // per-segment vector counts (tombstones included)
+	Freezes      int64 // memtables frozen since construction
+	Compactions  int64 // merges performed since construction
+}
+
+// SegmentedIndex is a mutable, concurrently-usable index. The zero value
+// is not usable; construct with New and release with Close.
+type SegmentedIndex struct {
+	cfg     Config
+	engines []*lsf.Engine
+
+	mu   sync.RWMutex
+	cond *sync.Cond // signalled on any state change the worker or waiters watch
+
+	mem      *memtable
+	flushing []*memtable
+	segs     []*frozenSeg
+
+	// Dense per-slot state. A slot is allocated per insert and never
+	// reused; vecs entries are immutable once written.
+	vecs  []bitvec.Vector
+	alive []bool
+	ext   []int64 // slot -> external id
+
+	slotOf   map[int64]int32 // external id -> slot (live and dead)
+	nextAuto int64           // next auto-assigned external id
+	live     int
+
+	compacting  bool
+	freezes     int64
+	compactions int64
+	closed      bool
+
+	visitPool lsf.VisitedPool
+	fsPool    sync.Pool
+}
+
+// New builds an empty index and starts its background freeze/compaction
+// worker. Callers must Close it to stop the worker.
+func New(cfg Config) (*SegmentedIndex, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Params) == 0 {
+		return nil, errors.New("segment: Config.Params must supply at least one repetition engine")
+	}
+	s := &SegmentedIndex{
+		cfg:     cfg,
+		engines: make([]*lsf.Engine, len(cfg.Params)),
+		mem:     newMemtable(len(cfg.Params)),
+		slotOf:  make(map[int64]int32),
+	}
+	for r, p := range cfg.Params {
+		eng, err := lsf.NewEngine(cfg.N, p)
+		if err != nil {
+			return nil, fmt.Errorf("segment: repetition %d: %w", r, err)
+		}
+		s.engines[r] = eng
+	}
+	s.cond = sync.NewCond(&s.mu)
+	go s.worker()
+	return s, nil
+}
+
+// Close stops the background worker. The index stays queryable but no
+// further freezes or compactions run. Safe to call twice.
+func (s *SegmentedIndex) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Repetitions returns the number of repetition engines.
+func (s *SegmentedIndex) Repetitions() int { return len(s.engines) }
+
+// Insert adds v under the next auto-assigned external id and returns it.
+// Do not mix with InsertWithID unless caller-chosen ids stay out of the
+// auto range [0, 1, 2, ...]. Filters are computed once; losing an
+// id-allocation race to a concurrent inserter retries only the cheap
+// install step with a re-read counter.
+func (s *SegmentedIndex) Insert(v bitvec.Vector) (int64, error) {
+	fss := s.computeFilters(v)
+	defer s.releaseFilters(fss)
+	for {
+		s.mu.RLock()
+		id := s.nextAuto
+		s.mu.RUnlock()
+		err := s.install(id, v, fss)
+		if err == nil {
+			return id, nil
+		}
+		if !errors.Is(err, ErrIDTaken) {
+			return 0, err
+		}
+	}
+}
+
+// ErrIDTaken reports an InsertWithID id that was already used (live or
+// tombstoned). Callers that allocate ids optimistically (Insert, the
+// shard router) match it to retry with a fresh id.
+var ErrIDTaken = errors.New("segment: id already used")
+
+// NextID returns the lowest external id never used by this index: the
+// auto-assignment high-water mark. The shard router uses the max over
+// shards to re-seed its id counter after a snapshot restore.
+func (s *SegmentedIndex) NextID() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.nextAuto
+}
+
+// InsertWithID adds v under a caller-chosen external id. The id must
+// never have been used before, including by a since-deleted vector.
+// Returns ErrIDTaken (wrapped) otherwise.
+func (s *SegmentedIndex) InsertWithID(id int64, v bitvec.Vector) error {
+	// Cheap pre-check before the expensive filter generation; the
+	// authoritative check re-runs under the write lock in install.
+	s.mu.RLock()
+	_, taken := s.slotOf[id]
+	s.mu.RUnlock()
+	if taken {
+		return fmt.Errorf("%w: %d", ErrIDTaken, id)
+	}
+	fss := s.computeFilters(v)
+	defer s.releaseFilters(fss)
+	return s.install(id, v, fss)
+}
+
+// computeFilters runs filter generation for every repetition engine —
+// the expensive part of an insert, dependent only on the immutable
+// engines — outside any lock, into pooled arenas.
+func (s *SegmentedIndex) computeFilters(v bitvec.Vector) []*lsf.FilterSet {
+	fss := make([]*lsf.FilterSet, len(s.engines))
+	for r, eng := range s.engines {
+		fs := s.getFilterSet()
+		eng.FiltersInto(v, fs)
+		fss[r] = fs
+	}
+	return fss
+}
+
+func (s *SegmentedIndex) releaseFilters(fss []*lsf.FilterSet) {
+	for _, fs := range fss {
+		s.fsPool.Put(fs)
+	}
+}
+
+// install claims id, allocates a slot, and appends the pre-computed
+// filters to the memtable, all under one write-lock critical section.
+// install only reads fss, so Insert can retry it after a lost id race
+// without regenerating filters.
+func (s *SegmentedIndex) install(id int64, v bitvec.Vector, fss []*lsf.FilterSet) error {
+	s.mu.Lock()
+	if _, taken := s.slotOf[id]; taken {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrIDTaken, id)
+	}
+	if len(s.vecs) >= math.MaxInt32 {
+		s.mu.Unlock()
+		return errors.New("segment: slot space exhausted (2^31 inserts)")
+	}
+	slot := int32(len(s.vecs))
+	s.vecs = append(s.vecs, v)
+	s.alive = append(s.alive, true)
+	s.ext = append(s.ext, id)
+	s.slotOf[id] = slot
+	if id >= s.nextAuto {
+		s.nextAuto = id + 1
+	}
+	s.live++
+	for r := range fss {
+		fs := fss[r]
+		if fs.Truncated {
+			s.mem.reps[r].truncated++
+		}
+		for k := 0; k < fs.Len(); k++ {
+			s.mem.reps[r].add(fs.Path(k), slot)
+		}
+	}
+	s.mem.slots = append(s.mem.slots, slot)
+	if len(s.mem.slots) >= s.cfg.MemtableSize {
+		s.rotateLocked()
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// rotateLocked moves the active memtable to the freeze queue and wakes
+// the worker. Caller holds the write lock.
+func (s *SegmentedIndex) rotateLocked() {
+	if len(s.mem.slots) == 0 {
+		return
+	}
+	s.flushing = append(s.flushing, s.mem)
+	s.mem = newMemtable(len(s.engines))
+	s.cond.Broadcast()
+}
+
+// Delete tombstones the vector inserted under id, reporting whether it
+// was live. The slot is masked immediately; the bytes are reclaimed when
+// compaction next rewrites the segment holding it.
+func (s *SegmentedIndex) Delete(id int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	slot, ok := s.slotOf[id]
+	if !ok || !s.alive[slot] {
+		return false
+	}
+	s.alive[slot] = false
+	s.live--
+	return true
+}
+
+// Flush synchronously rotates the active memtable and waits until every
+// queued memtable has been frozen into a CSR segment. Mainly for tests
+// and snapshot-heavy callers that want a bounded memtable on disk.
+func (s *SegmentedIndex) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rotateLocked()
+	for len(s.flushing) > 0 && !s.closed {
+		s.cond.Wait()
+	}
+}
+
+// WaitIdle blocks until no freeze or compaction work is pending or
+// running. Insert/Delete/Query may of course create new work afterwards.
+func (s *SegmentedIndex) WaitIdle() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for (len(s.flushing) > 0 || s.compacting || s.needsCompactLocked()) && !s.closed {
+		s.cond.Wait()
+	}
+}
+
+func (s *SegmentedIndex) needsCompactLocked() bool {
+	return len(s.segs) > s.cfg.MaxSegments
+}
+
+// Stats reports current sizes.
+func (s *SegmentedIndex) Stats() IndexStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := IndexStats{
+		Live:        s.live,
+		Total:       len(s.vecs),
+		Memtable:    len(s.mem.slots),
+		Segments:    len(s.segs),
+		Freezes:     s.freezes,
+		Compactions: s.compactions,
+	}
+	for _, mt := range s.flushing {
+		st.Flushing += len(mt.slots)
+	}
+	for _, g := range s.segs {
+		st.SegmentSizes = append(st.SegmentSizes, g.size())
+	}
+	return st
+}
+
+func (s *SegmentedIndex) getFilterSet() *lsf.FilterSet {
+	fs, _ := s.fsPool.Get().(*lsf.FilterSet)
+	if fs == nil {
+		fs = new(lsf.FilterSet)
+	}
+	fs.Reset()
+	return fs
+}
+
+// forEach is the single traversal behind every query entry point: for
+// each repetition engine it computes F(q) once into a pooled arena, then
+// probes the active memtable, the flushing memtables, and every frozen
+// segment for each path, deduplicating slots index-wide through one
+// epoch-stamped Visited set and masking tombstones, streaming each
+// distinct live slot into sink in first-encounter order until sink
+// returns false. Runs entirely under the read lock: one query sees one
+// consistent snapshot.
+func (s *SegmentedIndex) forEach(q bitvec.Vector, stats *QueryStats, sink func(slot int32) bool) {
+	fs := s.getFilterSet()
+	defer s.fsPool.Put(fs)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	stats.Segments = len(s.segs)
+	vis := s.visitPool.Get(len(s.vecs))
+	defer s.visitPool.Put(vis)
+	emit := func(slot int32) bool {
+		stats.Candidates++
+		if !vis.FirstVisit(slot) {
+			return true
+		}
+		if !s.alive[slot] {
+			return true
+		}
+		stats.Distinct++
+		return sink(slot)
+	}
+	for r, eng := range s.engines {
+		fs.Reset()
+		eng.FiltersInto(q, fs)
+		stats.Reps++
+		stats.Filters += fs.Len()
+		if fs.Truncated {
+			stats.Truncated++
+		}
+		for k := 0; k < fs.Len(); k++ {
+			path := fs.Path(k)
+			for _, slot := range s.mem.reps[r].postings(path) {
+				if !emit(slot) {
+					return
+				}
+			}
+			for _, mt := range s.flushing {
+				for _, slot := range mt.reps[r].postings(path) {
+					if !emit(slot) {
+						return
+					}
+				}
+			}
+			for _, g := range s.segs {
+				for _, lid := range g.reps[r].Postings(path) {
+					if !emit(g.slots[lid]) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// Query returns the first live vector with measure-similarity at least
+// threshold among the candidates sharing a filter with q.
+func (s *SegmentedIndex) Query(q bitvec.Vector, threshold float64, m bitvec.Measure) (Match, QueryStats, bool) {
+	var (
+		stats QueryStats
+		match Match
+		found bool
+	)
+	s.forEach(q, &stats, func(slot int32) bool {
+		if sim := m.Similarity(q, s.vecs[slot]); sim >= threshold {
+			match = Match{ID: s.ext[slot], Similarity: sim}
+			found = true
+			return false
+		}
+		return true
+	})
+	return match, stats, found
+}
+
+// QueryBest examines every candidate and returns the most similar one
+// (first encountered wins ties).
+func (s *SegmentedIndex) QueryBest(q bitvec.Vector, m bitvec.Measure) (Match, QueryStats, bool) {
+	var (
+		stats QueryStats
+		match Match
+		found bool
+	)
+	best := -1.0
+	s.forEach(q, &stats, func(slot int32) bool {
+		if sim := m.Similarity(q, s.vecs[slot]); sim > best {
+			best = sim
+			match = Match{ID: s.ext[slot], Similarity: sim}
+			found = true
+		}
+		return true
+	})
+	return match, stats, found
+}
+
+// TopK returns the k most similar live candidates, sorted by decreasing
+// similarity with ties broken by ascending external id (deterministic,
+// and identical to core.QueryTopK's order under auto-assigned ids).
+func (s *SegmentedIndex) TopK(q bitvec.Vector, k int, m bitvec.Measure) ([]Match, QueryStats) {
+	var stats QueryStats
+	if k <= 0 {
+		return nil, stats
+	}
+	var matches []Match
+	s.forEach(q, &stats, func(slot int32) bool {
+		if sim := m.Similarity(q, s.vecs[slot]); sim > 0 {
+			matches = append(matches, Match{ID: s.ext[slot], Similarity: sim})
+		}
+		return true
+	})
+	SortMatches(matches)
+	if len(matches) > k {
+		matches = matches[:k]
+	}
+	return matches, stats
+}
+
+// Candidates returns the distinct live candidate slots for q over all
+// repetitions and layers. Together with Data it satisfies
+// join.CandidateSource, keeping the join driver the integration seam:
+// a SegmentedIndex drops into join.Run/RunParallel over a quiescent
+// index. The join driver captures Data() once up front, so concurrent
+// inserts during a join could yield candidate slots beyond that
+// snapshot — run joins with writes paused (queries are fine).
+func (s *SegmentedIndex) Candidates(q bitvec.Vector) []int32 {
+	var out []int32
+	var stats QueryStats
+	s.forEach(q, &stats, func(slot int32) bool {
+		out = append(out, slot)
+		return true
+	})
+	return out
+}
+
+// CandidatesExt is Candidates in the external id space, with stats.
+func (s *SegmentedIndex) CandidatesExt(q bitvec.Vector) ([]int64, QueryStats) {
+	var out []int64
+	var stats QueryStats
+	s.forEach(q, &stats, func(slot int32) bool {
+		out = append(out, s.ext[slot])
+		return true
+	})
+	return out, stats
+}
+
+// Data returns the slot-indexed vector table (dead slots keep their
+// vector until compaction; they are never returned as candidates). The
+// slice grows under inserts; the prefix a caller observed is immutable,
+// but slots allocated after the call are not in the returned snapshot —
+// callers pairing Data with later Candidates calls (the join driver)
+// must hold writes quiescent for the pairing to stay index-consistent.
+func (s *SegmentedIndex) Data() []bitvec.Vector {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.vecs
+}
+
+// worker is the background freeze/compaction loop: one goroutine per
+// index, woken by rotations and Close. Heavy work (building CSR arenas,
+// merging segments) runs outside the lock; installs are brief writes.
+func (s *SegmentedIndex) worker() {
+	s.mu.Lock()
+	for {
+		for !s.closed && len(s.flushing) == 0 && !s.needsCompactLocked() {
+			s.cond.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		if len(s.flushing) > 0 {
+			mt := s.flushing[0]
+			s.mu.Unlock()
+			seg := s.buildSegment(mt)
+			s.mu.Lock()
+			s.flushing = s.flushing[1:]
+			if seg != nil {
+				s.segs = append(s.segs, seg)
+			}
+			s.freezes++
+			s.cond.Broadcast()
+			continue
+		}
+		a, b := s.pickSmallestLocked()
+		s.compacting = true
+		s.mu.Unlock()
+		merged := s.mergeSegments(a, b)
+		s.mu.Lock()
+		s.segs = removeSegs(s.segs, a, b)
+		if merged != nil {
+			s.segs = append(s.segs, merged)
+		}
+		s.compacting = false
+		s.compactions++
+		s.cond.Broadcast()
+	}
+}
+
+// pickSmallestLocked returns the two smallest frozen segments. Caller
+// holds the lock and has checked len(segs) >= 2 via needsCompactLocked
+// (MaxSegments >= 1).
+func (s *SegmentedIndex) pickSmallestLocked() (*frozenSeg, *frozenSeg) {
+	i, j := -1, -1
+	for k, g := range s.segs {
+		switch {
+		case i < 0 || g.size() < s.segs[i].size():
+			j = i
+			i = k
+		case j < 0 || g.size() < s.segs[j].size():
+			j = k
+		}
+	}
+	return s.segs[i], s.segs[j]
+}
+
+func removeSegs(segs []*frozenSeg, drop ...*frozenSeg) []*frozenSeg {
+	out := segs[:0]
+	for _, g := range segs {
+		keep := true
+		for _, d := range drop {
+			if g == d {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, g)
+		}
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package segment
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"skewsim/internal/bitvec"
+	"skewsim/internal/hashing"
+)
+
+// TestConcurrentMutation interleaves Insert/Delete/Query/TopK/Flush/
+// Stats/Snapshot across goroutines while the background worker freezes
+// and compacts. Run under -race (the CI race job does) this is the
+// concurrency acceptance test; the assertions check the index stays
+// internally consistent under the barrage.
+func TestConcurrentMutation(t *testing.T) {
+	const (
+		inserters   = 3
+		queriers    = 3
+		perInserter = 400
+	)
+	d := testDist(t)
+	params := testParams(t, d, 1024, 3, 77)
+	s, err := New(Config{Params: params, N: 1024, MemtableSize: 64, MaxSegments: 3})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	var inserted, deleted atomic.Int64
+
+	for w := 0; w < inserters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := hashing.NewSplitMix64(uint64(1000 + w))
+			for i := 0; i < perInserter; i++ {
+				id, err := s.Insert(d.Sample(rng))
+				if err != nil {
+					t.Errorf("Insert: %v", err)
+					return
+				}
+				inserted.Add(1)
+				if i%7 == 3 {
+					// Delete an id this goroutine just created so the
+					// inserted/deleted accounting stays exact.
+					if s.Delete(id) {
+						deleted.Add(1)
+					} else {
+						t.Errorf("Delete(%d) of own insert failed", id)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < queriers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := hashing.NewSplitMix64(uint64(2000 + w))
+			m := bitvec.BraunBlanquetMeasure
+			for i := 0; i < 300; i++ {
+				q := d.Sample(rng)
+				switch i % 4 {
+				case 0:
+					// An insert is query-visible the moment Insert's
+					// critical section ends, so any returned id is fair
+					// game — just exercise the path.
+					s.QueryBest(q, m)
+				case 1:
+					s.TopK(q, 5, m)
+				case 2:
+					if _, qs := s.CandidatesExt(q); qs.Reps != s.Repetitions() {
+						t.Errorf("stats reps %d", qs.Reps)
+						return
+					}
+				case 3:
+					s.Query(q, 0.9, m)
+				}
+				if i%50 == 0 {
+					s.Stats()
+				}
+				if i%120 == 110 {
+					if _, err := s.WriteSnapshot(io.Discard); err != nil {
+						t.Errorf("WriteSnapshot: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			s.Flush()
+		}
+	}()
+
+	wg.Wait()
+	s.Flush()
+	s.WaitIdle()
+	st := s.Stats()
+	wantLive := int(inserted.Load() - deleted.Load())
+	if st.Live != wantLive {
+		t.Fatalf("live = %d, want %d (%+v)", st.Live, wantLive, st)
+	}
+	if st.Memtable != 0 || st.Flushing != 0 {
+		t.Fatalf("flush left mutable state: %+v", st)
+	}
+	if st.Freezes == 0 {
+		t.Fatalf("background worker froze nothing: %+v", st)
+	}
+	if st.Compactions == 0 {
+		t.Fatalf("background worker compacted nothing: %+v", st)
+	}
+}

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"skewsim/internal/bitvec"
+)
+
+// BenchmarkShardFanout measures query fan-out cost across shard counts
+// over a fixed corpus: the per-query price of partitioning (each shard
+// recomputes F(q)) against the smaller per-shard candidate sets and the
+// parallel walk.
+func BenchmarkShardFanout(b *testing.B) {
+	const n = 4096
+	data := testData(n)
+	qs := testData(256)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := testConfig(b, n, 4, shards)
+			cfg.Segment.MemtableSize = 512
+			srv, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(srv.Close)
+			if _, err := srv.InsertBatch(data); err != nil {
+				b.Fatal(err)
+			}
+			srv.Flush()
+			srv.WaitIdle()
+			m := bitvec.BraunBlanquetMeasure
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				srv.QueryBest(qs[i%len(qs)], m)
+			}
+		})
+	}
+}
+
+// BenchmarkShardInsert measures batched online insert throughput
+// through the router's per-shard fan-out.
+func BenchmarkShardInsert(b *testing.B) {
+	const batch = 256
+	data := testData(batch)
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := testConfig(b, 1<<16, 4, shards)
+			cfg.Segment.MemtableSize = 4096
+			srv, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(srv.Close)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := srv.InsertBatch(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			srv.WaitIdle()
+			b.ReportMetric(float64(batch), "vecs/op")
+		})
+	}
+}

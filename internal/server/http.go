@@ -1,0 +1,246 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"skewsim/internal/bitvec"
+	"skewsim/internal/segment"
+)
+
+// HTTP/JSON face of the shard router, served by cmd/skewsimd:
+//
+//	POST /v1/insert   {"sets": [[3,17,42], ...]}            → {"ids": [...]}
+//	POST /v1/delete   {"ids": [0, 7]}                       → {"deleted": 2}
+//	POST /v1/search   {"set": [...], "mode": "best"}        → {"found": ..., "matches": [...], "stats": {...}}
+//	GET  /v1/stats                                          → aggregated + per-shard sizes
+//	POST /v1/snapshot {"path": "index.snap"}                → {"bytes": n}
+//
+// Search modes: "best" (default; most similar candidate), "first"
+// (first candidate at or above "threshold"), "topk" ("k" most similar).
+// "measure" names a similarity measure (bitvec.ParseMeasure);
+// Braun-Blanquet — the paper's — when omitted.
+
+type insertRequest struct {
+	Sets [][]uint32 `json:"sets"`
+}
+
+type insertResponse struct {
+	IDs []int64 `json:"ids"`
+}
+
+type deleteRequest struct {
+	IDs []int64 `json:"ids"`
+}
+
+type deleteResponse struct {
+	Deleted int `json:"deleted"`
+}
+
+type searchRequest struct {
+	Set  []uint32 `json:"set"`
+	Mode string   `json:"mode"`
+	// Threshold is a pointer so an explicit 0 ("any similarity") stays
+	// distinguishable from an omitted field (use the default).
+	Threshold *float64 `json:"threshold"`
+	K         int      `json:"k"`
+	Measure   string   `json:"measure"`
+}
+
+type matchJSON struct {
+	ID         int64   `json:"id"`
+	Similarity float64 `json:"similarity"`
+}
+
+type searchResponse struct {
+	Found   bool               `json:"found"`
+	Matches []matchJSON        `json:"matches"`
+	Stats   segment.QueryStats `json:"stats"`
+}
+
+type snapshotRequest struct {
+	Path string `json:"path"`
+}
+
+type snapshotResponse struct {
+	Bytes int64 `json:"bytes"`
+}
+
+// HandlerConfig tunes the HTTP face.
+type HandlerConfig struct {
+	// SnapshotDir is the directory /v1/snapshot may write into; request
+	// paths are confined to it (relative, no escaping). Empty disables
+	// the endpoint — a network client must not get to pick arbitrary
+	// server filesystem paths.
+	SnapshotDir string
+	// DefaultThreshold is used by mode "first" searches that omit a
+	// threshold; typically the mode's verification threshold from
+	// core.VerificationThreshold.
+	DefaultThreshold float64
+}
+
+// NewHandler wraps srv in the HTTP/JSON API above.
+func NewHandler(srv *Server, hc HandlerConfig) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/insert", func(w http.ResponseWriter, r *http.Request) {
+		var req insertRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		if len(req.Sets) == 0 {
+			httpError(w, http.StatusBadRequest, errors.New("insert: empty sets"))
+			return
+		}
+		vs := make([]bitvec.Vector, len(req.Sets))
+		for i, bits := range req.Sets {
+			vs[i] = bitvec.New(bits...)
+		}
+		ids, err := srv.InsertBatch(vs)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, insertResponse{IDs: ids})
+	})
+	mux.HandleFunc("POST /v1/delete", func(w http.ResponseWriter, r *http.Request) {
+		var req deleteRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		resp := deleteResponse{}
+		for _, id := range req.IDs {
+			if srv.Delete(id) {
+				resp.Deleted++
+			}
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("POST /v1/search", func(w http.ResponseWriter, r *http.Request) {
+		var req searchRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		m := bitvec.BraunBlanquetMeasure
+		if req.Measure != "" {
+			var err error
+			if m, err = bitvec.ParseMeasure(req.Measure); err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+		}
+		q := bitvec.New(req.Set...)
+		var resp searchResponse
+		switch req.Mode {
+		case "", "best":
+			match, stats, found := srv.QueryBest(q, m)
+			resp.Found, resp.Stats = found, stats
+			if found {
+				resp.Matches = []matchJSON{{ID: match.ID, Similarity: match.Similarity}}
+			}
+		case "first":
+			threshold := hc.DefaultThreshold
+			if req.Threshold != nil {
+				threshold = *req.Threshold
+			}
+			match, stats, found := srv.Query(q, threshold, m)
+			resp.Found, resp.Stats = found, stats
+			if found {
+				resp.Matches = []matchJSON{{ID: match.ID, Similarity: match.Similarity}}
+			}
+		case "topk":
+			k := req.K
+			if k <= 0 {
+				k = 10
+			}
+			matches, stats := srv.TopK(q, k, m)
+			resp.Found, resp.Stats = len(matches) > 0, stats
+			for _, mt := range matches {
+				resp.Matches = append(resp.Matches, matchJSON{ID: mt.ID, Similarity: mt.Similarity})
+			}
+		default:
+			httpError(w, http.StatusBadRequest, fmt.Errorf("search: unknown mode %q", req.Mode))
+			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, srv.Stats())
+	})
+	mux.HandleFunc("POST /v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if hc.SnapshotDir == "" {
+			httpError(w, http.StatusForbidden, errors.New("snapshot: disabled (no snapshot directory configured)"))
+			return
+		}
+		var req snapshotRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		if req.Path == "" {
+			httpError(w, http.StatusBadRequest, errors.New("snapshot: path required"))
+			return
+		}
+		// Confine the write to the configured directory: the path must
+		// be relative and must not escape (no "..", no absolute, no
+		// volume prefix).
+		if !filepath.IsLocal(req.Path) {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("snapshot: path %q escapes the snapshot directory", req.Path))
+			return
+		}
+		full := filepath.Join(hc.SnapshotDir, req.Path)
+		if dir := filepath.Dir(full); dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				httpError(w, http.StatusInternalServerError, err)
+				return
+			}
+		}
+		f, err := os.Create(full)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		n, err := srv.WriteSnapshot(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, snapshotResponse{Bytes: n})
+	})
+	return mux
+}
+
+// maxRequestBytes bounds request bodies: large enough for bulk insert
+// batches (tens of thousands of sets), small enough that one client
+// cannot balloon the daemon's memory with a single request.
+const maxRequestBytes = 64 << 20
+
+func decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; nothing to do beyond noting it server-side.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,354 @@
+// Package server shards a segmented index for serving: K independent
+// segment.SegmentedIndex shards, data partitioned by id hash, queries
+// fanned out over a bounded worker pool and aggregated. Each shard owns
+// its own memtable, freeze queue, and compaction worker, so writes
+// scale with the shard count and a freeze in one shard never stalls
+// another. The HTTP face lives in http.go; cmd/skewsimd wires it to a
+// listener.
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"skewsim/internal/bitvec"
+	"skewsim/internal/lsf"
+	"skewsim/internal/segment"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Shards is the number of SegmentedIndex partitions. Defaults to 4.
+	Shards int
+	// Workers bounds the fan-out pool for queries and batch inserts
+	// (<= 0 selects GOMAXPROCS; always clamped to the shard count).
+	Workers int
+	// Segment configures every shard (same engines everywhere — a
+	// query's filter set is computed per shard against identical
+	// parameters, so shard placement never changes results).
+	Segment segment.Config
+}
+
+// Server is a sharded segmented index. Safe for concurrent use.
+type Server struct {
+	shards  []*segment.SegmentedIndex
+	workers int
+
+	mu   sync.Mutex
+	next int64 // next external id
+}
+
+// New builds the shards and starts their background workers.
+func New(cfg Config) (*Server, error) {
+	k := cfg.Shards
+	if k == 0 {
+		k = 4
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("server: Shards %d must be >= 1", cfg.Shards)
+	}
+	s := &Server{workers: cfg.Workers}
+	for i := 0; i < k; i++ {
+		sh, err := segment.New(cfg.Segment)
+		if err != nil {
+			for _, prev := range s.shards {
+				prev.Close()
+			}
+			return nil, err
+		}
+		s.shards = append(s.shards, sh)
+	}
+	return s, nil
+}
+
+// Close stops every shard's background worker.
+func (s *Server) Close() {
+	for _, sh := range s.shards {
+		sh.Close()
+	}
+}
+
+// Shards returns the shard count.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// shardIndex partitions by id hash. Ids are assigned by a monotone
+// counter, so the split-mix finalizer spreads consecutive ids uniformly
+// across shards while keeping the mapping computable from the id alone
+// (no routing table to persist).
+func (s *Server) shardIndex(id int64) int {
+	h := uint64(id) * 0x9e3779b97f4a7c15
+	h ^= h >> 32
+	return int(h % uint64(len(s.shards)))
+}
+
+func (s *Server) shardOf(id int64) *segment.SegmentedIndex {
+	return s.shards[s.shardIndex(id)]
+}
+
+// Insert routes v to its id-hash shard and returns the assigned id. A
+// collision with an id already present in a shard (possible only after
+// restoring a snapshot taken under live writes, where the saved counter
+// can trail ids committed to later-dumped shards) burns the id and
+// retries with a fresh one.
+func (s *Server) Insert(v bitvec.Vector) (int64, error) {
+	for {
+		s.mu.Lock()
+		id := s.next
+		s.next++
+		s.mu.Unlock()
+		err := s.shardOf(id).InsertWithID(id, v)
+		if err == nil {
+			return id, nil
+		}
+		if !errors.Is(err, segment.ErrIDTaken) {
+			return 0, err
+		}
+	}
+}
+
+// InsertBatch assigns ids to all vectors up front, then fans the
+// per-shard insert streams out over the bounded worker pool. Returns
+// the ids in input order.
+func (s *Server) InsertBatch(vs []bitvec.Vector) ([]int64, error) {
+	if len(vs) == 0 {
+		return nil, nil
+	}
+	ids := make([]int64, len(vs))
+	s.mu.Lock()
+	for i := range vs {
+		ids[i] = s.next
+		s.next++
+	}
+	s.mu.Unlock()
+	k := len(s.shards)
+	perShard := make([][]int, k) // indexes into vs, in id order
+	for i, id := range ids {
+		sh := s.shardIndex(id)
+		perShard[sh] = append(perShard[sh], i)
+	}
+	errs := make([]error, k)
+	lsf.ForEachParallel(k, s.workers, func(sh int) {
+		for _, i := range perShard[sh] {
+			if err := s.shards[sh].InsertWithID(ids[i], vs[i]); err != nil {
+				errs[sh] = err
+				return
+			}
+		}
+	})
+	return ids, errors.Join(errs...)
+}
+
+// Delete tombstones id in its shard.
+func (s *Server) Delete(id int64) bool {
+	if id < 0 {
+		return false
+	}
+	return s.shardOf(id).Delete(id)
+}
+
+// Query fans the threshold query out and returns a match with
+// similarity >= threshold if any shard finds one (the lowest-id match
+// among shard winners, so results are deterministic under parallelism).
+func (s *Server) Query(q bitvec.Vector, threshold float64, m bitvec.Measure) (segment.Match, segment.QueryStats, bool) {
+	matches := make([]segment.Match, len(s.shards))
+	founds := make([]bool, len(s.shards))
+	stats := make([]segment.QueryStats, len(s.shards))
+	lsf.ForEachParallel(len(s.shards), s.workers, func(i int) {
+		matches[i], stats[i], founds[i] = s.shards[i].Query(q, threshold, m)
+	})
+	return s.aggregate(matches, founds, stats, func(a, b segment.Match) bool {
+		return a.ID < b.ID
+	})
+}
+
+// QueryBest fans out and returns the globally most similar candidate
+// (ties to the lowest id).
+func (s *Server) QueryBest(q bitvec.Vector, m bitvec.Measure) (segment.Match, segment.QueryStats, bool) {
+	matches := make([]segment.Match, len(s.shards))
+	founds := make([]bool, len(s.shards))
+	stats := make([]segment.QueryStats, len(s.shards))
+	lsf.ForEachParallel(len(s.shards), s.workers, func(i int) {
+		matches[i], stats[i], founds[i] = s.shards[i].QueryBest(q, m)
+	})
+	return s.aggregate(matches, founds, stats, func(a, b segment.Match) bool {
+		if a.Similarity != b.Similarity {
+			return a.Similarity > b.Similarity
+		}
+		return a.ID < b.ID
+	})
+}
+
+func (s *Server) aggregate(matches []segment.Match, founds []bool, stats []segment.QueryStats, better func(a, b segment.Match) bool) (segment.Match, segment.QueryStats, bool) {
+	var (
+		agg   segment.QueryStats
+		best  segment.Match
+		found bool
+	)
+	for i := range matches {
+		agg.Merge(stats[i])
+		if founds[i] && (!found || better(matches[i], best)) {
+			best, found = matches[i], true
+		}
+	}
+	return best, agg, found
+}
+
+// TopK fans out, merges the shard top-k lists, and returns the global
+// top k (similarity desc, id asc — same order as segment.TopK).
+func (s *Server) TopK(q bitvec.Vector, k int, m bitvec.Measure) ([]segment.Match, segment.QueryStats) {
+	if k <= 0 {
+		return nil, segment.QueryStats{}
+	}
+	perShard := make([][]segment.Match, len(s.shards))
+	stats := make([]segment.QueryStats, len(s.shards))
+	lsf.ForEachParallel(len(s.shards), s.workers, func(i int) {
+		perShard[i], stats[i] = s.shards[i].TopK(q, k, m)
+	})
+	var agg segment.QueryStats
+	var all []segment.Match
+	for i := range perShard {
+		agg.Merge(stats[i])
+		all = append(all, perShard[i]...)
+	}
+	segment.SortMatches(all)
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all, agg
+}
+
+// Stats aggregates shard size reports.
+type Stats struct {
+	Shards   int
+	Live     int
+	Total    int
+	Memtable int
+	Flushing int
+	Segments int
+	Freezes  int64
+	Compacts int64
+	PerShard []segment.IndexStats
+}
+
+// Stats reports aggregated sizes plus the per-shard breakdown.
+func (s *Server) Stats() Stats {
+	st := Stats{Shards: len(s.shards)}
+	for _, sh := range s.shards {
+		is := sh.Stats()
+		st.Live += is.Live
+		st.Total += is.Total
+		st.Memtable += is.Memtable
+		st.Flushing += is.Flushing
+		st.Segments += is.Segments
+		st.Freezes += is.Freezes
+		st.Compacts += is.Compactions
+		st.PerShard = append(st.PerShard, is)
+	}
+	return st
+}
+
+// Flush forces every shard through its freeze queue.
+func (s *Server) Flush() {
+	lsf.ForEachParallel(len(s.shards), s.workers, func(i int) {
+		s.shards[i].Flush()
+	})
+}
+
+// WaitIdle blocks until no shard has pending background work.
+func (s *Server) WaitIdle() {
+	for _, sh := range s.shards {
+		sh.WaitIdle()
+	}
+}
+
+// Snapshot format: a header plus each shard's segment snapshot, back to
+// back (segment snapshots are self-delimiting).
+//
+//	magic  [6]byte "SKSRV1"
+//	shards uint32
+//	next   int64
+//	shards × segment snapshot
+var srvMagic = [6]byte{'S', 'K', 'S', 'R', 'V', '1'}
+
+// WriteSnapshot serializes all shards. Shards are snapshotted in
+// sequence, each under its own read lock; for a cut that is globally
+// consistent with respect to writes, pause writers first.
+func (s *Server) WriteSnapshot(w io.Writer) (int64, error) {
+	var n int64
+	s.mu.Lock()
+	next := s.next
+	s.mu.Unlock()
+	hdr := make([]byte, 0, 18)
+	hdr = append(hdr, srvMagic[:]...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(s.shards)))
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(next))
+	if _, err := w.Write(hdr); err != nil {
+		return n, err
+	}
+	n += int64(len(hdr))
+	for i, sh := range s.shards {
+		m, err := sh.WriteSnapshot(w)
+		n += m
+		if err != nil {
+			return n, fmt.Errorf("server: shard %d: %w", i, err)
+		}
+	}
+	return n, nil
+}
+
+// ReadSnapshot reconstructs a Server from a WriteSnapshot stream. cfg
+// must carry the same shard count and segment Params as the writer.
+func ReadSnapshot(r io.Reader, cfg Config) (*Server, error) {
+	br := bufio.NewReader(r)
+	var magic [6]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("server: reading magic: %w", err)
+	}
+	if magic != srvMagic {
+		return nil, fmt.Errorf("server: bad magic %q", magic)
+	}
+	var shards uint32
+	var next uint64
+	if err := binary.Read(br, binary.LittleEndian, &shards); err != nil {
+		return nil, fmt.Errorf("server: reading header: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &next); err != nil {
+		return nil, fmt.Errorf("server: reading header: %w", err)
+	}
+	k := cfg.Shards
+	if k == 0 {
+		k = 4
+	}
+	if int(shards) != k {
+		return nil, fmt.Errorf("server: snapshot has %d shards, config %d", shards, k)
+	}
+	s := &Server{workers: cfg.Workers, next: int64(next)}
+	ok := false
+	defer func() {
+		if !ok {
+			s.Close()
+		}
+	}()
+	for i := 0; i < k; i++ {
+		sh, err := segment.ReadSnapshot(br, cfg.Segment)
+		if err != nil {
+			return nil, fmt.Errorf("server: shard %d: %w", i, err)
+		}
+		s.shards = append(s.shards, sh)
+	}
+	// The header counter was captured before the shards were dumped; a
+	// snapshot taken under live writes can therefore contain ids at or
+	// above it. Re-seed from the shard high-water marks so fresh inserts
+	// never collide.
+	for _, sh := range s.shards {
+		if next := sh.NextID(); next > s.next {
+			s.next = next
+		}
+	}
+	ok = true
+	return s, nil
+}
