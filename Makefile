@@ -2,15 +2,20 @@ GO ?= go
 
 # Benchmarks covered by the smoke run and the JSON perf record: the
 # query-pipeline and build micro-benchmarks the perf trajectory is held
-# to, the bitvec merge kernels and serialization, plus the serving
-# subsystem (segmented query vs frozen-only, shard fan-out, online
-# insert).
-BENCH_PATTERN ?= QueryPath|LSFTraversal|BuildSkewSearch|BuildChosenPath|IntersectionSize|SerializeIndex|Segmented|Shard
+# to, the bitvec merge kernels, the packed verification engine, and
+# serialization, plus the serving subsystem (segmented query vs
+# frozen-only, shard fan-out, online insert).
+BENCH_PATTERN ?= QueryPath|LSFTraversal|BuildSkewSearch|BuildChosenPath|IntersectionSize|Verify|SerializeIndex|Segmented|Shard
 
-# The JSON perf record for this PR's benchmark snapshot.
-BENCH_OUT ?= BENCH_PR3.json
+# The JSON perf record for this PR's benchmark snapshot, the baseline it
+# is guarded against, and the number of samples per benchmark (benchjson
+# keeps the per-benchmark minimum — single-sample records were noisy
+# enough to fake 18% swings on allocation-free kernels between PRs).
+BENCH_OUT ?= BENCH_PR4.json
+BENCH_PREV ?= BENCH_PR3.json
+BENCH_COUNT ?= 5
 
-.PHONY: all build vet test race fuzz bench bench-json
+.PHONY: all build vet test race fuzz bench bench-json bench-guard
 
 all: build vet test
 
@@ -35,6 +40,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzRead$$' -fuzztime $(FUZZTIME) ./internal/dataio
 	$(GO) test -run '^$$' -fuzz '^FuzzReadIndexFrom$$' -fuzztime $(FUZZTIME) ./internal/lsf
 	$(GO) test -run '^$$' -fuzz '^FuzzSerializeRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/lsf
+	$(GO) test -run '^$$' -fuzz '^FuzzPackedRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/bitvec
 
 # Smoke-run the micro-benchmarks: one iteration each, with allocation
 # counters, so CI catches benchmarks that stop compiling or crash
@@ -42,12 +48,20 @@ fuzz:
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=1x ./...
 
-# Same smoke run, converted to a machine-readable perf record
-# ($(BENCH_OUT): name, ns/op, B/op, allocs/op, custom metrics per
-# benchmark) so the benchmark trajectory can be diffed across PRs. Two
-# steps, not a pipe, so a crashing benchmark fails the target instead
-# of being swallowed by the converter's exit code; the raw benchmark
-# log still reaches the terminal via benchjson's stderr passthrough.
+# The measured run, converted to a machine-readable perf record
+# ($(BENCH_OUT): name, min ns/op over $(BENCH_COUNT) samples, B/op,
+# allocs/op, sample count, custom metrics per benchmark) so the
+# benchmark trajectory can be diffed across PRs. Two steps, not a pipe,
+# so a crashing benchmark fails the target instead of being swallowed
+# by the converter's exit code; the raw benchmark log still reaches the
+# terminal via benchjson's stderr passthrough.
 bench-json:
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=1x ./... > bench.log
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=1x -count=$(BENCH_COUNT) ./... > bench.log
 	$(GO) run ./cmd/benchjson < bench.log > $(BENCH_OUT); st=$$?; rm -f bench.log; exit $$st
+
+# Regression gate: fail when a QueryPath benchmark in $(BENCH_OUT) is
+# more than 25% slower than the previous PR's record. Serving and build
+# benchmarks are tracked but not gated (too machine-sensitive for
+# hosted runners).
+bench-guard:
+	$(GO) run ./cmd/benchguard -old $(BENCH_PREV) -new $(BENCH_OUT)

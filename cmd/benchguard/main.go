@@ -1,0 +1,114 @@
+// Command benchguard compares two benchjson perf records and fails when
+// a guarded benchmark regressed: new ns/op more than -max-regress above
+// old ns/op. It is the CI gate keeping the query-path trajectory
+// monotone — the serving benchmarks are too machine-sensitive for hosted
+// runners, so the default pattern guards only the QueryPath family, and
+// the tolerance is generous (25%) to absorb runner noise on top of the
+// -count minimum filtering benchjson already applies.
+//
+// Usage:
+//
+//	go run ./cmd/benchguard -old BENCH_PR3.json -new BENCH_PR4.json
+//	go run ./cmd/benchguard -old old.json -new new.json -pattern 'QueryPath|Segmented' -max-regress 0.10
+//
+// Benchmarks present in only one record are reported but never fail the
+// guard (renames and new benchmarks are normal between PRs); a pattern
+// that matches nothing in common fails loudly so the gate cannot
+// silently go dark.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+)
+
+type result struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+	Count   int     `json:"count"`
+}
+
+func load(path string) (map[string]result, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []result
+	if err := json.Unmarshal(raw, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]result, len(rs))
+	for _, r := range rs {
+		out[r.Name] = r
+	}
+	return out, nil
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline benchjson record")
+	newPath := flag.String("new", "", "candidate benchjson record")
+	pattern := flag.String("pattern", "QueryPath", "regexp of benchmark names to guard")
+	maxRegress := flag.Float64("max-regress", 0.25, "maximum tolerated ns/op increase (0.25 = +25%)")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -old and -new are required")
+		os.Exit(2)
+	}
+	re, err := regexp.Compile(*pattern)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	olds, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	news, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	compared, regressed := 0, 0
+	for name, n := range news {
+		if !re.MatchString(name) {
+			continue
+		}
+		o, ok := olds[name]
+		if !ok {
+			fmt.Printf("NEW       %-55s %12.0f ns/op (no baseline)\n", name, n.NsPerOp)
+			continue
+		}
+		compared++
+		ratio := 0.0
+		if o.NsPerOp > 0 {
+			ratio = n.NsPerOp/o.NsPerOp - 1
+		}
+		status := "ok"
+		if ratio > *maxRegress {
+			status = "REGRESSED"
+			regressed++
+		}
+		fmt.Printf("%-9s %-55s %12.0f -> %12.0f ns/op (%+.1f%%)\n", status, name, o.NsPerOp, n.NsPerOp, 100*ratio)
+	}
+	for name, o := range olds {
+		if re.MatchString(name) {
+			if _, ok := news[name]; !ok {
+				fmt.Printf("GONE      %-55s %12.0f ns/op (not in candidate)\n", name, o.NsPerOp)
+			}
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: pattern %q matched no benchmark present in both records\n", *pattern)
+		os.Exit(1)
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %d/%d guarded benchmarks regressed more than %.0f%%\n",
+			regressed, compared, 100**maxRegress)
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: %d guarded benchmarks within +%.0f%%\n", compared, 100**maxRegress)
+}

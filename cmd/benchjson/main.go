@@ -1,13 +1,20 @@
 // Command benchjson converts `go test -bench` text output on stdin into a
-// JSON array on stdout, one object per benchmark line: name, iterations,
-// and every reported metric (ns/op, B/op, allocs/op, plus any custom
+// JSON array on stdout, one object per benchmark: name, iterations, and
+// every reported metric (ns/op, B/op, allocs/op, plus any custom
 // b.ReportMetric units like filters/op or recall). It exists so CI can
-// emit a machine-readable perf record (BENCH_PR2.json) per run and the
+// emit a machine-readable perf record (BENCH_PR4.json) per run and the
 // benchmark trajectory can be diffed across PRs without scraping text.
+//
+// Repeated lines for the same benchmark — the shape `-count=N` produces —
+// are collapsed into one record carrying the minimum ns/op sample (the
+// standard noise filter: the fastest run is the one least disturbed by
+// the machine) with its accompanying B/op, allocs/op, and custom
+// metrics, plus the sample count, so the JSON says how much evidence is
+// behind each number. A single run (count 1) is recorded as such.
 //
 // Usage:
 //
-//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson
+//	go test -run '^$' -bench . -benchmem -count=5 ./... | go run ./cmd/benchjson
 package main
 
 import (
@@ -19,10 +26,12 @@ import (
 	"strings"
 )
 
-// Result is one benchmark measurement.
+// Result is one benchmark measurement: the minimum-ns/op sample over
+// Count runs of the same benchmark.
 type Result struct {
 	Name        string             `json:"name"`
 	Iterations  int64              `json:"iterations"`
+	Count       int                `json:"count"`
 	NsPerOp     float64            `json:"ns_per_op"`
 	BPerOp      *float64           `json:"b_per_op,omitempty"`
 	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
@@ -31,11 +40,21 @@ type Result struct {
 
 func main() {
 	var results []Result
+	byName := make(map[string]int) // name -> index into results
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Fprintln(os.Stderr, line) // pass the raw log through for humans
+		if strings.HasPrefix(line, "pkg: ") {
+			// Benchmark lines carry no package name, and `go test ./...`
+			// emits each package's block contiguously under a pkg: header.
+			// Scope the -count collapse to the current package so two
+			// packages defining the same benchmark name can never merge
+			// into one bogus min record.
+			byName = make(map[string]int)
+			continue
+		}
 		if !strings.HasPrefix(line, "Benchmark") {
 			continue
 		}
@@ -48,7 +67,7 @@ func main() {
 		if err != nil {
 			continue
 		}
-		r := Result{Name: fields[0], Iterations: iters}
+		r := Result{Name: fields[0], Iterations: iters, Count: 1}
 		for k := 2; k+1 < len(fields); k += 2 {
 			v, err := strconv.ParseFloat(fields[k], 64)
 			if err != nil {
@@ -70,6 +89,19 @@ func main() {
 				r.Metrics[unit] = v
 			}
 		}
+		if at, seen := byName[r.Name]; seen {
+			// A repeat from -count=N: keep the fastest sample (with the
+			// metrics measured alongside it) and bump the evidence count.
+			prev := &results[at]
+			r.Count = prev.Count + 1
+			if r.NsPerOp >= prev.NsPerOp {
+				prev.Count = r.Count
+				continue
+			}
+			results[at] = r
+			continue
+		}
+		byName[r.Name] = len(results)
 		results = append(results, r)
 	}
 	if err := sc.Err(); err != nil {

@@ -8,7 +8,10 @@
 // MinHash LSH, prefix filtering, brute force), the probabilistic data
 // model, exponent solvers, dataset generators, a similarity-join driver,
 // and the experiment harness that regenerates every table and figure of
-// the paper are in the sibling internal packages. For serving rather
+// the paper are in the sibling internal packages. Candidate
+// verification across every layer runs through internal/verify's
+// packed popcount engine over internal/bitvec's word-packed vector
+// forms. For serving rather
 // than experiments, internal/segment makes the index online-mutable
 // (memtable + frozen CSR segments, LSM-style) and internal/server
 // shards it behind the cmd/skewsimd HTTP daemon. See DESIGN.md for the

@@ -1,0 +1,241 @@
+package bitvec
+
+import "math/bits"
+
+// Packed word layout. A PackedSet stores a second representation of a
+// collection of Vectors, optimized for the one operation candidate
+// verification is made of: intersecting many data vectors against one
+// query. Each vector is packed into 64-bit word blocks and intersected
+// with a dense word bitmap of the query via popcount
+// (math/bits.OnesCount64), turning the per-candidate galloping merge
+// over sorted uint32 slices into a handful of AND+POPCNT per vector.
+//
+// The layout is adaptive per vector, chosen by density over the
+// vector's own word span (not the universe):
+//
+//   - dense: the words covering [minWord, maxWord] stored contiguously
+//     (zero words included). One sequential AND+POPCNT loop, no index
+//     lookups. Chosen when the span is at most denseSlack× the number
+//     of non-zero words, which covers the paper's common case of small
+//     universes with concentrated mass.
+//   - sparse: only the non-zero words, with a parallel sorted array of
+//     their word indexes. Chosen for rare-bit vectors spread over a
+//     large universe (the TwoBlock tail), where a dense span would be
+//     mostly zeros.
+//
+// All vectors of a set share three growable arenas (meta, words, word
+// indexes) — no per-vector heap objects, matching the CSR discipline of
+// the frozen lsf index. Append grows the arenas with append(), which
+// relocates them on capacity growth, so appends must be mutually
+// exclusive with reads: callers that grow a live set serialize Append
+// against IntersectWords through a lock (segment.SegmentedIndex appends
+// under its write lock; queries verify under the read lock). A set that
+// is no longer appended to (core's build-time packing) is safe for
+// unlimited concurrent reads.
+type PackedSet struct {
+	meta  []packedMeta
+	words []uint64 // arena: dense spans and sparse non-zero words
+	idxs  []uint32 // arena: word indexes of sparse entries only
+}
+
+// packedMeta addresses one vector's packed form in the arenas.
+type packedMeta struct {
+	woff uint32 // offset into words
+	ioff uint32 // offset into idxs (sparse only)
+	nw   uint32 // word count
+	base uint32 // dense: first word index; packedSparse otherwise
+}
+
+// packedSparse marks a sparse entry in packedMeta.base. Word indexes are
+// bit>>6 with bits < 2^32, so no real base reaches it.
+const packedSparse = ^uint32(0)
+
+// denseSlack is the maximum ratio of span (dense words stored) to
+// non-zero words at which the dense form is chosen. Dense costs
+// 8·span bytes against sparse's 12·nw, and its kernel is a sequential
+// loop with no per-word index load, so it is worth up to a few empty
+// words per full one.
+const denseSlack = 4
+
+// NewPackedSet packs every vector of data. The typical callers are
+// index builders (core build/load, segment freeze), which pack the
+// dataset once so queries never re-pack a data vector.
+func NewPackedSet(data []Vector) *PackedSet {
+	ps := &PackedSet{meta: make([]packedMeta, 0, len(data))}
+	for _, v := range data {
+		ps.Append(v)
+	}
+	return ps
+}
+
+// Len returns the number of packed vectors.
+func (ps *PackedSet) Len() int { return len(ps.meta) }
+
+// Append packs v as the next vector of the set. Amortized O(|v|).
+func (ps *PackedSet) Append(v Vector) {
+	bitsList := v.bits
+	if len(bitsList) == 0 {
+		ps.meta = append(ps.meta, packedMeta{})
+		return
+	}
+	minW := bitsList[0] >> 6
+	maxW := bitsList[len(bitsList)-1] >> 6
+	span := maxW - minW + 1
+	nw := uint32(1)
+	for i := 1; i < len(bitsList); i++ {
+		if bitsList[i]>>6 != bitsList[i-1]>>6 {
+			nw++
+		}
+	}
+	if span <= denseSlack*nw {
+		m := packedMeta{woff: uint32(len(ps.words)), nw: span, base: minW}
+		start := len(ps.words)
+		for i := uint32(0); i < span; i++ {
+			ps.words = append(ps.words, 0)
+		}
+		for _, b := range bitsList {
+			ps.words[start+int(b>>6-minW)] |= 1 << (b & 63)
+		}
+		ps.meta = append(ps.meta, m)
+		return
+	}
+	m := packedMeta{woff: uint32(len(ps.words)), ioff: uint32(len(ps.idxs)), nw: nw, base: packedSparse}
+	cur := bitsList[0] >> 6
+	var w uint64
+	for _, b := range bitsList {
+		if b>>6 != cur {
+			ps.words = append(ps.words, w)
+			ps.idxs = append(ps.idxs, cur)
+			cur, w = b>>6, 0
+		}
+		w |= 1 << (b & 63)
+	}
+	ps.words = append(ps.words, w)
+	ps.idxs = append(ps.idxs, cur)
+	ps.meta = append(ps.meta, m)
+}
+
+// IntersectWords returns |v_id ∩ q| where qw is the query's dense word
+// bitmap: qw[i] holds the query bits [64i, 64i+64). Words of v_id beyond
+// len(qw) contain no query bits and are skipped.
+func (ps *PackedSet) IntersectWords(id int32, qw []uint64) int {
+	m := ps.meta[id]
+	if m.nw == 0 {
+		return 0
+	}
+	inter := 0
+	if m.base != packedSparse {
+		lo := int(m.base)
+		hi := lo + int(m.nw)
+		if hi > len(qw) {
+			hi = len(qw)
+		}
+		w := ps.words[m.woff : m.woff+m.nw]
+		for i := lo; i < hi; i++ {
+			inter += bits.OnesCount64(w[i-lo] & qw[i])
+		}
+		return inter
+	}
+	idxs := ps.idxs[m.ioff : m.ioff+m.nw]
+	w := ps.words[m.woff : m.woff+m.nw]
+	for k, idx := range idxs {
+		if int(idx) >= len(qw) {
+			break // idxs ascend: everything after is past the query too
+		}
+		inter += bits.OnesCount64(w[k] & qw[idx])
+	}
+	return inter
+}
+
+// IntersectWordsAtLeast is IntersectWords with an early exit: once the
+// running count plus the maximum contribution of the remaining words
+// (64 per word) cannot reach need, it returns (0, false) without
+// finishing. On (n, true), n is the exact intersection size and
+// n >= need. need <= 0 never exits early. The bound is checked every
+// few words so short vectors — the common case — pay nothing for it.
+func (ps *PackedSet) IntersectWordsAtLeast(id int32, qw []uint64, need int) (int, bool) {
+	m := ps.meta[id]
+	if m.nw == 0 {
+		return 0, need <= 0
+	}
+	const stride = 8 // words between early-exit checks
+	inter := 0
+	if m.base != packedSparse {
+		lo := int(m.base)
+		hi := lo + int(m.nw)
+		if hi > len(qw) {
+			hi = len(qw)
+		}
+		w := ps.words[m.woff : m.woff+m.nw]
+		for i := lo; i < hi; i++ {
+			if (i-lo)&(stride-1) == 0 && inter+64*(hi-i) < need {
+				return 0, false
+			}
+			inter += bits.OnesCount64(w[i-lo] & qw[i])
+		}
+		return inter, inter >= need
+	}
+	idxs := ps.idxs[m.ioff : m.ioff+m.nw]
+	w := ps.words[m.woff : m.woff+m.nw]
+	for k, idx := range idxs {
+		if int(idx) >= len(qw) {
+			break
+		}
+		if k&(stride-1) == 0 && inter+64*(len(idxs)-k) < need {
+			return 0, false
+		}
+		inter += bits.OnesCount64(w[k] & qw[idx])
+	}
+	return inter, inter >= need
+}
+
+// AppendBits reconstructs vector id's set bits in ascending order,
+// appending to dst. It is the round-trip counterpart of Append, used by
+// the differential and fuzz tests to prove the packed forms lossless.
+func (ps *PackedSet) AppendBits(dst []uint32, id int32) []uint32 {
+	m := ps.meta[id]
+	for k := uint32(0); k < m.nw; k++ {
+		w := ps.words[m.woff+k]
+		var base uint32
+		if m.base != packedSparse {
+			base = (m.base + k) << 6
+		} else {
+			base = ps.idxs[m.ioff+k] << 6
+		}
+		for w != 0 {
+			dst = append(dst, base+uint32(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// IsDense reports whether vector id was packed in the dense form.
+// Exposed for tests asserting the adaptive split.
+func (ps *PackedSet) IsDense(id int32) bool {
+	return ps.meta[id].base != packedSparse
+}
+
+// WordCount returns the number of words stored for vector id.
+func (ps *PackedSet) WordCount(id int32) int { return int(ps.meta[id].nw) }
+
+// QueryWords materializes q as a dense word bitmap into dst, growing it
+// as needed, and returns the bitmap. dst's reused prefix must already be
+// zero (Session scrubbing in internal/verify maintains this invariant by
+// clearing exactly the words it set).
+func QueryWords(dst []uint64, q Vector) []uint64 {
+	maxB, ok := q.MaxBit()
+	if !ok {
+		return dst[:0]
+	}
+	n := int(maxB>>6) + 1
+	if cap(dst) < n {
+		dst = make([]uint64, n)
+	} else {
+		dst = dst[:n]
+	}
+	for _, b := range q.bits {
+		dst[b>>6] |= 1 << (b & 63)
+	}
+	return dst
+}

@@ -1,0 +1,82 @@
+package bitvec
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// bitsFromBytes decodes fuzz bytes into a strictly increasing bit list:
+// each byte pair is a gap (+1) from the previous bit, so any input maps
+// to a valid vector and small mutations explore density mixes (gap 1 =
+// dense runs, large gaps = sparse spread).
+func bitsFromBytes(data []byte) []uint32 {
+	var bits []uint32
+	cur := uint32(0)
+	for len(data) >= 2 {
+		gap := uint32(binary.LittleEndian.Uint16(data)) + 1
+		data = data[2:]
+		// Cap the universe so adversarial inputs cannot allocate huge
+		// dense query bitmaps in the harness.
+		if cur > 1<<26 {
+			break
+		}
+		cur += gap
+		bits = append(bits, cur)
+	}
+	return bits
+}
+
+// FuzzPackedRoundTrip feeds arbitrary gap-encoded bit lists through the
+// packed representation and checks (a) Append/AppendBits is lossless and
+// (b) popcount intersection agrees with the sorted-slice merge. The
+// split byte decides where the input is cut into the vector/query pair,
+// so the corpus explores dense×dense, dense×sparse, and sparse×sparse
+// block layouts.
+func FuzzPackedRoundTrip(f *testing.F) {
+	// Seed corpus: boundary layouts the unit tests pin down explicitly.
+	f.Add([]byte{0})                                              // both empty
+	f.Add([]byte{1, 0, 0, 62, 0})                                 // word-boundary bits
+	f.Add([]byte{4, 0, 0, 1, 0, 1, 0, 255, 255, 16, 39})          // dense run then jump
+	f.Add([]byte{8, 255, 255, 255, 255, 255, 255, 1, 0, 1, 0})    // sparse vector, dense query
+	f.Add([]byte{2, 63, 0, 64, 0, 65, 0})                         // straddling words
+	f.Add([]byte{16, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 1, 0, 1, 0})   // duplicate-gap runs
+	f.Add([]byte{6, 16, 39, 16, 39, 16, 39, 0, 0, 1, 0, 255, 16}) // 10k strides
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 1 {
+			return
+		}
+		split := int(data[0])
+		data = data[1:]
+		if split > len(data) {
+			split = len(data)
+		}
+		v := New(bitsFromBytes(data[:split])...)
+		q := New(bitsFromBytes(data[split:])...)
+		ps := NewPackedSet([]Vector{v, q})
+		for id, want := range []Vector{v, q} {
+			got := ps.AppendBits(nil, int32(id))
+			if len(got) != want.Len() {
+				t.Fatalf("vector %d: round trip %d bits, want %d", id, len(got), want.Len())
+			}
+			for k, b := range want.Bits() {
+				if got[k] != b {
+					t.Fatalf("vector %d bit %d: got %d want %d", id, k, got[k], b)
+				}
+			}
+		}
+		qw := QueryWords(nil, q)
+		if got, want := ps.IntersectWords(0, qw), q.IntersectionSize(v); got != want {
+			t.Fatalf("IntersectWords(v, q) = %d, want %d", got, want)
+		}
+		if got, want := ps.IntersectWords(1, qw), q.IntersectionSize(q); got != want {
+			t.Fatalf("IntersectWords(q, q) = %d, want %d (self)", got, want)
+		}
+		for need := 0; need <= q.Len()+1; need += 1 + q.Len()/4 {
+			inter, ok := ps.IntersectWordsAtLeast(0, qw, need)
+			want := q.IntersectionSize(v)
+			if ok != (want >= need) || (ok && inter != want) {
+				t.Fatalf("IntersectWordsAtLeast(need=%d) = (%d, %v), intersection is %d", need, inter, ok, want)
+			}
+		}
+	})
+}

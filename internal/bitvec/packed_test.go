@@ -1,0 +1,135 @@
+package bitvec
+
+import (
+	"testing"
+
+	"skewsim/internal/hashing"
+)
+
+// randomVector draws n distinct bits below dim.
+func packRandVector(rng *hashing.SplitMix64, n, dim int) Vector {
+	bits := make([]uint32, 0, n)
+	for len(bits) < n {
+		bits = append(bits, uint32(rng.NextBelow(uint64(dim))))
+	}
+	return New(bits...)
+}
+
+func TestPackedRoundTrip(t *testing.T) {
+	rng := hashing.NewSplitMix64(1)
+	vecs := []Vector{
+		{},               // empty
+		New(0),           // single bit at origin
+		New(63), New(64), // word boundary
+		New(0, 63, 64, 127),   // dense two words
+		New(0, 1<<20),         // extreme sparse
+		New(5, 70, 1000, 1e6), // mixed stride
+	}
+	// Random mixes across densities and universes.
+	for _, dim := range []int{64, 600, 4096, 1 << 20} {
+		for _, n := range []int{1, 8, 150, 1000} {
+			vecs = append(vecs, packRandVector(rng, n, dim))
+		}
+	}
+	ps := NewPackedSet(vecs)
+	if ps.Len() != len(vecs) {
+		t.Fatalf("Len = %d, want %d", ps.Len(), len(vecs))
+	}
+	for id, v := range vecs {
+		got := ps.AppendBits(nil, int32(id))
+		want := v.Bits()
+		if len(got) != len(want) {
+			t.Fatalf("vector %d: round trip %d bits, want %d", id, len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("vector %d bit %d: got %d want %d", id, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestPackedAdaptiveSplit(t *testing.T) {
+	// 100 bits packed into two words: dense.
+	concentrated := make([]uint32, 100)
+	for i := range concentrated {
+		concentrated[i] = uint32(i)
+	}
+	// 100 bits strided 10_000 apart: one bit per word, far beyond the
+	// dense slack.
+	spread := make([]uint32, 100)
+	for i := range spread {
+		spread[i] = uint32(i * 10000)
+	}
+	ps := NewPackedSet([]Vector{New(concentrated...), New(spread...)})
+	if !ps.IsDense(0) {
+		t.Errorf("concentrated vector packed sparse")
+	}
+	if ps.IsDense(1) {
+		t.Errorf("spread vector packed dense")
+	}
+	if w := ps.WordCount(0); w != 2 {
+		t.Errorf("concentrated vector stored %d words, want 2", w)
+	}
+	if w := ps.WordCount(1); w != 100 {
+		t.Errorf("spread vector stored %d words, want 100", w)
+	}
+}
+
+func TestPackedIntersectWords(t *testing.T) {
+	rng := hashing.NewSplitMix64(7)
+	var vecs []Vector
+	for _, dim := range []int{64, 300, 2048, 1 << 18} {
+		for _, n := range []int{0, 1, 20, 200} {
+			vecs = append(vecs, packRandVector(rng, n, dim))
+		}
+	}
+	ps := NewPackedSet(vecs)
+	queries := []Vector{
+		{},
+		New(0),
+		packRandVector(rng, 50, 300),
+		packRandVector(rng, 150, 2048),
+		packRandVector(rng, 40, 1<<18),
+		packRandVector(rng, 500, 1<<10),
+	}
+	for qi, q := range queries {
+		// QueryWords requires a zeroed buffer prefix (its reusing caller,
+		// verify.Session, scrubs its own bits); tests build fresh.
+		qw := QueryWords(nil, q)
+		for id, v := range vecs {
+			want := q.IntersectionSize(v)
+			if got := ps.IntersectWords(int32(id), qw); got != want {
+				t.Fatalf("query %d vector %d: IntersectWords = %d, want %d", qi, id, got, want)
+			}
+			for _, need := range []int{0, 1, want, want + 1, want * 2} {
+				got, ok := ps.IntersectWordsAtLeast(int32(id), qw, need)
+				if ok != (want >= need) {
+					t.Fatalf("query %d vector %d need %d: ok = %v, want %v (inter %d)",
+						qi, id, need, ok, want >= need, want)
+				}
+				if ok && got != want {
+					t.Fatalf("query %d vector %d need %d: inter = %d, want %d", qi, id, need, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPackedAppendGrows(t *testing.T) {
+	ps := &PackedSet{}
+	rng := hashing.NewSplitMix64(11)
+	var vecs []Vector
+	for i := 0; i < 200; i++ {
+		v := packRandVector(rng, 1+int(rng.NextBelow(60)), 1<<14)
+		vecs = append(vecs, v)
+		ps.Append(v)
+	}
+	q := packRandVector(rng, 80, 1<<14)
+	qw := QueryWords(nil, q)
+	for id, v := range vecs {
+		if got, want := ps.IntersectWords(int32(id), qw), q.IntersectionSize(v); got != want {
+			t.Fatalf("vector %d: IntersectWords = %d, want %d", id, got, want)
+		}
+	}
+}

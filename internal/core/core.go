@@ -24,11 +24,14 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync/atomic"
 
 	"skewsim/internal/bitvec"
 	"skewsim/internal/dist"
 	"skewsim/internal/lsf"
 	"skewsim/internal/rho"
+	"skewsim/internal/verify"
 )
 
 // Mode selects the threshold scheme.
@@ -89,8 +92,10 @@ type Stats struct {
 	Repetitions int // repetitions actually touched
 	Filters     int // Σ |F(q)| over touched repetitions
 	Candidates  int // Σ candidate occurrences (Lemma 7's quantity)
-	Distinct    int // Σ distinct candidates verified
-	FellBack    bool
+	Distinct    int // Σ per-repetition distinct candidates streamed
+	// (verification itself is deduplicated index-wide, so at most
+	// Distinct candidates are actually verified per query)
+	FellBack bool
 }
 
 func (s *Stats) add(q lsf.QueryStats) {
@@ -122,8 +127,17 @@ type Index struct {
 	b1        float64 // adversarial mode only
 	fallback  bool
 	// visitPool recycles the epoch-stamped sets that deduplicate
-	// candidates across repetitions (Candidates, QueryTopK).
+	// candidates across repetitions (Query, QueryBest, Candidates,
+	// QueryTopK).
 	visitPool lsf.VisitedPool
+	// packed is the word-packed form of data, built once per index and
+	// shared by every repetition and by the verification engine: a
+	// candidate's similarity is a popcount intersection against the
+	// query's bitmap, never a re-walk of the sorted slices.
+	packed *bitvec.PackedSet
+	// candHint tracks the last few candidate-set sizes (EWMA-ish: plain
+	// last-seen) so Candidates can preallocate its output.
+	candHint atomic.Int64
 	// retained for serialization: engine seeds and limits.
 	seeds         []uint64
 	maxDepth      int
@@ -254,7 +268,18 @@ func (ix *Index) buildReps(param float64, opt Options) error {
 			return err
 		}
 	}
+	ix.attachPacked()
 	return nil
+}
+
+// attachPacked builds the word-packed form of the dataset once and
+// shares it with every repetition, so index-level and repetition-level
+// queries verify candidates by popcount over the same arenas.
+func (ix *Index) attachPacked() {
+	ix.packed = bitvec.NewPackedSet(ix.data)
+	for _, rep := range ix.reps {
+		rep.UsePacked(ix.packed)
+	}
 }
 
 // Mode returns the index's mode.
@@ -287,24 +312,41 @@ func (ix *Index) BuildStats() lsf.BuildStats {
 // threshold, walking repetitions until one succeeds. If every repetition
 // truncates (work budget) and fallback is enabled, it degrades to a
 // linear scan so correctness never silently drops.
+//
+// The query's packed form is materialized once (a pooled verify.Session)
+// and reused across every repetition, and candidates are deduplicated
+// index-wide: a candidate that failed verification in one repetition is
+// never re-verified when a later repetition surfaces it again.
 func (ix *Index) Query(q bitvec.Vector) Result {
 	var res Result
 	res.ID = -1
+	ses := verify.Acquire(ix.measure, q)
+	defer verify.Release(ses)
+	vis := ix.visitPool.Get(len(ix.data))
+	defer ix.visitPool.Put(vis)
 	allTruncated := true
 	for _, rep := range ix.reps {
-		id, sim, st, found := rep.Query(q, ix.threshold, ix.measure)
+		st := rep.ForEachCandidate(q, func(id int32) bool {
+			if !vis.FirstVisit(id) {
+				return true
+			}
+			if sim, ok := ses.AtLeast(ix.packed, ix.data, id, ix.threshold); ok {
+				res.ID, res.Similarity, res.Found = int(id), sim, true
+				return false
+			}
+			return true
+		})
 		res.Stats.add(st)
 		if !st.Truncated {
 			allTruncated = false
 		}
-		if found {
-			res.ID, res.Similarity, res.Found = id, sim, true
+		if res.Found {
 			return res
 		}
 	}
 	if allTruncated && ix.fallback {
 		res.Stats.FellBack = true
-		id, sim, found := ix.linearScan(q)
+		id, sim, found := ix.linearScan(ses)
 		if found {
 			res.ID, res.Similarity, res.Found = id, sim, true
 		}
@@ -314,17 +356,28 @@ func (ix *Index) Query(q bitvec.Vector) Result {
 
 // QueryBest returns the most similar candidate across all repetitions,
 // regardless of threshold. Found is false only when no repetition yields
-// any candidate.
+// any candidate. Like Query it shares one packed query and one visited
+// set across repetitions; each candidate is verified exactly once,
+// pruned against the running best.
 func (ix *Index) QueryBest(q bitvec.Vector) Result {
 	var res Result
 	res.ID = -1
 	res.Similarity = -1
+	ses := verify.Acquire(ix.measure, q)
+	defer verify.Release(ses)
+	vis := ix.visitPool.Get(len(ix.data))
+	defer ix.visitPool.Put(vis)
 	for _, rep := range ix.reps {
-		id, sim, st, found := rep.QueryBest(q, ix.measure)
+		st := rep.ForEachCandidate(q, func(id int32) bool {
+			if !vis.FirstVisit(id) {
+				return true
+			}
+			if sim, ok := ses.MoreThan(ix.packed, ix.data, id, res.Similarity); ok {
+				res.ID, res.Similarity, res.Found = int(id), sim, true
+			}
+			return true
+		})
 		res.Stats.add(st)
-		if found && sim > res.Similarity {
-			res.ID, res.Similarity, res.Found = id, sim, true
-		}
 	}
 	if !res.Found {
 		res.Similarity = 0
@@ -335,11 +388,14 @@ func (ix *Index) QueryBest(q bitvec.Vector) Result {
 // Candidates returns the distinct candidate ids over all repetitions.
 // Used by the join driver and by experiments analyzing candidate sets.
 // Each repetition streams its candidates straight into the cross-
-// repetition dedup, so no per-repetition slices are materialized.
+// repetition dedup, so no per-repetition slices are materialized. The
+// output is preallocated from the last-seen candidate count (seeded
+// from BuildStats on the first call), so the join driver's steady-state
+// loop does not regrow it element by element.
 func (ix *Index) Candidates(q bitvec.Vector) []int32 {
 	vis := ix.visitPool.Get(len(ix.data))
 	defer ix.visitPool.Put(vis)
-	var out []int32
+	out := make([]int32, 0, ix.candidateHint())
 	for _, rep := range ix.reps {
 		rep.ForEachCandidate(q, func(id int32) bool {
 			if vis.FirstVisit(id) {
@@ -348,17 +404,79 @@ func (ix *Index) Candidates(q bitvec.Vector) []int32 {
 			return true
 		})
 	}
+	ix.candHint.Store(int64(len(out)))
 	return out
 }
 
-// linearScan is the correctness fallback.
-func (ix *Index) linearScan(q bitvec.Vector) (int, float64, bool) {
+// candidateHint estimates the distinct candidate count of the next
+// query: the last query's count once one has run, otherwise a build-time
+// estimate — average posting-list length (TotalFilters/Buckets) times
+// the average filter count per vector (TotalFilters/Vectors) per
+// repetition, which is the expected number of candidate occurrences for
+// a data-like query — clamped to [8, n].
+func (ix *Index) candidateHint() int {
+	if h := ix.candHint.Load(); h > 0 {
+		return int(h)
+	}
+	st := ix.BuildStats()
+	est := 8
+	if st.Buckets > 0 && st.Vectors > 0 {
+		avgPosting := float64(st.TotalFilters) / float64(st.Buckets)
+		avgFilters := float64(st.TotalFilters) / float64(st.Vectors) / float64(max(1, len(ix.reps)))
+		est = int(avgPosting * avgFilters)
+	}
+	return min(max(est, 8), len(ix.data))
+}
+
+// linearScanSerialCutoff is the dataset size below which the fallback
+// scan stays single-threaded: spawning workers costs more than scanning.
+const linearScanSerialCutoff = 4096
+
+// linearScan is the correctness fallback: an exact best-match scan over
+// the whole dataset, used when every repetition truncates. It reuses the
+// caller's packed verification session (length prune against the
+// running best, popcount intersections) and fans out over the
+// worker-clamp helper so a truncating query storm does not stall
+// serving on one core.
+func (ix *Index) linearScan(ses *verify.Session) (int, float64, bool) {
+	n := len(ix.data)
+	workers := runtime.GOMAXPROCS(0)
+	if n < linearScanSerialCutoff || workers <= 1 {
+		best, bestSim := ix.scanRange(ses, 0, n)
+		return ix.scanVerdict(best, bestSim)
+	}
+	if workers > n {
+		workers = n
+	}
+	bests := make([]int, workers)
+	sims := make([]float64, workers)
+	// One session for all workers — verification is read-only on it, so
+	// the query is packed once, not once per worker.
+	lsf.ForEachParallel(workers, workers, func(w int) {
+		bests[w], sims[w] = ix.scanRange(ses, w*n/workers, (w+1)*n/workers)
+	})
 	best, bestSim := -1, -1.0
-	for id, x := range ix.data {
-		if s := ix.measure.Similarity(q, x); s > bestSim {
-			best, bestSim = id, s
+	for w := range bests {
+		// Strict > keeps the lowest-id maximum, matching the serial scan.
+		if bests[w] >= 0 && sims[w] > bestSim {
+			best, bestSim = bests[w], sims[w]
 		}
 	}
+	return ix.scanVerdict(best, bestSim)
+}
+
+// scanRange returns the first-encountered maximum over data[lo:hi).
+func (ix *Index) scanRange(ses *verify.Session, lo, hi int) (int, float64) {
+	best, bestSim := -1, -1.0
+	for id := lo; id < hi; id++ {
+		if sim, ok := ses.MoreThan(ix.packed, ix.data, int32(id), bestSim); ok {
+			best, bestSim = id, sim
+		}
+	}
+	return best, bestSim
+}
+
+func (ix *Index) scanVerdict(best int, bestSim float64) (int, float64, bool) {
 	if best >= 0 && bestSim >= ix.threshold {
 		return best, bestSim, true
 	}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"skewsim/internal/bitvec"
+	"skewsim/internal/hashing"
+	"skewsim/internal/verify"
+)
+
+// TestLinearScanParallelMatchesSerial pins the fallback scan's parallel
+// fan-out (datasets at or above linearScanSerialCutoff) to the serial
+// reference semantics: the lowest-id maximum under the measure, found
+// iff it clears the threshold. White-box: the scan depends only on
+// data/measure/threshold/packed, so the index is assembled directly.
+func TestLinearScanParallelMatchesSerial(t *testing.T) {
+	rng := hashing.NewSplitMix64(21)
+	n := linearScanSerialCutoff + 513 // force the parallel branch
+	data := make([]bitvec.Vector, n)
+	for i := range data {
+		bits := make([]uint32, 0, 24)
+		for len(bits) < 24 {
+			bits = append(bits, uint32(rng.NextBelow(512)))
+		}
+		data[i] = bitvec.New(bits...)
+	}
+	// Plant duplicates so ties exist and the lowest-id winner matters.
+	data[100] = data[4000]
+	data[n-1] = data[50]
+	for _, m := range []bitvec.Measure{bitvec.BraunBlanquetMeasure, bitvec.JaccardMeasure} {
+		ix := &Index{
+			data:      data,
+			measure:   m,
+			threshold: 0.4,
+			packed:    bitvec.NewPackedSet(data),
+		}
+		for qi := 0; qi < 32; qi++ {
+			q := data[int(rng.NextBelow(uint64(n)))]
+			if qi%4 == 0 {
+				bits := make([]uint32, 0, 24)
+				for len(bits) < 24 {
+					bits = append(bits, uint32(rng.NextBelow(512)))
+				}
+				q = bitvec.New(bits...) // non-planted query: may miss threshold
+			}
+			// Serial reference, straight from the measure.
+			wantID, wantSim := -1, -1.0
+			for id, x := range data {
+				if s := m.Similarity(q, x); s > wantSim {
+					wantID, wantSim = id, s
+				}
+			}
+			wantFound := wantID >= 0 && wantSim >= ix.threshold
+			ses := verify.Acquire(m, q)
+			gotID, gotSim, gotFound := ix.linearScan(ses)
+			verify.Release(ses)
+			if gotFound != wantFound {
+				t.Fatalf("measure %v query %d: found = %v, want %v", m, qi, gotFound, wantFound)
+			}
+			if wantFound && (gotID != wantID || gotSim != wantSim) {
+				t.Fatalf("measure %v query %d: got (%d, %v), want (%d, %v)", m, qi, gotID, gotSim, wantID, wantSim)
+			}
+		}
+	}
+}

@@ -168,5 +168,9 @@ func ReadIndex(r io.Reader, d *dist.Product, data []bitvec.Vector) (*Index, erro
 			return nil, fmt.Errorf("core: repetition %d: %w", i, err)
 		}
 	}
+	// The packed verification forms are never serialized: they are a
+	// deterministic function of the data, so rebuilding them here keeps
+	// the on-disk format byte-identical to pre-packed versions.
+	ix.attachPacked()
 	return ix, nil
 }

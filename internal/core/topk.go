@@ -5,6 +5,7 @@ import (
 	"slices"
 
 	"skewsim/internal/bitvec"
+	"skewsim/internal/verify"
 )
 
 // Match is one entry of a top-k result list.
@@ -27,13 +28,18 @@ func (ix *Index) QueryTopK(q bitvec.Vector, k int) ([]Match, Stats) {
 	}
 	vis := ix.visitPool.Get(len(ix.data))
 	defer ix.visitPool.Put(vis)
+	ses := verify.Acquire(ix.measure, q)
+	defer verify.Release(ses)
 	var matches []Match
 	for _, rep := range ix.reps {
 		st := rep.ForEachCandidate(q, func(id int32) bool {
 			if !vis.FirstVisit(id) {
 				return true
 			}
-			s := ix.measure.Similarity(q, ix.data[id])
+			// Top-k needs every positive similarity exactly (any of them
+			// can end up in the cut), so this is the unpruned popcount
+			// path: packed query, no threshold skip.
+			s := ses.Similarity(ix.packed, ix.data, id)
 			if s > 0 {
 				matches = append(matches, Match{ID: int(id), Similarity: s})
 			}

@@ -147,6 +147,23 @@ func (p *PathHasher) Unit(path []uint32) float64 {
 // UnitExt returns h_j(v ∘ i) where the extension element i is passed
 // separately, avoiding an allocation for the concatenated path.
 func (p *PathHasher) UnitExt(v []uint32, i uint32) float64 {
+	return p.Extend(v).Unit(i)
+}
+
+// Extender caches the rolling fingerprint of one path at the level its
+// extensions hash at (len(v)+1), so hashing each candidate extension
+// costs O(1) modular work instead of re-fingerprinting the whole path.
+// This is the shape of the filter engine's inner loop: one path, ~|x|
+// candidate extensions. Extend(v).Unit(i) is bit-identical to
+// UnitExt(v, i).
+type Extender struct {
+	h  levelHash
+	fp uint64
+}
+
+// Extend fingerprints v for extension hashing. It panics if extended
+// paths would exceed the configured k, like UnitExt.
+func (p *PathHasher) Extend(v []uint32) Extender {
 	j := len(v) + 1
 	if j > len(p.levels) {
 		panic("hashing: path length out of range")
@@ -156,6 +173,11 @@ func (p *PathHasher) UnitExt(v []uint32, i uint32) float64 {
 	for _, e := range v {
 		fp = addmod61(mulmod61(fp, h.base), uint64(e)+1)
 	}
-	fp = addmod61(mulmod61(fp, h.base), uint64(i)+1)
-	return float64(addmod61(mulmod61(h.a, fp), h.b)) / float64(MersennePrime61)
+	return Extender{h: h, fp: fp}
+}
+
+// Unit returns h_j(v ∘ i) for the path v the extender was built from.
+func (e Extender) Unit(i uint32) float64 {
+	fp := addmod61(mulmod61(e.fp, e.h.base), uint64(i)+1)
+	return float64(addmod61(mulmod61(e.h.a, fp), e.h.b)) / float64(MersennePrime61)
 }

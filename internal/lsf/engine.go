@@ -83,6 +83,11 @@ type Engine struct {
 	weigher    PathWeigher
 	maxDepth   int
 	maxFilters int
+	// logInv caches -log(p_i) per element for the default independent
+	// weigher (nil for custom weighers, whose increments can depend on
+	// the path). Filter generation evaluates this once per candidate
+	// extension, so the table turns a math.Log per call into a load.
+	logInv []float64
 	// scratch recycles the frontier stacks of FiltersInto so steady-state
 	// filter generation performs no allocations beyond arena growth.
 	scratch sync.Pool
@@ -130,8 +135,17 @@ func NewEngine(n int, p Params) (*Engine, error) {
 		return nil, fmt.Errorf("lsf: MaxFiltersPerVector %d must be >= 1", maxFilters)
 	}
 	weigher := p.Weigher
+	var logInv []float64
 	if weigher == nil {
 		weigher = independentWeigher{probs: p.Probs}
+		logInv = make([]float64, len(p.Probs))
+		for i, pv := range p.Probs {
+			if pv <= 0 {
+				logInv[i] = math.Inf(1)
+			} else {
+				logInv[i] = -math.Log(pv)
+			}
+		}
 	}
 	return &Engine{
 		hasher:     hashing.NewPathHasher(p.Seed, maxDepth),
@@ -139,6 +153,7 @@ func NewEngine(n int, p Params) (*Engine, error) {
 		threshold:  p.Threshold,
 		stop:       p.Stop,
 		weigher:    weigher,
+		logInv:     logInv,
 		maxDepth:   maxDepth,
 		maxFilters: maxFilters,
 	}, nil
@@ -202,6 +217,11 @@ func (fs *FilterSet) Reset() {
 type filterScratch struct {
 	cur, next       []uint32
 	curLog, nextLog []float64
+	// sDepth holds s(x, depth, i) per element of x for the depth being
+	// expanded. The threshold function sees only (x, j, i) — never the
+	// path — so its value is shared by every frontier node of a depth and
+	// is hoisted out of the node loop.
+	sDepth []float64
 }
 
 // Filters computes F(x) under the engine's threshold and stopping rule.
@@ -238,28 +258,50 @@ func (e *Engine) FiltersInto(x bitvec.Vector, fs *FilterSet) {
 	}
 	cur, next := sc.cur[:0], sc.next[:0]
 	curLog, nextLog := sc.curLog[:0], sc.nextLog[:0]
+	sDepth := sc.sDepth[:0]
 	defer func() {
 		sc.cur, sc.next, sc.curLog, sc.nextLog = cur, next, curLog, nextLog
+		sc.sDepth = sDepth
 		e.scratch.Put(sc)
 	}()
+	bitsX := x.Bits()
 	curLog = append(curLog, 0) // the root: empty path, Σ log(1/p) = 0
 	for depth := 0; depth < e.maxDepth && len(curLog) > 0; depth++ {
 		next, nextLog = next[:0], nextLog[:0]
+		// s(x, depth, i) is path-independent: evaluate it once per element
+		// for this depth instead of once per (node, element).
+		sDepth = sDepth[:0]
+		for _, i := range bitsX {
+			sDepth = append(sDepth, e.threshold(x, depth, i))
+		}
 		for pi, plog := range curLog {
 			elems := cur[pi*depth : pi*depth+depth]
 			fs.Expanded++
-			for _, i := range x.Bits() {
+			// One fingerprint of the path serves every candidate
+			// extension: ext.Unit(i) is O(1) where the naive UnitExt
+			// re-rolls the whole path per element.
+			ext := e.hasher.Extend(elems)
+			for bi, i := range bitsX {
 				if containsElem(elems, i) {
 					continue // sampling without replacement
 				}
-				s := e.threshold(x, depth, i)
+				s := sDepth[bi]
 				if s <= 0 {
 					continue
 				}
-				if s < 1 && e.hasher.UnitExt(elems, i) >= s {
+				if s < 1 && ext.Unit(i) >= s {
 					continue
 				}
-				logInvP := plog + e.weigher.LogInvP(elems, i)
+				var logInvP float64
+				if e.logInv != nil {
+					if int(i) < len(e.logInv) {
+						logInvP = plog + e.logInv[i]
+					} else {
+						logInvP = math.Inf(1)
+					}
+				} else {
+					logInvP = plog + e.weigher.LogInvP(elems, i)
+				}
 				if e.stop(logInvP, depth+1) {
 					off := uint32(len(fs.Elems))
 					fs.Elems = append(fs.Elems, elems...)

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"skewsim/internal/bitvec"
+	"skewsim/internal/verify"
 )
 
 // Index is the inverted filter index of §3: for every path chosen by some
@@ -35,6 +36,10 @@ type Index struct {
 	// fsPool recycles per-query FilterSets (arena + spans) so traversal
 	// reuses filter storage across queries.
 	fsPool sync.Pool
+	// packed is the word-packed form of data for popcount verification,
+	// shared across the repetitions of a SkewSearch index (see UsePacked).
+	// nil indexes verify against the sorted slices, with identical results.
+	packed *bitvec.PackedSet
 
 	// frozen layout
 	tableKeys []uint64 // path hash per slot (valid where tableIdx >= 0)
@@ -441,13 +446,41 @@ func (ix *Index) ForEachCandidate(q bitvec.Vector, sink func(id int32) bool) Que
 	return stats
 }
 
+// UsePacked attaches a word-packed form of the index's data, aligned
+// with it by id, switching candidate verification in Query/QueryBest to
+// popcount intersection. The packing is built once per dataset and
+// shared across all repetitions of a SkewSearch index (core attaches the
+// same set to every repetition), instead of once per repetition.
+// Results are bit-identical with or without it.
+func (ix *Index) UsePacked(ps *bitvec.PackedSet) { ix.packed = ps }
+
+// Packed returns the attached packed dataset, or nil.
+func (ix *Index) Packed() *bitvec.PackedSet { return ix.packed }
+
 // Query returns the first indexed vector with measure-similarity at least
 // threshold among the candidates sharing a filter with q, following the
 // paper's query procedure. found reports whether any candidate passed.
+// Verification goes through a pooled verify.Session: the query is packed
+// once, and candidates are threshold-pruned before their intersection is
+// computed.
 func (ix *Index) Query(q bitvec.Vector, threshold float64, m bitvec.Measure) (best int, sim float64, stats QueryStats, found bool) {
 	best, sim = -1, 0
+	if ix.packed == nil {
+		// No packed data (baseline instantiations like chosenpath):
+		// verify straight off the sorted slices, paying no session.
+		ix.traverse(q, &stats, func(id int32) bool {
+			if s := m.Similarity(q, ix.data[id]); s >= threshold {
+				best, sim, found = int(id), s, true
+				return false
+			}
+			return true
+		})
+		return best, sim, stats, found
+	}
+	ses := verify.Acquire(m, q)
+	defer verify.Release(ses)
 	ix.traverse(q, &stats, func(id int32) bool {
-		if s := m.Similarity(q, ix.data[id]); s >= threshold {
+		if s, ok := ses.AtLeast(ix.packed, ix.data, id, threshold); ok {
 			best, sim, found = int(id), s, true
 			return false
 		}
@@ -459,14 +492,27 @@ func (ix *Index) Query(q bitvec.Vector, threshold float64, m bitvec.Measure) (be
 // QueryBest examines every candidate (instead of stopping at the first
 // above threshold) and returns the most similar one. Used by the join
 // driver and by experiments that need exact candidate-set behaviour.
+// Each candidate is pruned against the running best before its
+// intersection is computed.
 func (ix *Index) QueryBest(q bitvec.Vector, m bitvec.Measure) (best int, sim float64, stats QueryStats, found bool) {
 	best, sim = -1, -1
-	ix.traverse(q, &stats, func(id int32) bool {
-		if s := m.Similarity(q, ix.data[id]); s > sim {
-			best, sim = int(id), s
-		}
-		return true
-	})
+	if ix.packed == nil {
+		ix.traverse(q, &stats, func(id int32) bool {
+			if s := m.Similarity(q, ix.data[id]); s > sim {
+				best, sim = int(id), s
+			}
+			return true
+		})
+	} else {
+		ses := verify.Acquire(m, q)
+		defer verify.Release(ses)
+		ix.traverse(q, &stats, func(id int32) bool {
+			if s, ok := ses.MoreThan(ix.packed, ix.data, id, sim); ok {
+				best, sim = int(id), s
+			}
+			return true
+		})
+	}
 	if best < 0 {
 		return -1, 0, stats, false
 	}

@@ -36,6 +36,7 @@ import (
 
 	"skewsim/internal/bitvec"
 	"skewsim/internal/lsf"
+	"skewsim/internal/verify"
 )
 
 // Config sizes a SegmentedIndex.
@@ -145,6 +146,12 @@ type SegmentedIndex struct {
 	vecs  []bitvec.Vector
 	alive []bool
 	ext   []int64 // slot -> external id
+	// packed mirrors vecs slot for slot: the word-packed verification
+	// form of every vector, appended under the write lock at insert time
+	// so no query ever re-packs a data vector. Shared by every layer
+	// (memtable, flushing, frozen segments) since postings resolve to
+	// index-wide slots before verification.
+	packed bitvec.PackedSet
 
 	slotOf   map[int64]int32 // external id -> slot (live and dead)
 	nextAuto int64           // next auto-assigned external id
@@ -284,6 +291,7 @@ func (s *SegmentedIndex) install(id int64, v bitvec.Vector, fss []*lsf.FilterSet
 	}
 	slot := int32(len(s.vecs))
 	s.vecs = append(s.vecs, v)
+	s.packed.Append(v)
 	s.alive = append(s.alive, true)
 	s.ext = append(s.ext, id)
 	s.slotOf[id] = slot
@@ -453,13 +461,24 @@ func (s *SegmentedIndex) forEach(q bitvec.Vector, stats *QueryStats, sink func(s
 // Query returns the first live vector with measure-similarity at least
 // threshold among the candidates sharing a filter with q.
 func (s *SegmentedIndex) Query(q bitvec.Vector, threshold float64, m bitvec.Measure) (Match, QueryStats, bool) {
+	ses := verify.Acquire(m, q)
+	defer verify.Release(ses)
+	return s.QueryWith(ses, threshold)
+}
+
+// QueryWith is Query over a caller-supplied verification session
+// (carrying the query, the measure, and the query's packed form). The
+// shard router packs a query once and fans the same session out to
+// every shard — Session verification is read-only, so concurrent shard
+// goroutines share it safely.
+func (s *SegmentedIndex) QueryWith(ses *verify.Session, threshold float64) (Match, QueryStats, bool) {
 	var (
 		stats QueryStats
 		match Match
 		found bool
 	)
-	s.forEach(q, &stats, func(slot int32) bool {
-		if sim := m.Similarity(q, s.vecs[slot]); sim >= threshold {
+	s.forEach(ses.Query(), &stats, func(slot int32) bool {
+		if sim, ok := ses.AtLeast(&s.packed, s.vecs, slot, threshold); ok {
 			match = Match{ID: s.ext[slot], Similarity: sim}
 			found = true
 			return false
@@ -472,14 +491,23 @@ func (s *SegmentedIndex) Query(q bitvec.Vector, threshold float64, m bitvec.Meas
 // QueryBest examines every candidate and returns the most similar one
 // (first encountered wins ties).
 func (s *SegmentedIndex) QueryBest(q bitvec.Vector, m bitvec.Measure) (Match, QueryStats, bool) {
+	ses := verify.Acquire(m, q)
+	defer verify.Release(ses)
+	return s.QueryBestWith(ses)
+}
+
+// QueryBestWith is QueryBest over a caller-supplied session; each
+// candidate is pruned against the running best before its intersection
+// is computed.
+func (s *SegmentedIndex) QueryBestWith(ses *verify.Session) (Match, QueryStats, bool) {
 	var (
 		stats QueryStats
 		match Match
 		found bool
 	)
 	best := -1.0
-	s.forEach(q, &stats, func(slot int32) bool {
-		if sim := m.Similarity(q, s.vecs[slot]); sim > best {
+	s.forEach(ses.Query(), &stats, func(slot int32) bool {
+		if sim, ok := ses.MoreThan(&s.packed, s.vecs, slot, best); ok {
 			best = sim
 			match = Match{ID: s.ext[slot], Similarity: sim}
 			found = true
@@ -493,13 +521,22 @@ func (s *SegmentedIndex) QueryBest(q bitvec.Vector, m bitvec.Measure) (Match, Qu
 // similarity with ties broken by ascending external id (deterministic,
 // and identical to core.QueryTopK's order under auto-assigned ids).
 func (s *SegmentedIndex) TopK(q bitvec.Vector, k int, m bitvec.Measure) ([]Match, QueryStats) {
+	ses := verify.Acquire(m, q)
+	defer verify.Release(ses)
+	return s.TopKWith(ses, k)
+}
+
+// TopKWith is TopK over a caller-supplied session. Every positive
+// similarity is computed exactly (no threshold prune — any candidate
+// can make the cut), but through the packed popcount kernel.
+func (s *SegmentedIndex) TopKWith(ses *verify.Session, k int) ([]Match, QueryStats) {
 	var stats QueryStats
 	if k <= 0 {
 		return nil, stats
 	}
 	var matches []Match
-	s.forEach(q, &stats, func(slot int32) bool {
-		if sim := m.Similarity(q, s.vecs[slot]); sim > 0 {
+	s.forEach(ses.Query(), &stats, func(slot int32) bool {
+		if sim := ses.Similarity(&s.packed, s.vecs, slot); sim > 0 {
 			matches = append(matches, Match{ID: s.ext[slot], Similarity: sim})
 		}
 		return true

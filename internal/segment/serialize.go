@@ -263,6 +263,9 @@ func (s *SegmentedIndex) restoreSlot(ext int64, alive bool, v bitvec.Vector) (in
 	}
 	slot := int32(len(s.vecs))
 	s.vecs = append(s.vecs, v)
+	// The snapshot never stores packed forms (the on-disk format is
+	// unchanged); they are rebuilt deterministically slot by slot here.
+	s.packed.Append(v)
 	s.alive = append(s.alive, alive)
 	s.ext = append(s.ext, ext)
 	s.slotOf[ext] = slot

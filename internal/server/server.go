@@ -18,6 +18,7 @@ import (
 	"skewsim/internal/bitvec"
 	"skewsim/internal/lsf"
 	"skewsim/internal/segment"
+	"skewsim/internal/verify"
 )
 
 // Config sizes a Server.
@@ -153,12 +154,18 @@ func (s *Server) Delete(id int64) bool {
 // Query fans the threshold query out and returns a match with
 // similarity >= threshold if any shard finds one (the lowest-id match
 // among shard winners, so results are deterministic under parallelism).
+// The query is packed once into a pooled verification session shared by
+// every shard goroutine (Session verification is read-only, so the
+// concurrent fan-out is safe); steady-state serving allocates only the
+// fan-out bookkeeping.
 func (s *Server) Query(q bitvec.Vector, threshold float64, m bitvec.Measure) (segment.Match, segment.QueryStats, bool) {
+	ses := verify.Acquire(m, q)
+	defer verify.Release(ses)
 	matches := make([]segment.Match, len(s.shards))
 	founds := make([]bool, len(s.shards))
 	stats := make([]segment.QueryStats, len(s.shards))
 	lsf.ForEachParallel(len(s.shards), s.workers, func(i int) {
-		matches[i], stats[i], founds[i] = s.shards[i].Query(q, threshold, m)
+		matches[i], stats[i], founds[i] = s.shards[i].QueryWith(ses, threshold)
 	})
 	return s.aggregate(matches, founds, stats, func(a, b segment.Match) bool {
 		return a.ID < b.ID
@@ -166,13 +173,16 @@ func (s *Server) Query(q bitvec.Vector, threshold float64, m bitvec.Measure) (se
 }
 
 // QueryBest fans out and returns the globally most similar candidate
-// (ties to the lowest id).
+// (ties to the lowest id). Like Query, one packed session serves every
+// shard.
 func (s *Server) QueryBest(q bitvec.Vector, m bitvec.Measure) (segment.Match, segment.QueryStats, bool) {
+	ses := verify.Acquire(m, q)
+	defer verify.Release(ses)
 	matches := make([]segment.Match, len(s.shards))
 	founds := make([]bool, len(s.shards))
 	stats := make([]segment.QueryStats, len(s.shards))
 	lsf.ForEachParallel(len(s.shards), s.workers, func(i int) {
-		matches[i], stats[i], founds[i] = s.shards[i].QueryBest(q, m)
+		matches[i], stats[i], founds[i] = s.shards[i].QueryBestWith(ses)
 	})
 	return s.aggregate(matches, founds, stats, func(a, b segment.Match) bool {
 		if a.Similarity != b.Similarity {
@@ -203,10 +213,12 @@ func (s *Server) TopK(q bitvec.Vector, k int, m bitvec.Measure) ([]segment.Match
 	if k <= 0 {
 		return nil, segment.QueryStats{}
 	}
+	ses := verify.Acquire(m, q)
+	defer verify.Release(ses)
 	perShard := make([][]segment.Match, len(s.shards))
 	stats := make([]segment.QueryStats, len(s.shards))
 	lsf.ForEachParallel(len(s.shards), s.workers, func(i int) {
-		perShard[i], stats[i] = s.shards[i].TopK(q, k, m)
+		perShard[i], stats[i] = s.shards[i].TopKWith(ses, k)
 	})
 	var agg segment.QueryStats
 	var all []segment.Match

@@ -1,0 +1,69 @@
+package verify
+
+import (
+	"testing"
+
+	"skewsim/internal/bitvec"
+	"skewsim/internal/hashing"
+)
+
+// benchSet builds n data vectors of ~bits set bits over dim dimensions.
+func benchSet(n, bits, dim int, seed uint64) []bitvec.Vector {
+	rng := hashing.NewSplitMix64(seed)
+	out := make([]bitvec.Vector, n)
+	for i := range out {
+		out[i] = randomVector(rng, bits, dim)
+	}
+	return out
+}
+
+// BenchmarkVerifyCandidates measures verifying a fixed candidate list
+// against one query — the inner loop of every query layer — through the
+// packed popcount engine (with and without a realistic threshold for
+// the prune to use) and through the sorted-slice merge it replaced.
+func BenchmarkVerifyCandidates(b *testing.B) {
+	for _, shape := range []struct {
+		name      string
+		bits, dim int
+	}{
+		{"dense-600d", 150, 600},       // Fig1-like: spans pack dense
+		{"sparse-100kd", 150, 100_000}, // TwoBlock tail: sparse word arrays
+	} {
+		data := benchSet(512, shape.bits, shape.dim, 3)
+		q := data[0].Union(benchSet(1, shape.bits/3, shape.dim, 99)[0])
+		ps := bitvec.NewPackedSet(data)
+		ids := make([]int32, len(data))
+		for i := range ids {
+			ids[i] = int32(i)
+		}
+		m := bitvec.BraunBlanquetMeasure
+		b.Run(shape.name+"/packed-threshold", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ses := Acquire(m, q)
+				for _, id := range ids {
+					ses.AtLeast(ps, data, id, 0.5)
+				}
+				Release(ses)
+			}
+		})
+		b.Run(shape.name+"/packed-exact", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ses := Acquire(m, q)
+				for _, id := range ids {
+					ses.Similarity(ps, data, id)
+				}
+				Release(ses)
+			}
+		})
+		b.Run(shape.name+"/sorted-merge", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, id := range ids {
+					m.Similarity(q, data[id])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,239 @@
+// Package verify is the candidate-verification engine behind every
+// query layer (lsf repetitions, core.Index, segment.SegmentedIndex, the
+// server shard router). It exists because end-to-end query cost is
+// dominated by verification — computing a set-similarity measure
+// between the query and each candidate — and the naive form re-walks
+// two sorted uint32 slices per candidate, per repetition, re-processing
+// the query from scratch every time.
+//
+// The engine's unit of work is a Session, acquired from a package-level
+// pool once per query and shared across every repetition, segment, and
+// shard that query touches:
+//
+//   - the query's packed form (a dense word bitmap) is materialized
+//     exactly once per query; candidates stored in a bitvec.PackedSet
+//     are verified by AND+POPCNT over word blocks instead of a
+//     galloping merge;
+//   - a length-based upper-bound prune skips the intersection entirely
+//     when even |x ∩ q| = min(|x|, |q|) could not reach the threshold
+//     (for every supported measure the similarity is monotone in the
+//     intersection size, so the bound is exact);
+//   - the popcount loop early-exits once the running count plus the
+//     remaining words' maximum contribution cannot reach the required
+//     intersection size.
+//
+// Results are bit-identical to bitvec.Measure.Similarity: the
+// intersection size is exact, and the final similarity is computed by
+// the same float64 expression from the same integers. The differential
+// tests in this package assert that equivalence for all five measures.
+//
+// Sessions hold no references into any index, so one Session can verify
+// candidates from many PackedSets (every frozen segment of a shard, or
+// all shards of a server): the set and the raw vectors are arguments of
+// each verification call, supplied by the caller under whatever lock
+// guards them. All verification methods are read-only on the Session,
+// so a single Session may be used concurrently by multiple goroutines
+// (the server fans one out across shards); only Acquire/Release must
+// not race with its use.
+package verify
+
+import (
+	"math"
+	"sync"
+
+	"skewsim/internal/bitvec"
+)
+
+// Session is the pooled per-query scratch: the query, its dense word
+// bitmap, and the measure being verified. Zero value is not usable;
+// obtain via Acquire.
+type Session struct {
+	m      bitvec.Measure
+	q      bitvec.Vector
+	qlen   int
+	qwords []uint64
+	// packedQ reports the dense bitmap was built for this query. False
+	// for queries whose maximum bit exceeds maxQueryWords·64 (the
+	// bitmap would be attacker-sized); those verify through the exact
+	// sorted-slice merge instead, same results.
+	packedQ bool
+}
+
+// maxQueryWords bounds the dense query bitmap at 1 MiB (2^17 words =
+// 8.4M bits). Every workload in this repository is orders of magnitude
+// below it; a hostile query with one enormous bit id (reachable through
+// the serving daemon's JSON API, which accepts arbitrary uint32s) must
+// not turn into a half-gigabyte allocation retained by the session
+// pool.
+const maxQueryWords = 1 << 17
+
+var sessionPool sync.Pool
+
+// Acquire returns a Session for verifying candidates of q under m,
+// packing the query once. Steady-state acquisition allocates nothing:
+// the session's word bitmap is recycled through a package-level pool
+// (scrubbed on Release), shared by every index in the process.
+func Acquire(m bitvec.Measure, q bitvec.Vector) *Session {
+	s, _ := sessionPool.Get().(*Session)
+	if s == nil {
+		s = &Session{}
+	}
+	s.m = m
+	s.q = q
+	s.qlen = q.Len()
+	maxB, ok := q.MaxBit()
+	s.packedQ = !ok || int(maxB>>6) < maxQueryWords
+	if s.packedQ {
+		s.qwords = bitvec.QueryWords(s.qwords, q)
+	}
+	return s
+}
+
+// Release scrubs the query's words from the bitmap (clearing exactly
+// the words that were set, not the whole buffer) and returns the
+// session to the pool. The session must not be used afterwards.
+func Release(s *Session) {
+	if s.packedQ {
+		qw := s.qwords[:cap(s.qwords)]
+		for _, b := range s.q.Bits() {
+			qw[b>>6] = 0
+		}
+	}
+	s.q = bitvec.Vector{}
+	sessionPool.Put(s)
+}
+
+// Measure returns the verification measure the session was acquired for.
+func (s *Session) Measure() bitvec.Measure { return s.m }
+
+// Query returns the query vector the session was acquired for.
+func (s *Session) Query() bitvec.Vector { return s.q }
+
+// sim evaluates the measure from an exact intersection size, by the
+// same expression as bitvec.Measure.Similarity so results are
+// bit-identical. inter == 0 is 0 for every measure (including two empty
+// vectors, where the formulas would divide by zero).
+func (s *Session) sim(inter, lx int) float64 {
+	if inter == 0 {
+		return 0
+	}
+	lq := s.qlen
+	switch s.m {
+	case bitvec.BraunBlanquetMeasure:
+		return float64(inter) / float64(max(lx, lq))
+	case bitvec.JaccardMeasure:
+		return float64(inter) / float64(lx+lq-inter)
+	case bitvec.DiceMeasure:
+		return 2 * float64(inter) / float64(lx+lq)
+	case bitvec.OverlapMeasure:
+		return float64(inter) / float64(min(lx, lq))
+	case bitvec.CosineMeasure:
+		return float64(inter) / math.Sqrt(float64(lx)*float64(lq))
+	default:
+		panic("verify: invalid measure " + s.m.String())
+	}
+}
+
+// need returns a conservative lower bound on the smallest intersection
+// size whose similarity passes the comparison against t (>= t, or > t
+// when strict): every smaller intersection is guaranteed to fail. The
+// algebraic estimate is corrected downward by exact evaluation, so a
+// float rounding error can only make the bound smaller (costing a
+// wasted verification), never larger (which would drop a true match).
+func (s *Session) need(lx int, t float64, strict bool) int {
+	if t < 0 {
+		return 0 // every similarity is >= 0 > t (also keeps the Jaccard
+		// estimate's 1+t denominator away from zero)
+	}
+	lq := s.qlen
+	capI := min(lx, lq)
+	var est float64
+	switch s.m {
+	case bitvec.BraunBlanquetMeasure:
+		est = t * float64(max(lx, lq))
+	case bitvec.JaccardMeasure:
+		est = t * float64(lx+lq) / (1 + t)
+	case bitvec.DiceMeasure:
+		est = t * float64(lx+lq) / 2
+	case bitvec.OverlapMeasure:
+		est = t * float64(capI)
+	case bitvec.CosineMeasure:
+		est = t * math.Sqrt(float64(lx)*float64(lq))
+	default:
+		panic("verify: invalid measure " + s.m.String())
+	}
+	n := int(math.Ceil(est))
+	if n < 0 {
+		n = 0
+	}
+	if n > capI+1 {
+		n = capI + 1 // unreachable: prune
+	}
+	if strict {
+		for n > 0 && s.sim(n-1, lx) > t {
+			n--
+		}
+	} else {
+		for n > 0 && s.sim(n-1, lx) >= t {
+			n--
+		}
+	}
+	return n
+}
+
+// Similarity returns the exact similarity of the query and candidate
+// id: via popcount over ps when the candidate is packed, falling back
+// to the sorted-slice merge otherwise. Identical to
+// m.Similarity(q, data[id]) in all cases.
+func (s *Session) Similarity(ps *bitvec.PackedSet, data []bitvec.Vector, id int32) float64 {
+	x := data[id]
+	var inter int
+	if s.packedQ && ps != nil && int(id) < ps.Len() {
+		inter = ps.IntersectWords(id, s.qwords)
+	} else {
+		inter = s.q.IntersectionSize(x)
+	}
+	return s.sim(inter, x.Len())
+}
+
+// AtLeast reports whether the candidate's similarity is >= t, returning
+// the exact similarity when it is. A failing candidate may be rejected
+// by the length prune or the popcount early exit without computing its
+// exact intersection; a passing candidate's similarity is always exact.
+func (s *Session) AtLeast(ps *bitvec.PackedSet, data []bitvec.Vector, id int32, t float64) (float64, bool) {
+	return s.check(ps, data, id, t, false)
+}
+
+// MoreThan is AtLeast with a strict comparison (> t), the shape
+// best-candidate scans prune with: t is the running best, and only a
+// strictly better candidate matters.
+func (s *Session) MoreThan(ps *bitvec.PackedSet, data []bitvec.Vector, id int32, t float64) (float64, bool) {
+	return s.check(ps, data, id, t, true)
+}
+
+func (s *Session) check(ps *bitvec.PackedSet, data []bitvec.Vector, id int32, t float64, strict bool) (float64, bool) {
+	x := data[id]
+	lx := x.Len()
+	need := s.need(lx, t, strict)
+	if need > min(lx, s.qlen) {
+		return 0, false // even a full overlap cannot pass
+	}
+	var inter int
+	if s.packedQ && ps != nil && int(id) < ps.Len() {
+		var ok bool
+		inter, ok = ps.IntersectWordsAtLeast(id, s.qwords, need)
+		if !ok {
+			return 0, false
+		}
+	} else {
+		inter = s.q.IntersectionSize(x)
+		if inter < need {
+			return 0, false
+		}
+	}
+	sim := s.sim(inter, lx)
+	if strict {
+		return sim, sim > t
+	}
+	return sim, sim >= t
+}

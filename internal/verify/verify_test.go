@@ -1,0 +1,243 @@
+package verify
+
+import (
+	"math"
+	"testing"
+
+	"skewsim/internal/bitvec"
+	"skewsim/internal/hashing"
+)
+
+var allMeasures = []bitvec.Measure{
+	bitvec.BraunBlanquetMeasure,
+	bitvec.JaccardMeasure,
+	bitvec.DiceMeasure,
+	bitvec.OverlapMeasure,
+	bitvec.CosineMeasure,
+}
+
+func randomVector(rng *hashing.SplitMix64, n, dim int) bitvec.Vector {
+	bits := make([]uint32, 0, n)
+	for len(bits) < n {
+		bits = append(bits, uint32(rng.NextBelow(uint64(dim))))
+	}
+	return bitvec.New(bits...)
+}
+
+// testCorpus builds data vectors across density mixes: concentrated
+// small-universe (all-dense packing), spread large-universe (sparse
+// packing), and adversarial shapes (empty, single bit, exact copies of
+// queries, word-boundary straddlers).
+func testCorpus(rng *hashing.SplitMix64) (data, queries []bitvec.Vector) {
+	for _, dim := range []int{64, 600, 4096, 1 << 18} {
+		for _, n := range []int{0, 1, 7, 64, 150, 400} {
+			if n <= dim {
+				data = append(data, randomVector(rng, n, dim))
+			}
+		}
+	}
+	data = append(data,
+		bitvec.New(),
+		bitvec.New(63, 64, 127, 128, 191),
+		bitvec.New(0, 1<<20),
+	)
+	queries = append(queries,
+		bitvec.New(),
+		bitvec.New(0),
+		randomVector(rng, 80, 600),
+		randomVector(rng, 150, 600),
+		randomVector(rng, 30, 1<<18),
+		bitvec.New(63, 64, 127, 128, 191),
+	)
+	// Planted exact and near matches so thresholds around 1.0 exercise
+	// the prune's upper edge.
+	data = append(data, queries[2], queries[5])
+	return data, queries
+}
+
+// TestDifferentialSimilarity asserts the packed engine's similarity is
+// bit-identical to bitvec.Measure.Similarity over sorted slices, for
+// all five measures, across random and adversarial density mixes — the
+// equivalence the whole verification rewrite rests on.
+func TestDifferentialSimilarity(t *testing.T) {
+	rng := hashing.NewSplitMix64(42)
+	data, queries := testCorpus(rng)
+	ps := bitvec.NewPackedSet(data)
+	for _, m := range allMeasures {
+		for qi, q := range queries {
+			ses := Acquire(m, q)
+			for id := range data {
+				want := m.Similarity(q, data[id])
+				if got := ses.Similarity(ps, data, int32(id)); got != want {
+					t.Fatalf("%v query %d vector %d: packed %v, sorted %v", m, qi, id, got, want)
+				}
+				// The nil-set fallback must agree too (lsf indexes
+				// without an attached packing).
+				if got := ses.Similarity(nil, data, int32(id)); got != want {
+					t.Fatalf("%v query %d vector %d: fallback %v, sorted %v", m, qi, id, got, want)
+				}
+			}
+			Release(ses)
+		}
+	}
+}
+
+// TestDifferentialAtLeast asserts the pruned threshold check never
+// diverges from the exact comparison: ok iff Similarity >= t, with the
+// exact similarity returned whenever ok.
+func TestDifferentialAtLeast(t *testing.T) {
+	rng := hashing.NewSplitMix64(43)
+	data, queries := testCorpus(rng)
+	ps := bitvec.NewPackedSet(data)
+	thresholds := []float64{0, 1e-9, 0.1, 0.25, 0.5, 0.51282, 0.75, 0.99, 1}
+	for _, m := range allMeasures {
+		for qi, q := range queries {
+			ses := Acquire(m, q)
+			for id := range data {
+				want := m.Similarity(q, data[id])
+				for _, th := range thresholds {
+					sim, ok := ses.AtLeast(ps, data, int32(id), th)
+					if ok != (want >= th) {
+						t.Fatalf("%v query %d vector %d t=%v: ok = %v, similarity %v", m, qi, id, th, ok, want)
+					}
+					if ok && sim != want {
+						t.Fatalf("%v query %d vector %d t=%v: sim = %v, want %v", m, qi, id, th, sim, want)
+					}
+					sim, ok = ses.MoreThan(ps, data, int32(id), th)
+					if ok != (want > th) {
+						t.Fatalf("%v MoreThan query %d vector %d t=%v: ok = %v, similarity %v", m, qi, id, th, ok, want)
+					}
+					if ok && sim != want {
+						t.Fatalf("%v MoreThan query %d vector %d t=%v: sim = %v, want %v", m, qi, id, th, sim, want)
+					}
+				}
+				// The running-best prune of best-candidate scans.
+				if sim, ok := ses.MoreThan(ps, data, int32(id), -1); !ok || sim != want {
+					t.Fatalf("%v query %d vector %d: MoreThan(-1) = (%v, %v), want (%v, true)", m, qi, id, sim, ok, want)
+				}
+			}
+			Release(ses)
+		}
+	}
+}
+
+// TestNeedBounds pins the prune's core invariant: need(lx, t) never
+// exceeds the smallest intersection whose similarity passes, so pruning
+// can never drop a true match.
+func TestNeedBounds(t *testing.T) {
+	q := randomVector(hashing.NewSplitMix64(44), 120, 4096)
+	for _, m := range allMeasures {
+		ses := Acquire(m, q)
+		lq := q.Len()
+		for _, lx := range []int{0, 1, 5, lq - 1, lq, lq + 1, 3 * lq} {
+			for _, th := range []float64{0, 0.001, 0.3, 0.5, 0.9, 1} {
+				for _, strict := range []bool{false, true} {
+					need := ses.need(lx, th, strict)
+					if need < 0 {
+						t.Fatalf("%v lx=%d t=%v: negative need %d", m, lx, th, need)
+					}
+					if need > 0 {
+						// Everything below need must fail.
+						s := ses.sim(need-1, lx)
+						if (!strict && s >= th) || (strict && s > th) {
+							t.Fatalf("%v lx=%d t=%v strict=%v: sim(need-1=%d) = %v passes", m, lx, th, strict, need-1, s)
+						}
+					}
+				}
+			}
+		}
+		Release(ses)
+	}
+}
+
+// TestExactMatchBoundary pins the prune at the t = 1 upper edge, where
+// an off-by-one in need() would drop exact matches.
+func TestExactMatchBoundary(t *testing.T) {
+	rng := hashing.NewSplitMix64(45)
+	data := []bitvec.Vector{
+		randomVector(rng, 50, 512),
+		randomVector(rng, 50, 512),
+		randomVector(rng, 50, 512),
+	}
+	q := data[1] // exact match in the middle
+	ps := bitvec.NewPackedSet(data)
+	ses := Acquire(bitvec.JaccardMeasure, q)
+	defer Release(ses)
+	if sim, ok := ses.AtLeast(ps, data, 1, 1); !ok || sim != 1 {
+		t.Fatalf("AtLeast(self, 1) = (%v, %v), want (1, true)", sim, ok)
+	}
+	if _, ok := ses.AtLeast(ps, data, 1, math.Nextafter(1, 2)); ok {
+		t.Fatalf("AtLeast above 1 should fail")
+	}
+	if _, ok := ses.MoreThan(ps, data, 1, 1); ok {
+		t.Fatalf("MoreThan(self, 1) should fail (similarity is exactly 1)")
+	}
+}
+
+// TestOversizedQueryFallsBack pins the dense-bitmap bound: a query with
+// a hostile bit id (the serving JSON API accepts arbitrary uint32s)
+// must not allocate a giant bitmap, and must still verify exactly via
+// the sorted-slice path.
+func TestOversizedQueryFallsBack(t *testing.T) {
+	rng := hashing.NewSplitMix64(47)
+	data := []bitvec.Vector{
+		randomVector(rng, 100, 1024),
+		bitvec.New(3, 4294967295), // data sharing the hostile bit
+	}
+	ps := bitvec.NewPackedSet(data)
+	q := bitvec.New(3, 7, 4294967295) // max bit demands a ~512MB bitmap
+	for _, m := range allMeasures {
+		ses := Acquire(m, q)
+		if ses.packedQ {
+			t.Fatalf("%v: oversized query packed a dense bitmap", m)
+		}
+		if cap(ses.qwords) > maxQueryWords {
+			t.Fatalf("%v: session bitmap grew to %d words", m, cap(ses.qwords))
+		}
+		for id := range data {
+			want := m.Similarity(q, data[id])
+			if got := ses.Similarity(ps, data, int32(id)); got != want {
+				t.Fatalf("%v vector %d: got %v want %v", m, id, got, want)
+			}
+			sim, ok := ses.AtLeast(ps, data, int32(id), 0.1)
+			if ok != (want >= 0.1) || (ok && sim != want) {
+				t.Fatalf("%v vector %d: AtLeast = (%v, %v), similarity %v", m, id, sim, ok, want)
+			}
+		}
+		Release(ses)
+	}
+	// The pool must still hand out working packed sessions afterwards.
+	q2 := randomVector(rng, 50, 1024)
+	ses := Acquire(bitvec.JaccardMeasure, q2)
+	defer Release(ses)
+	if want := bitvec.JaccardMeasure.Similarity(q2, data[0]); ses.Similarity(ps, data, 0) != want {
+		t.Fatalf("post-oversize session verifies wrong")
+	}
+}
+
+// TestSessionReuse exercises the pool scrub: interleaved queries of very
+// different shapes must not leak bits between sessions.
+func TestSessionReuse(t *testing.T) {
+	rng := hashing.NewSplitMix64(46)
+	data := []bitvec.Vector{randomVector(rng, 200, 2048)}
+	ps := bitvec.NewPackedSet(data)
+	queries := []bitvec.Vector{
+		randomVector(rng, 500, 2048),
+		bitvec.New(1),
+		randomVector(rng, 10, 1<<16),
+		bitvec.New(),
+		randomVector(rng, 300, 2048),
+	}
+	for round := 0; round < 3; round++ {
+		for _, m := range allMeasures {
+			for _, q := range queries {
+				ses := Acquire(m, q)
+				want := m.Similarity(q, data[0])
+				if got := ses.Similarity(ps, data, 0); got != want {
+					t.Fatalf("round %d %v: got %v want %v (stale bitmap?)", round, m, got, want)
+				}
+				Release(ses)
+			}
+		}
+	}
+}
