@@ -4,20 +4,28 @@ GO ?= go
 # query-pipeline and build micro-benchmarks the perf trajectory is held
 # to, the bitvec merge kernels, the packed verification engine, and
 # serialization, plus the serving subsystem (segmented query vs
-# frozen-only, shard fan-out, online insert).
-BENCH_PATTERN ?= QueryPath|LSFTraversal|BuildSkewSearch|BuildChosenPath|IntersectionSize|Verify|SerializeIndex|Segmented|Shard
+# frozen-only, shard fan-out, online insert) and the write-ahead log
+# (append path, batch framing, group commit).
+BENCH_PATTERN ?= QueryPath|LSFTraversal|BuildSkewSearch|BuildChosenPath|IntersectionSize|Verify|SerializeIndex|Segmented|Shard|WAL
 
 # The JSON perf record for this PR's benchmark snapshot, the baseline it
 # is guarded against, and the number of samples per benchmark (benchjson
 # keeps the per-benchmark minimum — single-sample records were noisy
 # enough to fake 18% swings on allocation-free kernels between PRs).
-BENCH_OUT ?= BENCH_PR4.json
-BENCH_PREV ?= BENCH_PR3.json
+BENCH_OUT ?= BENCH_PR5.json
+BENCH_PREV ?= BENCH_PR4.json
 BENCH_COUNT ?= 5
 
-.PHONY: all build vet test race fuzz bench bench-json bench-guard
+.PHONY: all build vet test race fuzz bench bench-json bench-guard docs
 
 all: build vet test
+
+# The documentation gate CI's docs job runs: every relative link and
+# anchor in the markdown set must resolve (cmd/mdlint), and the godoc
+# examples/CLIs must still compile so doc snippets cannot rot.
+docs:
+	$(GO) run ./cmd/mdlint README.md API.md DESIGN.md EXPERIMENTS.md ROADMAP.md PAPER.md
+	$(GO) build ./examples/... ./cmd/...
 
 build:
 	$(GO) build ./...

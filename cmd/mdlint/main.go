@@ -1,0 +1,145 @@
+// Command mdlint is the documentation link checker the CI docs job
+// runs: it validates every inline markdown link in the given files so
+// README/API/DESIGN/EXPERIMENTS references cannot rot silently.
+//
+//	go run ./cmd/mdlint README.md API.md DESIGN.md
+//
+// Checked:
+//   - relative links resolve to an existing file or directory
+//     (relative to the markdown file containing them);
+//   - intra-file anchors (#section) and anchors on relative links
+//     resolve to a heading in the target file, using GitHub's slug
+//     rules (lowercase, spaces to dashes, punctuation dropped);
+//   - absolute paths are rejected (they cannot work on a clone).
+//
+// External links (http/https/mailto) are listed with -external but not
+// fetched: CI must stay hermetic, and a network flake must not fail the
+// build.
+//
+// Exit status 1 if any link is broken, with one line per finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline links [text](target). Images ![alt](target)
+// match too via the optional bang. Nested brackets and code spans are
+// beyond this checker's ambitions; the repo's docs do not use them in
+// links.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// headingRe matches ATX headings; setext headings are not used in this
+// repo's docs.
+var headingRe = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*#*\s*$`)
+
+// codeFenceRe strips fenced code blocks so example links inside them
+// are not checked.
+var codeFenceRe = regexp.MustCompile("(?s)```.*?```")
+
+func main() {
+	external := flag.Bool("external", false, "list external links (not fetched)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: mdlint <file.md> [file.md ...]")
+		os.Exit(2)
+	}
+	broken := 0
+	for _, path := range flag.Args() {
+		broken += checkFile(path, *external)
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "mdlint: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+func checkFile(path string, listExternal bool) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+		return 1
+	}
+	text := codeFenceRe.ReplaceAllString(string(data), "")
+	broken := 0
+	for _, m := range linkRe.FindAllStringSubmatch(text, -1) {
+		target := m[1]
+		switch {
+		case strings.HasPrefix(target, "http://"), strings.HasPrefix(target, "https://"), strings.HasPrefix(target, "mailto:"):
+			if listExternal {
+				fmt.Printf("%s: external %s\n", path, target)
+			}
+		case strings.HasPrefix(target, "#"):
+			if !anchorExists(text, target[1:]) {
+				fmt.Fprintf(os.Stderr, "%s: broken anchor %s\n", path, target)
+				broken++
+			}
+		case filepath.IsAbs(target):
+			fmt.Fprintf(os.Stderr, "%s: absolute link %s (must be relative)\n", path, target)
+			broken++
+		default:
+			broken += checkRelative(path, target)
+		}
+	}
+	return broken
+}
+
+func checkRelative(from, target string) int {
+	file, anchor, hasAnchor := strings.Cut(target, "#")
+	full := filepath.Join(filepath.Dir(from), file)
+	st, err := os.Stat(full)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: broken link %s (%s does not exist)\n", from, target, full)
+		return 1
+	}
+	if hasAnchor {
+		if st.IsDir() {
+			fmt.Fprintf(os.Stderr, "%s: anchor on directory link %s\n", from, target)
+			return 1
+		}
+		data, err := os.ReadFile(full)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %s: %v\n", from, target, err)
+			return 1
+		}
+		if !anchorExists(string(data), anchor) {
+			fmt.Fprintf(os.Stderr, "%s: broken anchor %s (no such heading in %s)\n", from, target, file)
+			return 1
+		}
+	}
+	return 0
+}
+
+// anchorExists reports whether any heading in text slugs to anchor.
+func anchorExists(text, anchor string) bool {
+	for _, h := range headingRe.FindAllStringSubmatch(text, -1) {
+		if slugify(h[1]) == strings.ToLower(anchor) {
+			return true
+		}
+	}
+	return false
+}
+
+// slugify approximates GitHub's heading-to-anchor rule: lowercase,
+// strip everything but letters, digits, spaces, and dashes (markdown
+// emphasis and backticks included), then spaces to dashes.
+func slugify(heading string) string {
+	heading = strings.ToLower(heading)
+	var b strings.Builder
+	for _, r := range heading {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		case r > 127:
+			b.WriteRune(r) // GitHub keeps non-ASCII letters
+		}
+	}
+	return b.String()
+}

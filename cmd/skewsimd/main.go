@@ -1,16 +1,26 @@
 // Command skewsimd serves a sharded, online-mutable SkewSearch index
 // over HTTP/JSON: inserts and deletes apply immediately (segmented
 // memtable + frozen CSR segments per shard), queries fan out across
-// shards, and the whole index can be snapshotted to a file and restored
-// at startup.
+// shards, and the index survives crashes through per-shard write-ahead
+// logs (-wal-dir) and/or explicit snapshots (/v1/snapshot + -restore).
 //
-// Endpoints (see internal/server/http.go for request/response bodies):
+// Endpoints (see API.md at the repository root for full request and
+// response schemas):
 //
 //	POST /v1/insert    add sets, returns assigned ids
 //	POST /v1/delete    tombstone ids
 //	POST /v1/search    best / first-above-threshold / top-k search
-//	GET  /v1/stats     aggregated + per-shard sizes
+//	GET  /v1/stats     aggregated + per-shard sizes, incl. WAL sizes
 //	POST /v1/snapshot  persist the index to a server-local file
+//
+// Durability: with -wal-dir every accepted insert/delete is journaled
+// before it is applied, completed background freezes checkpoint the log,
+// and startup recovers whatever the directory holds — no explicit
+// restore step needed after a crash or kill. -fsync picks the policy:
+// "always" group-commits an fsync per request batch (survives power
+// loss), "never" leaves flushing to the OS (survives process crashes).
+// -restore composes with -wal-dir: the snapshot loads first and the log
+// tail reconciles on top.
 //
 // The engine runs the paper's adversarial scheme by default (-b1), or
 // the correlated scheme with -alpha. Item probabilities come from a
@@ -21,7 +31,8 @@
 //
 //	skewsimd -addr :8080 -data s.txt -b1 0.5
 //	skewsimd -addr :8080 -dim 4096 -n 100000 -shards 8
-//	skewsimd -restore index.snap -data s.txt   # params must match the writer
+//	skewsimd -wal-dir ./wal -fsync always -data s.txt    # durable serving
+//	skewsimd -restore index.snap -wal-dir ./wal          # snapshot + log tail
 package main
 
 import (
@@ -38,7 +49,19 @@ import (
 	"skewsim/internal/dist"
 	"skewsim/internal/segment"
 	"skewsim/internal/server"
+	"skewsim/internal/wal"
 )
+
+// byteCount renders a byte total for startup logs.
+func byteCount(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}
 
 func main() {
 	var (
@@ -57,6 +80,9 @@ func main() {
 		dataPath    = flag.String("data", "", "warm-start dataset: estimate probabilities from it and preload it")
 		restorePath = flag.String("restore", "", "restore a /v1/snapshot file at startup instead of starting empty")
 		snapshotDir = flag.String("snapshot-dir", ".", "directory /v1/snapshot may write into (empty disables the endpoint)")
+		walDir      = flag.String("wal-dir", "", "write-ahead log root (per-shard logs under it); enables crash recovery at startup")
+		fsyncMode   = flag.String("fsync", "always", "WAL fsync policy: always (group commit per batch) or never (OS writeback)")
+		walSegBytes = flag.Int64("wal-segment-bytes", 0, "WAL file rotation size (0 = 4 MiB default)")
 	)
 	flag.Parse()
 
@@ -96,6 +122,14 @@ func main() {
 			MemtableSize: *memtable,
 			MaxSegments:  *maxSegments,
 		},
+		WALDir: *walDir,
+	}
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsyncMode)
+		if err != nil {
+			log.Fatalf("skewsimd: %v", err)
+		}
+		cfg.WAL = wal.Options{Sync: policy, SegmentBytes: *walSegBytes}
 	}
 
 	var srv *server.Server
@@ -104,6 +138,8 @@ func main() {
 		if err != nil {
 			log.Fatalf("skewsimd: %v", err)
 		}
+		// With -wal-dir this also replays each shard's log tail on top of
+		// the snapshot, so a snapshot older than the log loses nothing.
 		srv, err = server.ReadSnapshot(f, cfg)
 		f.Close()
 		if err != nil {
@@ -111,12 +147,33 @@ func main() {
 		}
 		log.Printf("restored %d live vectors from %s", srv.Stats().Live, *restorePath)
 	} else {
+		// server.New recovers whatever durable state -wal-dir holds; a
+		// fresh directory starts empty.
 		if srv, err = server.New(cfg); err != nil {
 			log.Fatalf("skewsimd: %v", err)
 		}
-		if len(preload) > 0 {
+		// Preload only a server with no durable history: "recovered but
+		// everything was deleted" (live 0, log non-empty) must not
+		// resurrect the warm-start dataset.
+		st := srv.Stats()
+		recovered := false
+		for _, ps := range st.PerShard {
+			if ps.WAL != nil && ps.WAL.LastLSN > 0 {
+				recovered = true
+				break
+			}
+		}
+		if recovered {
+			log.Printf("recovered %d live vectors (%d WAL records, %s) from %s",
+				st.Live, st.WALRecords, byteCount(st.WALBytes), *walDir)
+		} else if len(preload) > 0 {
 			if _, err := srv.InsertBatch(preload); err != nil {
-				log.Fatalf("skewsimd: preloading: %v", err)
+				if !server.NotDurableOnly(err) {
+					log.Fatalf("skewsimd: preloading: %v", err)
+				}
+				// Applied and journaled; only the fsync is unconfirmed —
+				// the next start would recover the same state anyway.
+				log.Printf("skewsimd: preload applied but not yet durable: %v", err)
 			}
 			log.Printf("preloaded %d vectors from %s", len(preload), *dataPath)
 		}

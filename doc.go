@@ -13,15 +13,20 @@
 // packed popcount engine over internal/bitvec's word-packed vector
 // forms. For serving rather
 // than experiments, internal/segment makes the index online-mutable
-// (memtable + frozen CSR segments, LSM-style) and internal/server
-// shards it behind the cmd/skewsimd HTTP daemon. See DESIGN.md for the
-// full inventory and EXPERIMENTS.md for paper-vs-measured results.
+// (memtable + frozen CSR segments, LSM-style), internal/wal makes it
+// crash-durable (write-ahead logging with checkpoint truncation), and
+// internal/server shards it behind the cmd/skewsimd HTTP daemon.
+//
+// Start with README.md (package map, quickstart, benchmark headlines);
+// API.md documents the daemon's HTTP/JSON endpoints and durability
+// semantics; DESIGN.md holds the full architecture inventory and
+// EXPERIMENTS.md the paper-vs-measured results.
 //
 // Quick start:
 //
 //	go run ./examples/quickstart
 //	go run ./examples/serving       # online insert/delete/query
 //	go run ./cmd/experiments        # regenerate all paper artifacts
-//	go run ./cmd/skewsimd           # HTTP serving daemon
+//	go run ./cmd/skewsimd           # HTTP serving daemon (see API.md)
 //	go test -bench=. -benchmem      # benchmark harness
 package skewsim

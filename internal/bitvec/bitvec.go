@@ -1,6 +1,7 @@
 // Package bitvec implements sparse binary vectors over a universe
-// U = {0, ..., d-1} together with the set-similarity measures used by the
-// skewsim library.
+// U = {0, ..., d-1} together with the set-similarity measures of the
+// paper's problem statement (§2; Braun-Blanquet is the one its bounds
+// are stated for) used across the skewsim library.
 //
 // A Vector stores the indices of its set bits as a strictly increasing
 // slice of uint32, which is the natural encoding for the sparse, skewed

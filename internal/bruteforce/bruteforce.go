@@ -1,6 +1,6 @@
 // Package bruteforce provides the exact linear-scan baseline: every query
-// verifies every data vector. It anchors the experiments (cost exponent
-// exactly 1) and serves as the ground-truth oracle for recall
+// verifies every data vector. It anchors the §8 experiments (cost
+// exponent exactly 1) and serves as the ground-truth oracle for recall
 // measurements of the randomized indexes.
 package bruteforce
 

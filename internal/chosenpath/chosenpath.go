@@ -1,7 +1,8 @@
 // Package chosenpath implements the Chosen Path data structure of
 // Christiani and Pagh (STOC 2017) for the (b1, b2)-approximate
 // Braun-Blanquet similarity problem, the principal worst-case baseline
-// the paper improves on.
+// the paper improves on (its exponent is the comparison point of §1
+// and the worked examples of §7).
 //
 // Chosen Path is the special case of the locality-sensitive filtering
 // framework with

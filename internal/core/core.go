@@ -1,6 +1,6 @@
-// Package core implements SkewSearch, the paper's primary contribution: a
-// skew-adaptive set-similarity search structure for data drawn from a
-// known product distribution D[p1..pd].
+// Package core implements SkewSearch, the paper's primary contribution
+// (§4–§6): a skew-adaptive set-similarity search structure for data
+// drawn from a known product distribution D[p1..pd].
 //
 // SkewSearch instantiates the locality-sensitive filtering engine
 // (internal/lsf) with the paper's two threshold schemes:

@@ -6,8 +6,10 @@
 //	8 9
 //
 // The format is deliberately the same "transaction file" shape used by
-// the set-similarity-join benchmark datasets the paper analyzes, so real
-// files can be dropped in for the analysis experiments.
+// the set-similarity-join benchmark datasets the paper analyzes in §8,
+// so real files can be dropped in for the analysis experiments. The
+// package also provides the length-prefixed, CRC-framed binary record
+// format (frame.go) the write-ahead log in internal/wal journals with.
 package dataio
 
 import (

@@ -1,0 +1,110 @@
+package dataio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestFrameRoundTrip streams several frames, including empty and
+// binary payloads, through AppendFrame → FrameReader.
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		[]byte("hello"),
+		{},
+		{0x00, 0xff, 0x1f, 0x8b}, // gzip magic inside a payload must not confuse anything
+		bytes.Repeat([]byte{7}, 1<<12),
+	}
+	var stream []byte
+	for _, p := range payloads {
+		stream = AppendFrame(stream, p)
+	}
+	if len(stream) != FrameLen(5)+FrameLen(0)+FrameLen(4)+FrameLen(1<<12) {
+		t.Fatalf("stream length %d does not match FrameLen sum", len(stream))
+	}
+	fr := NewFrameReader(bytes.NewReader(stream))
+	for i, want := range payloads {
+		got, err := fr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %q want %q", i, got, want)
+		}
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF at clean end, got %v", err)
+	}
+	if fr.Offset() != int64(len(stream)) {
+		t.Fatalf("Offset = %d, want %d", fr.Offset(), len(stream))
+	}
+}
+
+// TestFrameTornTail truncates a two-frame stream at every byte inside
+// the second frame: Next must return the first frame, then
+// ErrTornFrame, with Offset pointing at the clean boundary.
+func TestFrameTornTail(t *testing.T) {
+	var stream []byte
+	stream = AppendFrame(stream, []byte("first"))
+	boundary := len(stream)
+	stream = AppendFrame(stream, []byte("second-frame-payload"))
+	for cut := boundary + 1; cut < len(stream); cut++ {
+		fr := NewFrameReader(bytes.NewReader(stream[:cut]))
+		if _, err := fr.Next(); err != nil {
+			t.Fatalf("cut %d: first frame: %v", cut, err)
+		}
+		if _, err := fr.Next(); !errors.Is(err, ErrTornFrame) {
+			t.Fatalf("cut %d: want ErrTornFrame, got %v", cut, err)
+		}
+		if fr.Offset() != int64(boundary) {
+			t.Fatalf("cut %d: Offset = %d, want %d", cut, fr.Offset(), boundary)
+		}
+	}
+}
+
+// TestFrameCorruption flips each byte of a frame in turn; every flip
+// must surface as ErrTornFrame (bad checksum, implausible length, or a
+// short read), never as a silently wrong payload.
+func TestFrameCorruption(t *testing.T) {
+	clean := AppendFrame(nil, []byte("payload-under-test"))
+	for i := range clean {
+		mut := bytes.Clone(clean)
+		mut[i] ^= 0x41
+		fr := NewFrameReader(bytes.NewReader(mut))
+		got, err := fr.Next()
+		if err == nil && !bytes.Equal(got, []byte("payload-under-test")) {
+			t.Fatalf("flip %d: corrupt payload %q accepted", i, got)
+		}
+		if err != nil && !errors.Is(err, ErrTornFrame) {
+			t.Fatalf("flip %d: unexpected error %v", i, err)
+		}
+		if err == nil {
+			t.Fatalf("flip %d: corruption not detected", i)
+		}
+	}
+}
+
+// FuzzFrameReader feeds arbitrary bytes: the reader must never panic
+// and never hand back a payload whose checksum did not verify.
+func FuzzFrameReader(f *testing.F) {
+	f.Add(AppendFrame(nil, []byte("seed")))
+	f.Add(AppendFrame(AppendFrame(nil, []byte{}), []byte{1, 2, 3}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := NewFrameReader(bytes.NewReader(data))
+		for {
+			payload, err := fr.Next()
+			if err != nil {
+				if err != io.EOF && !errors.Is(err, ErrTornFrame) {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				return
+			}
+			_ = payload
+			if fr.Offset() > int64(len(data)) {
+				t.Fatalf("Offset %d beyond input %d", fr.Offset(), len(data))
+			}
+		}
+	})
+}

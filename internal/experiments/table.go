@@ -1,7 +1,7 @@
 // Package experiments regenerates every quantitative artifact of the
-// paper — each figure, table, and worked example of the evaluation — plus
-// the empirical scaling and recall studies that validate Theorems 1 and 2
-// on the simulator. Each experiment is registered by the paper artifact's
+// paper (§1's motivating example, the §7 worked examples, §8's figures
+// and Table 1) plus the empirical scaling and recall studies that
+// validate Theorems 1 and 2 on the simulator. Each experiment is registered by the paper artifact's
 // id (fig1, fig2, table1, sec7adv, sec7corr, motivating, scaling,
 // recall), plus the library's own studies (ablation, estimated), and
 // produces plain-text tables that can also be emitted as CSV.

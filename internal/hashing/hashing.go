@@ -1,5 +1,6 @@
-// Package hashing provides the seeded randomness substrate for the
-// locality-sensitive filtering engine:
+// Package hashing provides the seeded randomness substrate the
+// locality-sensitive filtering engine's analysis assumes (the paper's
+// Lemma 5: pairwise-independent path hashing):
 //
 //   - SplitMix64, a tiny, high-quality deterministic PRNG used to derive
 //     per-level hash-function seeds so that an entire index is reproducible

@@ -1,8 +1,8 @@
 // Package minhash implements the classic MinHash LSH index of Broder et
 // al. for Jaccard similarity: L bands, each the concatenation of k
 // min-wise hashes. It is the standard randomized baseline the paper's
-// related-work section positions Chosen Path (and hence SkewSearch)
-// against.
+// related-work section (§1) positions Chosen Path (and hence
+// SkewSearch) against, and one of the §8 comparison methods.
 //
 // For the (j1, j2)-approximate Jaccard problem the textbook parameters
 // are k = ⌈ln n / ln(1/j2)⌉ and L = ⌈n^ρ⌉ with ρ = ln(1/j1)/ln(1/j2);

@@ -1,6 +1,7 @@
 // Package prefix implements prefix filtering (Bayardo, Ma, Srikant, WWW
-// 2007), the exact, deterministic heuristic the paper repeatedly compares
-// against: order the universe by ascending global frequency, index each
+// 2007), the exact, deterministic heuristic the paper repeatedly
+// compares against (§1, §8): order the universe by ascending global
+// frequency, index each
 // vector under its prefix of rarest tokens, and verify every vector that
 // shares a prefix token with the query.
 //

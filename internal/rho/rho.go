@@ -1,6 +1,7 @@
 // Package rho solves the exponent equations that govern the running time
-// of every data structure in this library. The paper's bounds are all of
-// the form "query time O(n^ρ) where ρ solves <equation in the item-level
+// of every data structure in this library (§4's bounds, instantiated on
+// the §7 worked examples). The paper's bounds are all of the form
+// "query time O(n^ρ) where ρ solves <equation in the item-level
 // probabilities>"; this package evaluates those equations numerically so
 // the experiments can compare predicted exponents against measured ones.
 //

@@ -21,6 +21,12 @@ type memtable struct {
 	// memtable, in insertion order. Freezing assigns local ids by
 	// position in this slice.
 	slots []int32
+	// rotLSN is the WAL high-water mark captured when the memtable
+	// rotated into the freeze queue: every insert in this or an earlier
+	// memtable was logged at or below it, so the checkpoint written
+	// after this memtable freezes may fence that whole insert prefix.
+	// Zero without an attached WAL.
+	rotLSN uint64
 }
 
 func newMemtable(reps int) *memtable {

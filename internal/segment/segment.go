@@ -1,6 +1,7 @@
-// Package segment turns the library's build-once indexes into an online
-// serving structure: a SegmentedIndex accepts Insert/Delete while
-// answering queries, LSM-style. Writes land in a small mutable memtable
+// Package segment turns the library's build-once indexes (the paper's
+// §4 structure, static by construction) into an online serving
+// structure: a SegmentedIndex accepts Insert/Delete while answering
+// queries, LSM-style. Writes land in a small mutable memtable
 // (the chained-bucket map index); full memtables rotate into a flushing
 // list and a background worker freezes them into immutable CSR segments
 // (the frozen arenas of internal/lsf, via its segment-facing Builder);
@@ -21,6 +22,12 @@
 // tombstone array until compaction rewrites their segment. Ids are
 // never reused, including after Delete.
 //
+// Durability: attach a wal.Log (Recover / RecoverWAL) and every
+// accepted write is journaled before the in-memory mutation, completed
+// freezes persist checkpoint segment files that let the log truncate,
+// and startup recovery replays the surviving records idempotently —
+// see wal.go in this package and DESIGN.md "Durability".
+//
 // The repetition engines are fixed at construction (typically from
 // core.EngineParams, so the segmented index runs the same SkewSearch
 // scheme as the static core.Index); the stopping rule's n is the
@@ -37,6 +44,7 @@ import (
 	"skewsim/internal/bitvec"
 	"skewsim/internal/lsf"
 	"skewsim/internal/verify"
+	"skewsim/internal/wal"
 )
 
 // Config sizes a SegmentedIndex.
@@ -81,6 +89,11 @@ func (c *Config) withDefaults() Config {
 type frozenSeg struct {
 	slots []int32 // local id -> slot
 	reps  []*lsf.Index
+	// walSeq is the sequence number of the checkpoint segment file
+	// persisting this segment in the WAL directory, 0 when the segment
+	// has no durable side file (no WAL attached, or restored from a
+	// snapshot rather than a checkpoint file).
+	walSeq uint64
 }
 
 func (g *frozenSeg) size() int { return len(g.slots) }
@@ -126,6 +139,9 @@ type IndexStats struct {
 	SegmentSizes []int // per-segment vector counts (tombstones included)
 	Freezes      int64 // memtables frozen since construction
 	Compactions  int64 // merges performed since construction
+	// WAL reports the attached write-ahead log's sizes; nil when the
+	// index runs without durability.
+	WAL *wal.Stats `json:",omitempty"`
 }
 
 // SegmentedIndex is a mutable, concurrently-usable index. The zero value
@@ -156,11 +172,36 @@ type SegmentedIndex struct {
 	slotOf   map[int64]int32 // external id -> slot (live and dead)
 	nextAuto int64           // next auto-assigned external id
 	live     int
+	// deadExt lists every external id ever tombstoned, in no particular
+	// order. Checkpoint segment files persist a snapshot of it so delete
+	// records at or below the checkpoint fence can be truncated from the
+	// WAL without losing their tombstones. unknownDead dedups the ids in
+	// it that have no slot (their vectors were compacted away before a
+	// crash) — they must keep riding every future dead list, or a later
+	// generation could re-derive nextAuto below them and reuse the id.
+	deadExt     []int64
+	unknownDead map[int64]struct{}
+	// memMaxLSN is the WAL LSN of the newest insert record whose
+	// in-memory apply has completed — the only safe checkpoint fence.
+	// (The log's own high-water mark would over-fence during a batch,
+	// whose records are all appended before the first apply.)
+	memMaxLSN uint64
 
 	compacting  bool
+	persisting  bool // worker is writing a checkpoint segment file
+	recovering  bool // WAL recovery in progress: worker pauses (see RecoverWAL)
 	freezes     int64
 	compactions int64
 	closed      bool
+
+	// wal, when attached (Recover), is appended to before every memtable
+	// mutation; segSeq numbers the checkpoint segment files freezes and
+	// compactions persist next to the log. crashHook is the fault-
+	// injection seam the crash-recovery tests SIGKILL the process from;
+	// it is a no-op outside tests.
+	wal       *wal.Log
+	segSeq    uint64
+	crashHook func(point string)
 
 	visitPool lsf.VisitedPool
 	fsPool    sync.Pool
@@ -174,10 +215,12 @@ func New(cfg Config) (*SegmentedIndex, error) {
 		return nil, errors.New("segment: Config.Params must supply at least one repetition engine")
 	}
 	s := &SegmentedIndex{
-		cfg:     cfg,
-		engines: make([]*lsf.Engine, len(cfg.Params)),
-		mem:     newMemtable(len(cfg.Params)),
-		slotOf:  make(map[int64]int32),
+		cfg:       cfg,
+		engines:   make([]*lsf.Engine, len(cfg.Params)),
+		mem:       newMemtable(len(cfg.Params)),
+		slotOf:    make(map[int64]int32),
+		segSeq:    1,
+		crashHook: func(string) {},
 	}
 	for r, p := range cfg.Params {
 		eng, err := lsf.NewEngine(cfg.N, p)
@@ -191,13 +234,20 @@ func New(cfg Config) (*SegmentedIndex, error) {
 	return s, nil
 }
 
-// Close stops the background worker. The index stays queryable but no
-// further freezes or compactions run. Safe to call twice.
+// Close stops the background worker and, when a WAL is attached, syncs
+// and closes it. The index stays queryable but no further freezes or
+// compactions run, and — with a WAL — further Insert/Delete calls fail
+// rather than accept writes that can no longer be logged. Safe to call
+// twice.
 func (s *SegmentedIndex) Close() {
 	s.mu.Lock()
 	s.closed = true
+	w := s.wal
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	if w != nil {
+		w.Close()
+	}
 }
 
 // Repetitions returns the number of repetition engines.
@@ -207,7 +257,8 @@ func (s *SegmentedIndex) Repetitions() int { return len(s.engines) }
 // Do not mix with InsertWithID unless caller-chosen ids stay out of the
 // auto range [0, 1, 2, ...]. Filters are computed once; losing an
 // id-allocation race to a concurrent inserter retries only the cheap
-// install step with a re-read counter.
+// install step with a re-read counter. An ErrNotDurable error comes
+// WITH the assigned id: the insert is live, only its fsync failed.
 func (s *SegmentedIndex) Insert(v bitvec.Vector) (int64, error) {
 	fss := s.computeFilters(v)
 	defer s.releaseFilters(fss)
@@ -216,8 +267,8 @@ func (s *SegmentedIndex) Insert(v bitvec.Vector) (int64, error) {
 		id := s.nextAuto
 		s.mu.RUnlock()
 		err := s.install(id, v, fss)
-		if err == nil {
-			return id, nil
+		if err == nil || errors.Is(err, ErrNotDurable) {
+			return id, err
 		}
 		if !errors.Is(err, ErrIDTaken) {
 			return 0, err
@@ -229,6 +280,12 @@ func (s *SegmentedIndex) Insert(v bitvec.Vector) (int64, error) {
 // tombstoned). Callers that allocate ids optimistically (Insert, the
 // shard router) match it to retry with a fresh id.
 var ErrIDTaken = errors.New("segment: id already used")
+
+// ErrNotDurable wraps a WAL commit failure on a write that WAS applied:
+// the vector is live in the index and its record reached the kernel,
+// but the configured fsync did not complete. Insert still returns the
+// assigned id alongside it — retrying would duplicate the vector.
+var ErrNotDurable = errors.New("segment: applied but not durable")
 
 // NextID returns the lowest external id never used by this index: the
 // auto-assignment high-water mark. The shard router uses the max over
@@ -278,7 +335,11 @@ func (s *SegmentedIndex) releaseFilters(fss []*lsf.FilterSet) {
 // install claims id, allocates a slot, and appends the pre-computed
 // filters to the memtable, all under one write-lock critical section.
 // install only reads fss, so Insert can retry it after a lost id race
-// without regenerating filters.
+// without regenerating filters. With a WAL attached the insert record
+// is appended (reaching the kernel) before any in-memory mutation, and
+// install returns only after the record is durable under the log's
+// sync policy — the fsync wait happens after the lock is released, so
+// concurrent inserts share group commits.
 func (s *SegmentedIndex) install(id int64, v bitvec.Vector, fss []*lsf.FilterSet) error {
 	s.mu.Lock()
 	if _, taken := s.slotOf[id]; taken {
@@ -289,6 +350,35 @@ func (s *SegmentedIndex) install(id int64, v bitvec.Vector, fss []*lsf.FilterSet
 		s.mu.Unlock()
 		return errors.New("segment: slot space exhausted (2^31 inserts)")
 	}
+	w := s.wal
+	var lsn uint64
+	if w != nil {
+		var err error
+		lsn, err = w.Append(wal.Record{Op: wal.OpInsert, ID: id, Bits: v.Bits()})
+		if err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("segment: logging insert: %w", err)
+		}
+		s.crashHook("insert-apply")
+		s.memMaxLSN = lsn
+	}
+	s.applyInsertLocked(id, v, fss)
+	s.mu.Unlock()
+	if w != nil {
+		if err := w.Commit(lsn); err != nil {
+			// The insert is applied and its record is in the kernel; only
+			// media durability is in doubt. Surface that to the caller.
+			return fmt.Errorf("%w: %w", ErrNotDurable, err)
+		}
+	}
+	return nil
+}
+
+// applyInsertLocked is the in-memory half of an insert: slot
+// allocation, the packed verification form, the id registry, and the
+// memtable postings. Caller holds the write lock and has already
+// verified the id is unused and slot space remains.
+func (s *SegmentedIndex) applyInsertLocked(id int64, v bitvec.Vector, fss []*lsf.FilterSet) {
 	slot := int32(len(s.vecs))
 	s.vecs = append(s.vecs, v)
 	s.packed.Append(v)
@@ -312,16 +402,19 @@ func (s *SegmentedIndex) install(id int64, v bitvec.Vector, fss []*lsf.FilterSet
 	if len(s.mem.slots) >= s.cfg.MemtableSize {
 		s.rotateLocked()
 	}
-	s.mu.Unlock()
-	return nil
 }
 
 // rotateLocked moves the active memtable to the freeze queue and wakes
-// the worker. Caller holds the write lock.
+// the worker, stamping the memtable with the applied-insert LSN
+// high-water mark: every insert record at or below rotLSN has been
+// applied into this or an earlier memtable, so once this memtable's
+// frozen segment is durable the checkpoint may fence that whole
+// prefix. Caller holds the write lock.
 func (s *SegmentedIndex) rotateLocked() {
 	if len(s.mem.slots) == 0 {
 		return
 	}
+	s.mem.rotLSN = s.memMaxLSN
 	s.flushing = append(s.flushing, s.mem)
 	s.mem = newMemtable(len(s.engines))
 	s.cond.Broadcast()
@@ -329,16 +422,37 @@ func (s *SegmentedIndex) rotateLocked() {
 
 // Delete tombstones the vector inserted under id, reporting whether it
 // was live. The slot is masked immediately; the bytes are reclaimed when
-// compaction next rewrites the segment holding it.
+// compaction next rewrites the segment holding it. With a WAL attached
+// the delete record is appended before the tombstone; if the log
+// refuses the append (e.g. after Close) the delete is not applied and
+// Delete reports false.
 func (s *SegmentedIndex) Delete(id int64) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	slot, ok := s.slotOf[id]
 	if !ok || !s.alive[slot] {
+		s.mu.Unlock()
 		return false
+	}
+	w := s.wal
+	var lsn uint64
+	if w != nil {
+		var err error
+		lsn, err = w.Append(wal.Record{Op: wal.OpDelete, ID: id})
+		if err != nil {
+			s.mu.Unlock()
+			return false
+		}
+		s.crashHook("delete-apply")
 	}
 	s.alive[slot] = false
 	s.live--
+	s.deadExt = append(s.deadExt, id)
+	s.mu.Unlock()
+	if w != nil {
+		// Durability wait outside the lock; an fsync failure leaves the
+		// tombstone applied with the record already in the kernel.
+		_ = w.Commit(lsn)
+	}
 	return true
 }
 
@@ -354,12 +468,13 @@ func (s *SegmentedIndex) Flush() {
 	}
 }
 
-// WaitIdle blocks until no freeze or compaction work is pending or
-// running. Insert/Delete/Query may of course create new work afterwards.
+// WaitIdle blocks until no freeze, compaction, or WAL checkpoint work
+// is pending or running. Insert/Delete/Query may of course create new
+// work afterwards.
 func (s *SegmentedIndex) WaitIdle() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for (len(s.flushing) > 0 || s.compacting || s.needsCompactLocked()) && !s.closed {
+	for (len(s.flushing) > 0 || s.compacting || s.persisting || s.needsCompactLocked()) && !s.closed {
 		s.cond.Wait()
 	}
 }
@@ -385,6 +500,10 @@ func (s *SegmentedIndex) Stats() IndexStats {
 	}
 	for _, g := range s.segs {
 		st.SegmentSizes = append(st.SegmentSizes, g.size())
+	}
+	if s.wal != nil {
+		ws := s.wal.Stats()
+		st.WAL = &ws
 	}
 	return st
 }
@@ -594,7 +713,11 @@ func (s *SegmentedIndex) Data() []bitvec.Vector {
 func (s *SegmentedIndex) worker() {
 	s.mu.Lock()
 	for {
-		for !s.closed && len(s.flushing) == 0 && !s.needsCompactLocked() {
+		// The worker pauses during WAL recovery: a memtable frozen
+		// before the log is attached would get no checkpoint segment
+		// file, yet a later checkpoint could fence (and truncate) the
+		// log records that are its only durable copy.
+		for !s.closed && (s.recovering || (len(s.flushing) == 0 && !s.needsCompactLocked())) {
 			s.cond.Wait()
 		}
 		if s.closed {
@@ -612,6 +735,12 @@ func (s *SegmentedIndex) worker() {
 			}
 			s.freezes++
 			s.cond.Broadcast()
+			if seg != nil && s.wal != nil {
+				// Persist the frozen segment next to the log and fence
+				// the insert prefix it covers (drops the lock for the
+				// file IO).
+				s.persistFreezeLocked(seg, mt.rotLSN)
+			}
 			continue
 		}
 		a, b := s.pickSmallestLocked()
@@ -626,6 +755,9 @@ func (s *SegmentedIndex) worker() {
 		s.compacting = false
 		s.compactions++
 		s.cond.Broadcast()
+		if s.wal != nil {
+			s.persistCompactionLocked(merged, a, b)
+		}
 	}
 }
 

@@ -274,6 +274,11 @@ func (s *SegmentedIndex) restoreSlot(ext int64, alive bool, v bitvec.Vector) (in
 	}
 	if alive {
 		s.live++
+	} else {
+		// Keep the tombstone registry complete: future WAL checkpoint
+		// files must list every dead id so fenced delete records stay
+		// recoverable.
+		s.deadExt = append(s.deadExt, ext)
 	}
 	return slot, nil
 }

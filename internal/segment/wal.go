@@ -1,0 +1,577 @@
+package segment
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"skewsim/internal/bitvec"
+	"skewsim/internal/lsf"
+	"skewsim/internal/wal"
+)
+
+// Durability (write-ahead log + checkpoint segment files).
+//
+// A SegmentedIndex with an attached wal.Log persists its input, not its
+// structure: every accepted Insert/Delete appends a record before the
+// in-memory mutation, and the deterministic engines rebuild identical
+// filter mappings on replay. Two kinds of files share the log
+// directory:
+//
+//   - wal-<lsn>.log     rotated record files (owned by internal/wal)
+//   - ckpt-<seq>.seg    one frozen segment each, written by the
+//     background worker after a freeze or compaction completes
+//
+// A completed freeze makes its memtable's vectors durable twice over
+// (log records and the new ckpt file), and every ckpt file also
+// carries a snapshot of the global tombstone list, so the worker's
+// checkpoint record fences inserts AND deletes up to the applied-LSN
+// high-water mark of the frozen memtable; internal/wal then deletes
+// whole log files at or below the fence. The fence is the applied
+// mark, not the log's own high-water mark: a batch appends all its
+// records before the first apply, and fencing unapplied, unfrozen
+// inserts would lose them.
+//
+// Recovery (RecoverWAL) is a reconciliation, not a strict redo: load
+// every ckpt segment file (skipping ids already present, e.g. from a
+// snapshot restored first), then replay the surviving log records in
+// LSN order — inserts at or below the checkpoint fence or with a known
+// id are skipped, deletes always re-apply. Every step is idempotent, so
+// a crash at any point (mid-append, between append and apply, between
+// freeze and checkpoint, mid-compaction) converges to the same
+// candidate sets the uncrashed index would serve; the crash tests
+// assert exactly that differentially.
+
+// segMagicCkpt heads a checkpoint segment file:
+//
+//	magic  [6]byte "SKCKP1"
+//	reps   uint32  (validated against Config.Params)
+//	count  uint32
+//	count × vector: ext int64, nbits uint32, bits []uint32
+//	dead   uint32  (global tombstone list at write time)
+//	dead × ext int64
+//	reps × lsf bucket dump (lsf.Index.WriteTo)
+//
+// No per-vector alive flags: tombstones are the union of every ckpt
+// file's dead list plus the surviving delete records.
+var segMagicCkpt = [6]byte{'S', 'K', 'C', 'K', 'P', '1'}
+
+const ckptPrefix, ckptSuffix = "ckpt-", ".seg"
+
+func ckptName(seq uint64) string { return fmt.Sprintf("%s%016d%s", ckptPrefix, seq, ckptSuffix) }
+
+// Recover builds an index from the durable state in log's directory —
+// checkpoint segment files plus the surviving record tail — and
+// attaches the log so subsequent writes are journaled. On an empty
+// directory this is New plus an attach. The caller owns Closing the
+// returned index (which closes the log).
+func Recover(cfg Config, log *wal.Log) (*SegmentedIndex, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.RecoverWAL(log); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// RecoverWAL reconciles the durable state in log's directory into s and
+// attaches the log. s may already hold data (a snapshot restored by
+// ReadSnapshot): ids already present win, replayed deletes re-apply on
+// top — the snapshot-plus-WAL-tail startup path of cmd/skewsimd. Must
+// be called before any logged writes; the log must not have been
+// appended to yet this session.
+func (s *SegmentedIndex) RecoverWAL(log *wal.Log) error {
+	// Pause the background worker for the whole recovery: replayed
+	// inserts can rotate memtables, and freezing one before the log is
+	// attached would leave a segment with no checkpoint file while its
+	// records remain fence-able — a later checkpoint would truncate the
+	// only durable copy. Queued memtables freeze (and write their
+	// checkpoint files) after the attach below; their rotation stamp is
+	// the pre-attach memMaxLSN of 0, so recovery-era checkpoints never
+	// advance the fence past records they do not cover.
+	s.mu.Lock()
+	s.recovering = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.recovering = false
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}()
+	maxSeq, err := s.loadCkptSegments(log.Dir())
+	if err != nil {
+		return err
+	}
+	fence := log.LastCheckpoint()
+	err = log.Replay(func(lsn uint64, rec wal.Record) error {
+		switch rec.Op {
+		case wal.OpInsert:
+			if lsn <= fence {
+				return nil // covered by a ckpt segment file
+			}
+			err := s.InsertWithID(rec.ID, bitvec.New(rec.Bits...))
+			if errors.Is(err, ErrIDTaken) {
+				return nil // already present (ckpt file or snapshot)
+			}
+			return err
+		case wal.OpDelete:
+			if !s.Delete(rec.ID) {
+				// Unknown or already-dead id (checkpointed dead list, or
+				// an insert fenced away and dropped by compaction): still
+				// burn the id so auto-assignment never reuses it.
+				s.noteDeadID(rec.ID)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("segment: wal replay: %w", err)
+	}
+	s.mu.Lock()
+	s.wal = log
+	if maxSeq >= s.segSeq {
+		s.segSeq = maxSeq + 1
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// noteDeadID registers id as used-and-dead without a slot:
+// auto-assignment skips past it, and the id joins the dead list so
+// every future checkpoint file keeps carrying the tombstone — dropping
+// it would let a third-generation recovery re-derive nextAuto below the
+// id and reuse it, breaking the "ids are never reused" contract.
+func (s *SegmentedIndex) noteDeadID(id int64) {
+	s.mu.Lock()
+	s.noteDeadIDLocked(id)
+	s.mu.Unlock()
+}
+
+func (s *SegmentedIndex) noteDeadIDLocked(id int64) {
+	if id >= s.nextAuto {
+		s.nextAuto = id + 1
+	}
+	if s.unknownDead == nil {
+		s.unknownDead = make(map[int64]struct{})
+	}
+	if _, seen := s.unknownDead[id]; !seen {
+		s.unknownDead[id] = struct{}{}
+		s.deadExt = append(s.deadExt, id)
+	}
+}
+
+// InsertBatch inserts vs under caller-chosen ids as one group-committed
+// WAL append (a single write and, under SyncAlways, a single fsync wait
+// for the whole batch). All ids must be unused; ErrIDTaken (wrapped)
+// reports the first collision with nothing applied. Without a WAL it
+// degrades to the same one-lock apply loop.
+func (s *SegmentedIndex) InsertBatch(ids []int64, vs []bitvec.Vector) error {
+	if len(ids) != len(vs) {
+		return fmt.Errorf("segment: InsertBatch got %d ids for %d vectors", len(ids), len(vs))
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	// The expensive, engine-only work runs outside the lock for the
+	// whole batch, exactly like single inserts.
+	all := make([][]*lsf.FilterSet, len(vs))
+	for i, v := range vs {
+		all[i] = s.computeFilters(v)
+	}
+	defer func() {
+		for _, fss := range all {
+			s.releaseFilters(fss)
+		}
+	}()
+
+	s.mu.Lock()
+	for _, id := range ids {
+		if _, taken := s.slotOf[id]; taken {
+			s.mu.Unlock()
+			return fmt.Errorf("%w: %d", ErrIDTaken, id)
+		}
+	}
+	if len(s.vecs)+len(vs) > int(^uint32(0)>>1) {
+		s.mu.Unlock()
+		return errors.New("segment: slot space exhausted (2^31 inserts)")
+	}
+	w := s.wal
+	var lsn uint64
+	if w != nil {
+		recs := make([]wal.Record, len(ids))
+		for i, id := range ids {
+			recs[i] = wal.Record{Op: wal.OpInsert, ID: id, Bits: vs[i].Bits()}
+		}
+		var err error
+		lsn, err = w.AppendBatch(recs)
+		if err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("segment: logging insert batch: %w", err)
+		}
+		s.crashHook("insert-apply")
+	}
+	base := lsn - uint64(len(ids)) // record i of the batch is LSN base+1+i
+	for i, id := range ids {
+		if w != nil {
+			// Advance the checkpoint fence record by record: a rotation
+			// inside this loop must not fence batch inserts that have
+			// not been applied into a memtable yet.
+			s.memMaxLSN = base + 1 + uint64(i)
+		}
+		s.applyInsertLocked(id, vs[i], all[i])
+	}
+	s.mu.Unlock()
+	if w != nil {
+		if err := w.Commit(lsn); err != nil {
+			return fmt.Errorf("%w: batch: %w", ErrNotDurable, err)
+		}
+	}
+	return nil
+}
+
+// segDump is the lock-free snapshot of a frozen segment's vector table
+// and the global tombstone list, taken before the worker writes a
+// checkpoint file.
+type segDump struct {
+	exts []int64
+	vecs []bitvec.Vector
+	dead []int64
+}
+
+// gatherSegLocked copies the external ids and vector references of
+// seg's slots plus the current tombstone list. Caller holds the lock
+// (the ext/vecs/deadExt tables may be appended to concurrently
+// otherwise); vectors themselves are immutable, so the references stay
+// valid after release.
+func (s *SegmentedIndex) gatherSegLocked(seg *frozenSeg) segDump {
+	d := segDump{
+		exts: make([]int64, len(seg.slots)),
+		vecs: make([]bitvec.Vector, len(seg.slots)),
+		dead: append([]int64(nil), s.deadExt...),
+	}
+	for i, slot := range seg.slots {
+		d.exts[i] = s.ext[slot]
+		d.vecs[i] = s.vecs[slot]
+	}
+	return d
+}
+
+// persistFreezeLocked writes seg's checkpoint file and appends the
+// checkpoint record fencing inserts through rotLSN. Caller holds the
+// write lock; the file IO runs with it released. Failures leave the log
+// un-fenced — recovery replays the records instead, so durability is
+// preserved either way.
+func (s *SegmentedIndex) persistFreezeLocked(seg *frozenSeg, rotLSN uint64) {
+	w := s.wal
+	seq := s.segSeq
+	s.segSeq++
+	seg.walSeq = seq
+	dump := s.gatherSegLocked(seg)
+	s.persisting = true
+	s.mu.Unlock()
+	err := writeCkptFile(w.Dir(), seq, dump, seg.reps)
+	s.crashHook("freeze-checkpoint")
+	if err == nil {
+		// Log-file truncation and replay-skip fence; an error (e.g. log
+		// closed during shutdown) only delays truncation.
+		_ = w.Checkpoint(seq, rotLSN)
+	}
+	s.mu.Lock()
+	s.persisting = false
+	s.cond.Broadcast()
+}
+
+// persistCompactionLocked writes the merged segment's checkpoint file
+// and removes the inputs' files. No checkpoint record: compaction does
+// not extend the durable insert prefix, it only rewrites it. The new
+// file lands before the old ones go, so a crash in between at worst
+// re-loads both generations (idempotent by id). Caller holds the lock.
+func (s *SegmentedIndex) persistCompactionLocked(merged, a, b *frozenSeg) {
+	w := s.wal
+	var seq uint64
+	var dump segDump
+	if merged != nil {
+		seq = s.segSeq
+		s.segSeq++
+		merged.walSeq = seq
+		dump = s.gatherSegLocked(merged)
+	}
+	s.persisting = true
+	s.mu.Unlock()
+	ok := true
+	if merged != nil {
+		if err := writeCkptFile(w.Dir(), seq, dump, merged.reps); err != nil {
+			ok = false // keep the inputs' files: they still cover the data
+		}
+	}
+	if ok {
+		removeCkptFile(w.Dir(), a.walSeq)
+		removeCkptFile(w.Dir(), b.walSeq)
+	}
+	s.mu.Lock()
+	s.persisting = false
+	s.cond.Broadcast()
+}
+
+// writeCkptFile atomically persists one frozen segment: write to a
+// temp name, fsync, rename into place, fsync the directory. The frozen
+// lsf indexes are immutable, so no index lock is needed.
+func writeCkptFile(dir string, seq uint64, dump segDump, reps []*lsf.Index) (err error) {
+	final := filepath.Join(dir, ckptName(seq))
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("segment: checkpoint: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	bw := bufio.NewWriter(f)
+	write := func(v interface{}) error { return binary.Write(bw, binary.LittleEndian, v) }
+	if err = write(segMagicCkpt); err != nil {
+		return err
+	}
+	if err = write(uint32(len(reps))); err != nil {
+		return err
+	}
+	if err = write(uint32(len(dump.exts))); err != nil {
+		return err
+	}
+	for i, ext := range dump.exts {
+		if err = write(ext); err != nil {
+			return err
+		}
+		bits := dump.vecs[i].Bits()
+		if err = write(uint32(len(bits))); err != nil {
+			return err
+		}
+		if err = write(bits); err != nil {
+			return err
+		}
+	}
+	if err = write(uint32(len(dump.dead))); err != nil {
+		return err
+	}
+	if err = write(dump.dead); err != nil {
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		return err
+	}
+	for _, rep := range reps {
+		if _, err = rep.WriteTo(f); err != nil {
+			return err
+		}
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, final); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+func removeCkptFile(dir string, seq uint64) {
+	if seq == 0 {
+		return // no durable side file (pre-WAL segment or snapshot restore)
+	}
+	_ = os.Remove(filepath.Join(dir, ckptName(seq)))
+}
+
+// syncDir fsyncs a directory so a just-renamed file's entry is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// loadCkptSegments reads every checkpoint segment file in dir (ascending
+// sequence) into s, returning the highest sequence seen. Vectors whose
+// id is already registered reuse their existing slot — the idempotence
+// that makes snapshot-plus-tail and crash-repeated freezes safe.
+func (s *SegmentedIndex) loadCkptSegments(dir string) (uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("segment: %w", err)
+	}
+	type ckpt struct {
+		seq  uint64
+		path string
+	}
+	var files []ckpt
+	for _, e := range ents {
+		name := e.Name()
+		if !e.Type().IsRegular() || !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptSuffix) {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, ckptPrefix), ckptSuffix), 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("segment: malformed checkpoint file name %q", name)
+		}
+		files = append(files, ckpt{seq, filepath.Join(dir, name)})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].seq < files[j].seq })
+	var maxSeq uint64
+	dead := make(map[int64]bool)
+	for _, c := range files {
+		if err := s.loadCkptFile(c.path, c.seq, dead); err != nil {
+			return 0, err
+		}
+		maxSeq = c.seq
+	}
+	// Apply the union of every file's tombstone list only after all
+	// vectors are registered: an id may be listed dead by an older file
+	// while its vector arrives with a newer one.
+	for id := range dead {
+		s.applyDeadID(id)
+	}
+	return maxSeq, nil
+}
+
+// applyDeadID re-applies one checkpointed tombstone: kill the slot if
+// the id is known and live; otherwise burn the id AND keep it on the
+// dead list (its vector was compacted away — the checkpoint dead lists
+// are now the tombstone's only durable home, so it must propagate into
+// every future checkpoint file).
+func (s *SegmentedIndex) applyDeadID(id int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if slot, ok := s.slotOf[id]; ok {
+		if s.alive[slot] {
+			s.alive[slot] = false
+			s.live--
+			s.deadExt = append(s.deadExt, id)
+		}
+		return
+	}
+	s.noteDeadIDLocked(id)
+}
+
+func (s *SegmentedIndex) loadCkptFile(path string, seq uint64, dead map[int64]bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("segment: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var magic [6]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("segment: %s: reading magic: %w", filepath.Base(path), err)
+	}
+	if magic != segMagicCkpt {
+		return fmt.Errorf("segment: %s: bad magic %q", filepath.Base(path), magic)
+	}
+	var reps, count uint32
+	if err := binary.Read(br, binary.LittleEndian, &reps); err != nil {
+		return fmt.Errorf("segment: %s: header: %w", filepath.Base(path), err)
+	}
+	if int(reps) != len(s.engines) {
+		return fmt.Errorf("segment: %s has %d repetitions, config %d", filepath.Base(path), reps, len(s.engines))
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return fmt.Errorf("segment: %s: header: %w", filepath.Base(path), err)
+	}
+	const maxReasonable = 1 << 24
+	if count > maxReasonable {
+		return fmt.Errorf("segment: %s: implausible segment size %d", filepath.Base(path), count)
+	}
+	seg := &frozenSeg{
+		slots:  make([]int32, count),
+		reps:   make([]*lsf.Index, len(s.engines)),
+		walSeq: seq,
+	}
+	data := make([]bitvec.Vector, count)
+	for i := uint32(0); i < count; i++ {
+		var ext int64
+		var nbits uint32
+		if err := binary.Read(br, binary.LittleEndian, &ext); err != nil {
+			return fmt.Errorf("segment: %s: vector %d: %w", filepath.Base(path), i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &nbits); err != nil {
+			return fmt.Errorf("segment: %s: vector %d: %w", filepath.Base(path), i, err)
+		}
+		if nbits > maxReasonable {
+			return fmt.Errorf("segment: %s: implausible vector size %d", filepath.Base(path), nbits)
+		}
+		bits := make([]uint32, nbits)
+		if err := binary.Read(br, binary.LittleEndian, bits); err != nil {
+			return fmt.Errorf("segment: %s: vector %d: %w", filepath.Base(path), i, err)
+		}
+		v := bitvec.New(bits...)
+		slot := s.findOrRestoreSlot(ext, v)
+		seg.slots[i] = slot
+		data[i] = v
+	}
+	var deadCount uint32
+	if err := binary.Read(br, binary.LittleEndian, &deadCount); err != nil {
+		return fmt.Errorf("segment: %s: dead list: %w", filepath.Base(path), err)
+	}
+	if deadCount > maxReasonable {
+		return fmt.Errorf("segment: %s: implausible dead count %d", filepath.Base(path), deadCount)
+	}
+	for i := uint32(0); i < deadCount; i++ {
+		var id int64
+		if err := binary.Read(br, binary.LittleEndian, &id); err != nil {
+			return fmt.Errorf("segment: %s: dead list: %w", filepath.Base(path), err)
+		}
+		dead[id] = true
+	}
+	for ri := range seg.reps {
+		ix, err := lsf.ReadIndexFrom(br, s.engines[ri], data)
+		if err != nil {
+			return fmt.Errorf("segment: %s: repetition %d: %w", filepath.Base(path), ri, err)
+		}
+		seg.reps[ri] = ix
+	}
+	s.mu.Lock()
+	s.segs = append(s.segs, seg)
+	s.cond.Broadcast() // compaction may be due if the load overflows MaxSegments
+	s.mu.Unlock()
+	return nil
+}
+
+// findOrRestoreSlot returns the slot already registered for ext, or
+// allocates one for v outside the memtable (postings arrive with the
+// checkpoint segment being loaded). New slots start alive; pinned
+// delete records re-kill them during replay.
+func (s *SegmentedIndex) findOrRestoreSlot(ext int64, v bitvec.Vector) int32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if slot, ok := s.slotOf[ext]; ok {
+		return slot
+	}
+	slot := int32(len(s.vecs))
+	s.vecs = append(s.vecs, v)
+	s.packed.Append(v)
+	s.alive = append(s.alive, true)
+	s.ext = append(s.ext, ext)
+	s.slotOf[ext] = slot
+	if ext >= s.nextAuto {
+		s.nextAuto = ext + 1
+	}
+	s.live++
+	return slot
+}

@@ -31,6 +31,11 @@ type insertRequest struct {
 
 type insertResponse struct {
 	IDs []int64 `json:"ids"`
+	// NotDurable is set when the batch was fully applied and journaled
+	// but the configured fsync did not complete: the ids are valid and
+	// live, only media durability is unconfirmed. Retrying would insert
+	// duplicates under fresh ids.
+	NotDurable bool `json:"not_durable,omitempty"`
 }
 
 type deleteRequest struct {
@@ -100,11 +105,13 @@ func NewHandler(srv *Server, hc HandlerConfig) http.Handler {
 			vs[i] = bitvec.New(bits...)
 		}
 		ids, err := srv.InsertBatch(vs)
-		if err != nil {
+		if err != nil && !NotDurableOnly(err) {
 			httpError(w, http.StatusInternalServerError, err)
 			return
 		}
-		writeJSON(w, insertResponse{IDs: ids})
+		// A durability-only failure still assigned and applied every id;
+		// report them (retrying would duplicate the batch).
+		writeJSON(w, insertResponse{IDs: ids, NotDurable: err != nil})
 	})
 	mux.HandleFunc("POST /v1/delete", func(w http.ResponseWriter, r *http.Request) {
 		var req deleteRequest

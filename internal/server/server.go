@@ -1,10 +1,12 @@
-// Package server shards a segmented index for serving: K independent
-// segment.SegmentedIndex shards, data partitioned by id hash, queries
-// fanned out over a bounded worker pool and aggregated. Each shard owns
-// its own memtable, freeze queue, and compaction worker, so writes
-// scale with the shard count and a freeze in one shard never stalls
-// another. The HTTP face lives in http.go; cmd/skewsimd wires it to a
-// listener.
+// Package server shards a segmented index for serving (the scale-out
+// face of the paper's §4 structure, beyond the paper's scope): K
+// independent segment.SegmentedIndex shards, data partitioned by id
+// hash, queries fanned out over a bounded worker pool and aggregated.
+// Each shard owns its own memtable, freeze queue, compaction worker,
+// and (when configured) write-ahead log, so writes scale with the
+// shard count and a freeze in one shard never stalls another. The HTTP
+// face lives in http.go and is documented in API.md; cmd/skewsimd
+// wires it to a listener.
 package server
 
 import (
@@ -13,12 +15,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"path/filepath"
 	"sync"
 
 	"skewsim/internal/bitvec"
 	"skewsim/internal/lsf"
 	"skewsim/internal/segment"
 	"skewsim/internal/verify"
+	"skewsim/internal/wal"
 )
 
 // Config sizes a Server.
@@ -32,6 +36,15 @@ type Config struct {
 	// query's filter set is computed per shard against identical
 	// parameters, so shard placement never changes results).
 	Segment segment.Config
+	// WALDir, when non-empty, makes the server durable: each shard
+	// journals to a write-ahead log under WALDir/shard-NNN, New recovers
+	// whatever durable state those directories hold, and ReadSnapshot
+	// reconciles the snapshot with each shard's log tail. The shard
+	// count must not change across runs of the same WALDir (shard
+	// placement is an id-hash over the shard count).
+	WALDir string
+	// WAL tunes the per-shard logs (fsync policy, rotation size).
+	WAL wal.Options
 }
 
 // Server is a sharded segmented index. Safe for concurrent use.
@@ -43,7 +56,11 @@ type Server struct {
 	next int64 // next external id
 }
 
-// New builds the shards and starts their background workers.
+// New builds the shards and starts their background workers. With
+// Config.WALDir set, each shard opens (or creates) its write-ahead log
+// and recovers the durable state it finds — an empty directory yields
+// an empty durable server, a directory left by a crashed process
+// yields the pre-crash state.
 func New(cfg Config) (*Server, error) {
 	k := cfg.Shards
 	if k == 0 {
@@ -54,16 +71,43 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{workers: cfg.Workers}
 	for i := 0; i < k; i++ {
-		sh, err := segment.New(cfg.Segment)
+		sh, err := newShard(cfg, i)
 		if err != nil {
-			for _, prev := range s.shards {
-				prev.Close()
-			}
-			return nil, err
+			s.Close()
+			return nil, fmt.Errorf("server: shard %d: %w", i, err)
 		}
 		s.shards = append(s.shards, sh)
 	}
+	// With recovery in play the id counter resumes past everything any
+	// shard has ever seen (a no-op for fresh shards).
+	for _, sh := range s.shards {
+		if next := sh.NextID(); next > s.next {
+			s.next = next
+		}
+	}
 	return s, nil
+}
+
+// newShard builds shard i: a bare segmented index without WALDir, a
+// log-recovered one with it.
+func newShard(cfg Config, i int) (*segment.SegmentedIndex, error) {
+	if cfg.WALDir == "" {
+		return segment.New(cfg.Segment)
+	}
+	log, err := wal.Open(shardWALDir(cfg.WALDir, i), cfg.WAL)
+	if err != nil {
+		return nil, err
+	}
+	sh, err := segment.Recover(cfg.Segment, log)
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	return sh, nil
+}
+
+func shardWALDir(root string, i int) string {
+	return filepath.Join(root, fmt.Sprintf("shard-%03d", i))
 }
 
 // Close stops every shard's background worker.
@@ -102,8 +146,10 @@ func (s *Server) Insert(v bitvec.Vector) (int64, error) {
 		s.next++
 		s.mu.Unlock()
 		err := s.shardOf(id).InsertWithID(id, v)
-		if err == nil {
-			return id, nil
+		if err == nil || errors.Is(err, segment.ErrNotDurable) {
+			// A durability failure still applied the insert; hand the id
+			// back with the error so the caller can reference it.
+			return id, err
 		}
 		if !errors.Is(err, segment.ErrIDTaken) {
 			return 0, err
@@ -112,8 +158,10 @@ func (s *Server) Insert(v bitvec.Vector) (int64, error) {
 }
 
 // InsertBatch assigns ids to all vectors up front, then fans the
-// per-shard insert streams out over the bounded worker pool. Returns
-// the ids in input order.
+// per-shard insert streams out over the bounded worker pool. Each
+// shard's stream lands as one segment.InsertBatch — with a WAL
+// attached, one group-committed append and a single fsync wait per
+// shard instead of one per vector. Returns the ids in input order.
 func (s *Server) InsertBatch(vs []bitvec.Vector) ([]int64, error) {
 	if len(vs) == 0 {
 		return nil, nil
@@ -133,14 +181,38 @@ func (s *Server) InsertBatch(vs []bitvec.Vector) ([]int64, error) {
 	}
 	errs := make([]error, k)
 	lsf.ForEachParallel(k, s.workers, func(sh int) {
-		for _, i := range perShard[sh] {
-			if err := s.shards[sh].InsertWithID(ids[i], vs[i]); err != nil {
-				errs[sh] = err
-				return
-			}
+		idxs := perShard[sh]
+		if len(idxs) == 0 {
+			return
 		}
+		bids := make([]int64, len(idxs))
+		bvs := make([]bitvec.Vector, len(idxs))
+		for j, i := range idxs {
+			bids[j], bvs[j] = ids[i], vs[i]
+		}
+		errs[sh] = s.shards[sh].InsertBatch(bids, bvs)
 	})
 	return ids, errors.Join(errs...)
+}
+
+// NotDurableOnly reports whether err consists solely of
+// segment.ErrNotDurable wraps: every affected write WAS applied and its
+// record reached the kernel — only media durability is unconfirmed.
+// Callers use it to keep the assigned ids (retrying would duplicate the
+// vectors) instead of failing the whole operation.
+func NotDurableOnly(err error) bool {
+	if err == nil {
+		return false
+	}
+	if u, ok := err.(interface{ Unwrap() []error }); ok {
+		for _, e := range u.Unwrap() {
+			if !NotDurableOnly(e) {
+				return false
+			}
+		}
+		return true
+	}
+	return errors.Is(err, segment.ErrNotDurable)
 }
 
 // Delete tombstones id in its shard.
@@ -233,17 +305,22 @@ func (s *Server) TopK(q bitvec.Vector, k int, m bitvec.Measure) ([]segment.Match
 	return all, agg
 }
 
-// Stats aggregates shard size reports.
+// Stats aggregates shard size reports. The WAL* fields sum the
+// per-shard write-ahead logs and stay zero for a non-durable server
+// (per-shard detail, including each log's last checkpoint fence, is in
+// PerShard[i].WAL).
 type Stats struct {
-	Shards   int
-	Live     int
-	Total    int
-	Memtable int
-	Flushing int
-	Segments int
-	Freezes  int64
-	Compacts int64
-	PerShard []segment.IndexStats
+	Shards     int
+	Live       int
+	Total      int
+	Memtable   int
+	Flushing   int
+	Segments   int
+	Freezes    int64
+	Compacts   int64
+	WALRecords int64
+	WALBytes   int64
+	PerShard   []segment.IndexStats
 }
 
 // Stats reports aggregated sizes plus the per-shard breakdown.
@@ -258,6 +335,10 @@ func (s *Server) Stats() Stats {
 		st.Segments += is.Segments
 		st.Freezes += is.Freezes
 		st.Compacts += is.Compactions
+		if is.WAL != nil {
+			st.WALRecords += is.WAL.Records
+			st.WALBytes += is.WAL.Bytes
+		}
 		st.PerShard = append(st.PerShard, is)
 	}
 	return st
@@ -314,6 +395,12 @@ func (s *Server) WriteSnapshot(w io.Writer) (int64, error) {
 
 // ReadSnapshot reconstructs a Server from a WriteSnapshot stream. cfg
 // must carry the same shard count and segment Params as the writer.
+// With cfg.WALDir set, each restored shard is additionally reconciled
+// with its log tail: records for ids the snapshot already contains are
+// skipped, newer inserts and all surviving deletes re-apply, and the
+// shard journals its future writes to the same log. Snapshot-restored
+// segments have no checkpoint files, so the log is authoritative for
+// anything the snapshot predates.
 func ReadSnapshot(r io.Reader, cfg Config) (*Server, error) {
 	br := bufio.NewReader(r)
 	var magic [6]byte
@@ -351,6 +438,16 @@ func ReadSnapshot(r io.Reader, cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: shard %d: %w", i, err)
 		}
 		s.shards = append(s.shards, sh)
+		if cfg.WALDir != "" {
+			log, err := wal.Open(shardWALDir(cfg.WALDir, i), cfg.WAL)
+			if err != nil {
+				return nil, fmt.Errorf("server: shard %d: %w", i, err)
+			}
+			if err := sh.RecoverWAL(log); err != nil {
+				log.Close()
+				return nil, fmt.Errorf("server: shard %d: %w", i, err)
+			}
+		}
 	}
 	// The header counter was captured before the shards were dumped; a
 	// snapshot taken under live writes can therefore contain ids at or

@@ -1,7 +1,8 @@
 // Package stats provides the small statistical toolkit the experiment
 // harness needs: summary statistics, quantiles, histograms, and ordinary
 // least squares on log-log data for fitting empirical cost exponents
-// against the ρ values predicted by the theory.
+// against the ρ values the theory predicts (§4, validated in the §7/§8
+// reproductions).
 package stats
 
 import (

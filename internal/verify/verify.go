@@ -1,7 +1,10 @@
 // Package verify is the candidate-verification engine behind every
 // query layer (lsf repetitions, core.Index, segment.SegmentedIndex, the
-// server shard router). It exists because end-to-end query cost is
-// dominated by verification — computing a set-similarity measure
+// server shard router): the "compute the actual similarity of each
+// candidate" step every scheme in the paper ends with (§2's measures,
+// the verification step of §5's search procedure). It exists because
+// end-to-end query cost is dominated by verification — computing a
+// set-similarity measure
 // between the query and each candidate — and the naive form re-walks
 // two sorted uint32 slices per candidate, per repetition, re-processing
 // the query from scratch every time.

@@ -1,0 +1,117 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Op is the record type tag, the first payload byte of every frame.
+type Op uint8
+
+const (
+	// OpInsert logs one inserted vector: the external id and its sorted
+	// bit list. Appended before the memtable mutation it describes.
+	OpInsert Op = 1
+	// OpDelete logs one tombstoned external id. Appended before the
+	// tombstone is applied.
+	OpDelete Op = 2
+	// OpCheckpoint is the durability fence a completed background freeze
+	// appends after its frozen segment reached disk: the caller
+	// guarantees the effects of every record with LSN <= Through are
+	// durable outside the log (vectors in checkpoint segment files,
+	// tombstones in their dead-id lists), so replay may skip fenced
+	// insert records and whole log files at or below the fence may be
+	// deleted.
+	OpCheckpoint Op = 3
+)
+
+func (op Op) String() string {
+	switch op {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpCheckpoint:
+		return "checkpoint"
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Record is one logical log entry. Exactly the fields relevant to
+// Record.Op are meaningful:
+//
+//	OpInsert:     ID, Bits
+//	OpDelete:     ID
+//	OpCheckpoint: Seq (checkpoint segment file sequence), Through (LSN fence)
+type Record struct {
+	Op      Op
+	ID      int64
+	Bits    []uint32
+	Seq     uint64
+	Through uint64
+}
+
+// appendRecord appends the little-endian payload encoding of rec to
+// dst. The layouts (op byte first, everything fixed-width) are:
+//
+//	insert:     0x01 | id u64 | n u32 | n × bit u32
+//	delete:     0x02 | id u64
+//	checkpoint: 0x03 | seq u64 | through u64
+func appendRecord(dst []byte, rec Record) []byte {
+	dst = append(dst, byte(rec.Op))
+	switch rec.Op {
+	case OpInsert:
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(rec.ID))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(rec.Bits)))
+		for _, b := range rec.Bits {
+			dst = binary.LittleEndian.AppendUint32(dst, b)
+		}
+	case OpDelete:
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(rec.ID))
+	case OpCheckpoint:
+		dst = binary.LittleEndian.AppendUint64(dst, rec.Seq)
+		dst = binary.LittleEndian.AppendUint64(dst, rec.Through)
+	default:
+		panic(fmt.Sprintf("wal: encoding unknown op %d", rec.Op))
+	}
+	return dst
+}
+
+// decodeRecord parses a frame payload. The returned Bits slice is
+// freshly allocated (payload buffers are reused by the frame reader).
+func decodeRecord(payload []byte) (Record, error) {
+	if len(payload) == 0 {
+		return Record{}, fmt.Errorf("wal: empty record payload")
+	}
+	rec := Record{Op: Op(payload[0])}
+	body := payload[1:]
+	switch rec.Op {
+	case OpInsert:
+		if len(body) < 12 {
+			return Record{}, fmt.Errorf("wal: short insert record (%d bytes)", len(payload))
+		}
+		rec.ID = int64(binary.LittleEndian.Uint64(body[0:8]))
+		n := binary.LittleEndian.Uint32(body[8:12])
+		if uint64(len(body)) != 12+4*uint64(n) {
+			return Record{}, fmt.Errorf("wal: insert record claims %d bits in %d bytes", n, len(payload))
+		}
+		rec.Bits = make([]uint32, n)
+		for i := range rec.Bits {
+			rec.Bits[i] = binary.LittleEndian.Uint32(body[12+4*i:])
+		}
+	case OpDelete:
+		if len(body) != 8 {
+			return Record{}, fmt.Errorf("wal: short delete record (%d bytes)", len(payload))
+		}
+		rec.ID = int64(binary.LittleEndian.Uint64(body))
+	case OpCheckpoint:
+		if len(body) != 16 {
+			return Record{}, fmt.Errorf("wal: short checkpoint record (%d bytes)", len(payload))
+		}
+		rec.Seq = binary.LittleEndian.Uint64(body[0:8])
+		rec.Through = binary.LittleEndian.Uint64(body[8:16])
+	default:
+		return Record{}, fmt.Errorf("wal: unknown op %d", payload[0])
+	}
+	return rec, nil
+}

@@ -1,0 +1,621 @@
+// Package wal is the write-ahead log behind the durable serving stack
+// (internal/segment, internal/server, cmd/skewsimd). The paper's data
+// structure (SkewSearch, §4) is rebuildable from its input, so the log
+// persists exactly that input: every Insert/Delete accepted by a
+// segmented index is appended here — length-prefixed, CRC-framed
+// records (internal/dataio's frame format) — before the in-memory
+// structure mutates, and recovery replays the surviving records through
+// the same deterministic engines to reconverge on the pre-crash
+// candidate sets.
+//
+// Layout: a log is a directory of segment-rotated files
+// wal-<firstLSN>.log, each a sequence of frames; a record's LSN is its
+// file's base plus its position, so LSNs survive truncation of whole
+// files. Appends reach the kernel before Append returns (a process
+// kill never loses an appended record); media durability is governed by
+// the SyncPolicy — SyncAlways group-commits an fsync per Commit batch,
+// SyncNever leaves flushing to the OS (fsync still runs on rotation,
+// checkpoint, and close). Checkpoint records fence the record prefix
+// whose effects the caller has made durable elsewhere (frozen-segment
+// checkpoint files with their dead-id lists), letting replay skip
+// fenced inserts and letting whole fenced log files be deleted.
+//
+// Torn tails: a crash can cut the final frame short. Open scans every
+// file, fails on corruption anywhere but the tail of the last file, and
+// truncates a torn tail back to the last clean frame boundary so the
+// log is immediately appendable again.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"skewsim/internal/dataio"
+)
+
+// SyncPolicy selects when appended records are fsynced to media.
+type SyncPolicy int
+
+const (
+	// SyncAlways makes Commit block until an fsync covering the record
+	// has completed. Concurrent committers share one fsync (group
+	// commit): while a flush is in flight, later appends pile up and the
+	// next flush covers them all.
+	SyncAlways SyncPolicy = iota
+	// SyncNever never fsyncs on the append path: records reach the
+	// kernel synchronously (surviving a process crash) but media
+	// durability is left to the OS writeback, plus the fsyncs that still
+	// run on file rotation, checkpoint, and Close. Survives process
+	// kills; an OS crash can lose the recent tail.
+	SyncNever
+)
+
+func (p SyncPolicy) String() string {
+	if p == SyncAlways {
+		return "always"
+	}
+	return "never"
+}
+
+// ParseSyncPolicy maps the -fsync flag values.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "never", "os":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always or never)", s)
+}
+
+// Options tunes a Log.
+type Options struct {
+	// SegmentBytes rotates the current file once it reaches this size.
+	// Defaults to 4 MiB.
+	SegmentBytes int64
+	// Sync is the fsync policy. The zero value is SyncAlways.
+	Sync SyncPolicy
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	return o
+}
+
+// ErrClosed reports an operation on a closed log.
+var ErrClosed = errors.New("wal: closed")
+
+// fileInfo summarizes one closed (no longer appended) log file for the
+// truncation decision and the stats adjustments when it is deleted.
+type fileInfo struct {
+	path string
+	base uint64 // LSN of the file's first record
+	last uint64 // LSN of the file's last record (0 if empty)
+	size int64
+}
+
+func (fi fileInfo) recordCount() int64 {
+	if fi.last == 0 {
+		return 0
+	}
+	return int64(fi.last - fi.base + 1)
+}
+
+// Stats is a point-in-time log size report.
+type Stats struct {
+	// Records and Bytes count the live (non-truncated) log files,
+	// including records replayed from a previous run.
+	Records int64 `json:"records"`
+	Bytes   int64 `json:"bytes"`
+	// Files is the number of live log files (including the append head).
+	Files int `json:"files"`
+	// LastLSN is the newest assigned LSN; Durable the newest LSN known
+	// fsynced; LastCheckpoint the newest checkpoint fence.
+	LastLSN        uint64 `json:"last_lsn"`
+	Durable        uint64 `json:"durable_lsn"`
+	LastCheckpoint uint64 `json:"last_checkpoint"`
+	// TornBytes is how much of a torn tail Open truncated, if any.
+	TornBytes int64 `json:"torn_bytes,omitempty"`
+}
+
+// Log is an append-only write-ahead log over one directory. Safe for
+// concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu        sync.Mutex
+	f         *os.File
+	fileBase  uint64 // LSN of the current file's first record
+	fileSize  int64
+	lsn       uint64 // last assigned LSN (0 = none)
+	files     []fileInfo
+	lastCkpt  uint64
+	records   int64
+	bytes     int64
+	tornBytes int64
+	appended  bool // an Append happened since Open (Replay is pre-append only)
+	closed    bool
+	buf       []byte // frame scratch
+	pbuf      []byte // payload scratch
+
+	// Group-commit state, guarded by cmu (never held with mu).
+	cmu     sync.Mutex
+	ccond   *sync.Cond
+	durable uint64
+	syncing bool
+}
+
+// Open creates or reopens the log directory. Existing files are
+// validated frame by frame; corruption in any position other than the
+// tail of the newest file is an error, while a torn tail is truncated
+// back to the last clean frame boundary. The returned log is positioned
+// to append; call Replay before the first Append to stream the
+// surviving records.
+func Open(dir string, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts}
+	l.ccond = sync.NewCond(&l.cmu)
+
+	paths, err := listLogFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range paths {
+		info, err := l.scanFile(p, i == len(paths)-1)
+		if err != nil {
+			return nil, err
+		}
+		l.files = append(l.files, info)
+		if info.last > l.lsn {
+			l.lsn = info.last
+		}
+	}
+	// Reopen the newest file for appending if it has room; otherwise
+	// (or with no files at all) start a fresh one.
+	if n := len(l.files); n > 0 {
+		tail := l.files[n-1]
+		st, err := os.Stat(tail.path)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		if st.Size() < opts.SegmentBytes {
+			f, err := os.OpenFile(tail.path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, fmt.Errorf("wal: %w", err)
+			}
+			l.f = f
+			l.fileBase = tail.base
+			l.fileSize = st.Size()
+			l.files = l.files[:n-1]
+		}
+	}
+	if l.f == nil {
+		if err := l.openNextLocked(); err != nil {
+			return nil, err
+		}
+	}
+	l.durable = l.lsn // everything that survived Open's scan is on media as far as we can know
+	return l, nil
+}
+
+// listLogFiles returns the wal-*.log paths sorted by base LSN.
+func listLogFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var paths []string
+	for _, e := range ents {
+		name := e.Name()
+		if !e.Type().IsRegular() || !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		if _, err := parseBase(name); err != nil {
+			return nil, err
+		}
+		paths = append(paths, filepath.Join(dir, name))
+	}
+	sort.Strings(paths) // zero-padded fixed-width bases: lexicographic == numeric
+	return paths, nil
+}
+
+func fileName(base uint64) string { return fmt.Sprintf("wal-%020d.log", base) }
+
+func parseBase(name string) (uint64, error) {
+	s := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log")
+	base, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("wal: malformed log file name %q", name)
+	}
+	return base, nil
+}
+
+// scanFile validates every frame of one log file, accumulating stats
+// and the truncation-relevant summary. A torn tail is truncated in
+// place when tail is true and reported as corruption otherwise.
+func (l *Log) scanFile(path string, tail bool) (fileInfo, error) {
+	base, err := parseBase(filepath.Base(path))
+	if err != nil {
+		return fileInfo{}, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return fileInfo{}, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	info := fileInfo{path: path, base: base}
+	fr := dataio.NewFrameReader(f)
+	next := base
+	for {
+		payload, err := fr.Next()
+		if err == io.EOF {
+			break
+		}
+		if errors.Is(err, dataio.ErrTornFrame) {
+			if !tail {
+				return fileInfo{}, fmt.Errorf("wal: corrupt record at %s:%d (not the log tail)", filepath.Base(path), fr.Offset())
+			}
+			st, serr := f.Stat()
+			if serr != nil {
+				return fileInfo{}, fmt.Errorf("wal: %w", serr)
+			}
+			l.tornBytes = st.Size() - fr.Offset()
+			if err := os.Truncate(path, fr.Offset()); err != nil {
+				return fileInfo{}, fmt.Errorf("wal: truncating torn tail: %w", err)
+			}
+			break
+		}
+		if err != nil {
+			return fileInfo{}, fmt.Errorf("wal: reading %s: %w", filepath.Base(path), err)
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			if !tail {
+				return fileInfo{}, fmt.Errorf("wal: %s:%d: %w", filepath.Base(path), fr.Offset(), err)
+			}
+			// A CRC-clean frame with an undecodable payload at the tail
+			// is treated like a torn write too: drop it and everything
+			// after.
+			if err := os.Truncate(path, fr.Offset()-int64(dataio.FrameLen(len(payload)))); err != nil {
+				return fileInfo{}, fmt.Errorf("wal: truncating torn tail: %w", err)
+			}
+			break
+		}
+		if rec.Op == OpCheckpoint && rec.Through > l.lastCkpt {
+			l.lastCkpt = rec.Through
+		}
+		info.last = next
+		next++
+		l.records++
+	}
+	info.size = fr.Offset()
+	l.bytes += fr.Offset()
+	return info, nil
+}
+
+// Dir returns the log directory (checkpoint segment files written by
+// the serving layer live alongside the log files).
+func (l *Log) Dir() string { return l.dir }
+
+// openNextLocked starts a new file whose base is the next LSN. Caller
+// holds l.mu (or is Open, pre-publication).
+func (l *Log) openNextLocked() error {
+	base := l.lsn + 1
+	f, err := os.OpenFile(filepath.Join(l.dir, fileName(base)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.f = f
+	l.fileBase = base
+	l.fileSize = 0
+	return nil
+}
+
+// rotateLocked fsyncs and closes the current file, records its summary,
+// and opens the next one. Caller holds l.mu.
+func (l *Log) rotateLocked() error {
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	closedLast := l.lsn
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.files = append(l.files, fileInfo{
+		path: l.f.Name(),
+		base: l.fileBase,
+		last: closedLast,
+		size: l.fileSize,
+	})
+	l.advanceDurable(closedLast)
+	return l.openNextLocked()
+}
+
+func (l *Log) advanceDurable(lsn uint64) {
+	l.cmu.Lock()
+	if lsn > l.durable {
+		l.durable = lsn
+	}
+	l.ccond.Broadcast()
+	l.cmu.Unlock()
+}
+
+// Append writes one record to the log and returns its LSN. The record
+// has reached the kernel when Append returns (it survives a process
+// kill); call Commit to wait for media durability under the configured
+// policy. Safe for concurrent use; the log order of concurrent appends
+// is the order they acquired the internal lock.
+func (l *Log) Append(rec Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLocked(rec)
+}
+
+// AppendBatch writes records back to back with a single write call —
+// one group-committed unit — and returns the LSN of the last record.
+func (l *Log) AppendBatch(recs []Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if len(recs) == 0 {
+		return l.lsn, nil
+	}
+	buf := l.buf[:0]
+	for _, rec := range recs {
+		l.pbuf = appendRecord(l.pbuf[:0], rec)
+		buf = dataio.AppendFrame(buf, l.pbuf)
+	}
+	l.buf = buf
+	if _, err := l.f.Write(buf); err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	l.lsn += uint64(len(recs))
+	l.records += int64(len(recs))
+	l.bytes += int64(len(buf))
+	l.fileSize += int64(len(buf))
+	l.appended = true
+	if l.fileSize >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return l.lsn, nil
+}
+
+func (l *Log) appendLocked(rec Record) (uint64, error) {
+	if l.closed {
+		return 0, ErrClosed
+	}
+	l.pbuf = appendRecord(l.pbuf[:0], rec)
+	frame := dataio.AppendFrame(l.buf[:0], l.pbuf)
+	l.buf = frame
+	if _, err := l.f.Write(frame); err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	l.lsn++
+	l.records++
+	l.bytes += int64(len(frame))
+	l.fileSize += int64(len(frame))
+	l.appended = true
+	if l.fileSize >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return l.lsn, nil
+}
+
+// Commit blocks until the record at lsn is durable under the log's
+// sync policy: for SyncAlways it joins the in-flight group fsync (or
+// starts one); for SyncNever it returns immediately.
+func (l *Log) Commit(lsn uint64) error {
+	if l.opts.Sync != SyncAlways {
+		return nil
+	}
+	l.cmu.Lock()
+	defer l.cmu.Unlock()
+	for l.durable < lsn {
+		if l.syncing {
+			l.ccond.Wait()
+			continue
+		}
+		l.syncing = true
+		l.cmu.Unlock()
+
+		l.mu.Lock()
+		f := l.f
+		target := l.lsn
+		closed := l.closed
+		l.mu.Unlock()
+		var err error
+		if closed {
+			err = ErrClosed
+		} else {
+			err = f.Sync()
+		}
+
+		l.cmu.Lock()
+		l.syncing = false
+		if err == nil && target > l.durable {
+			l.durable = target
+		}
+		l.ccond.Broadcast()
+		if err != nil {
+			// A rotation may have fsynced and closed the file between
+			// the capture and the Sync; if it advanced durability past
+			// lsn the commit is satisfied regardless.
+			if l.durable >= lsn {
+				return nil
+			}
+			return fmt.Errorf("wal: commit: %w", err)
+		}
+	}
+	return nil
+}
+
+// Checkpoint appends a checkpoint record fencing all records with
+// LSN <= through (seq names the checkpoint segment file that made them
+// durable — the caller guarantees every fenced record's effect is
+// durable outside the log), fsyncs it, and deletes every closed log
+// file wholly at or below the fence.
+func (l *Log) Checkpoint(seq, through uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	lsn, err := l.appendLocked(Record{Op: OpCheckpoint, Seq: seq, Through: through})
+	if err != nil {
+		return err
+	}
+	// The fence must be durable before anything it covers is deleted.
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.advanceDurable(lsn)
+	if through > l.lastCkpt {
+		l.lastCkpt = through
+	}
+	keep := l.files[:0]
+	for _, fi := range l.files {
+		if fi.last != 0 && fi.last <= l.lastCkpt {
+			if err := os.Remove(fi.path); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("wal: truncating %s: %w", fi.path, err)
+			}
+			l.records -= fi.recordCount()
+			l.bytes -= fi.size
+			continue
+		}
+		keep = append(keep, fi)
+	}
+	l.files = keep
+	return nil
+}
+
+// LastLSN returns the newest assigned LSN (0 before the first append).
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lsn
+}
+
+// LastCheckpoint returns the newest checkpoint fence: inserts at or
+// below it are covered by durable checkpoint segment files.
+func (l *Log) LastCheckpoint() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastCkpt
+}
+
+// Stats reports sizes. Bytes/Records count what is on disk now plus
+// appends this session, minus truncated files.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	st := Stats{
+		Records:        l.records,
+		Bytes:          l.bytes,
+		Files:          len(l.files) + 1,
+		LastLSN:        l.lsn,
+		LastCheckpoint: l.lastCkpt,
+		TornBytes:      l.tornBytes,
+	}
+	if l.closed {
+		st.Files--
+	}
+	l.mu.Unlock()
+	l.cmu.Lock()
+	st.Durable = l.durable
+	l.cmu.Unlock()
+	return st
+}
+
+// Replay streams every surviving record, oldest first, with its LSN.
+// Must run before the first Append of this session (replay reads the
+// files the current process may truncate or rotate). The callback's
+// Record owns its Bits. Stops early on callback error.
+func (l *Log) Replay(fn func(lsn uint64, rec Record) error) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if l.appended {
+		l.mu.Unlock()
+		return errors.New("wal: Replay must run before the first Append")
+	}
+	files := make([]fileInfo, 0, len(l.files)+1)
+	files = append(files, l.files...)
+	files = append(files, fileInfo{path: l.f.Name(), base: l.fileBase})
+	l.mu.Unlock()
+
+	for _, fi := range files {
+		if err := replayFile(fi, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func replayFile(fi fileInfo, fn func(lsn uint64, rec Record) error) error {
+	f, err := os.Open(fi.path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	fr := dataio.NewFrameReader(f)
+	lsn := fi.base
+	for {
+		payload, err := fr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			// Open already validated and truncated; anything here means
+			// the files changed underneath us.
+			return fmt.Errorf("wal: replaying %s: %w", filepath.Base(fi.path), err)
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return fmt.Errorf("wal: replaying %s: %w", filepath.Base(fi.path), err)
+		}
+		if err := fn(lsn, rec); err != nil {
+			return err
+		}
+		lsn++
+	}
+}
+
+// Close fsyncs and closes the log. Further appends fail with ErrClosed.
+// Safe to call twice.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.advanceDurable(l.lsn)
+	if err != nil {
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	return nil
+}

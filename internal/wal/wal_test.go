@@ -1,0 +1,445 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func collect(t *testing.T, l *Log) []Record {
+	t.Helper()
+	var out []Record
+	var lastLSN uint64
+	if err := l.Replay(func(lsn uint64, rec Record) error {
+		if lsn != lastLSN+1 {
+			t.Fatalf("replay LSN %d after %d: not sequential", lsn, lastLSN)
+		}
+		lastLSN = lsn
+		out = append(out, rec)
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return out
+}
+
+func insertRec(id int64, bits ...uint32) Record {
+	return Record{Op: OpInsert, ID: id, Bits: bits}
+}
+
+// TestRoundTrip appends a mix of record types across both sync
+// policies and checks a reopened log replays them verbatim, in order,
+// with sequential LSNs.
+func TestRoundTrip(t *testing.T) {
+	for _, policy := range []SyncPolicy{SyncAlways, SyncNever} {
+		t.Run(policy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			l, err := Open(dir, Options{Sync: policy})
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			recs := []Record{
+				insertRec(0, 1, 5, 9),
+				insertRec(1), // empty vector
+				{Op: OpDelete, ID: 0},
+				{Op: OpCheckpoint, Seq: 1, Through: 2},
+				insertRec(7, 42),
+			}
+			for _, rec := range recs {
+				lsn, err := l.Append(rec)
+				if err != nil {
+					t.Fatalf("Append: %v", err)
+				}
+				if err := l.Commit(lsn); err != nil {
+					t.Fatalf("Commit: %v", err)
+				}
+			}
+			if err := l.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+
+			r, err := Open(dir, Options{Sync: policy})
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			defer r.Close()
+			got := collect(t, r)
+			if len(got) != len(recs) {
+				t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+			}
+			for i, rec := range recs {
+				g := got[i]
+				if g.Op != rec.Op || g.ID != rec.ID || g.Seq != rec.Seq || g.Through != rec.Through {
+					t.Fatalf("record %d: got %+v want %+v", i, g, rec)
+				}
+				if len(g.Bits) != len(rec.Bits) {
+					t.Fatalf("record %d: got %d bits want %d", i, len(g.Bits), len(rec.Bits))
+				}
+				for j := range rec.Bits {
+					if g.Bits[j] != rec.Bits[j] {
+						t.Fatalf("record %d bit %d: got %d want %d", i, j, g.Bits[j], rec.Bits[j])
+					}
+				}
+			}
+			if r.LastLSN() != uint64(len(recs)) {
+				t.Fatalf("LastLSN = %d, want %d", r.LastLSN(), len(recs))
+			}
+			if r.LastCheckpoint() != 2 {
+				t.Fatalf("LastCheckpoint = %d, want 2", r.LastCheckpoint())
+			}
+		})
+	}
+}
+
+// TestRotationAndTruncation forces tiny segments, fences a prefix
+// containing inserts and a delete, and checks (a) wholly fenced files
+// are deleted, (b) every record above the fence survives with its
+// original LSN, (c) the fence survives reopen.
+func TestRotationAndTruncation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 64, Sync: SyncNever})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	// ~21 bytes per insert frame: a few per file. LSNs 1..20 are
+	// inserts of ids 0..19, LSN 21 the delete, 22..41 ids 20..39.
+	for id := int64(0); id < 20; id++ {
+		if _, err := l.Append(insertRec(id, uint32(id))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if _, err := l.Append(Record{Op: OpDelete, ID: 3}); err != nil {
+		t.Fatalf("Append delete: %v", err)
+	}
+	for id := int64(20); id < 40; id++ {
+		if _, err := l.Append(insertRec(id, uint32(id))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	before := logFileCount(t, dir)
+	if before < 3 {
+		t.Fatalf("expected several rotated files, got %d", before)
+	}
+	// Fence through LSN 21: the caller (the serving layer) guarantees
+	// the fenced inserts and the delete are durable in checkpoint
+	// segment files, so their log files may go.
+	if err := l.Checkpoint(1, 21); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	after := logFileCount(t, dir)
+	if after >= before {
+		t.Fatalf("checkpoint truncated nothing: %d files before, %d after", before, after)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r, err := Open(dir, Options{SegmentBytes: 64, Sync: SyncNever})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer r.Close()
+	if r.LastCheckpoint() != 21 {
+		t.Fatalf("LastCheckpoint = %d, want 21", r.LastCheckpoint())
+	}
+	surviving := make(map[int64]bool)
+	if err := r.Replay(func(lsn uint64, rec Record) error {
+		if rec.Op == OpInsert {
+			if lsn != uint64(rec.ID)+1 && lsn != uint64(rec.ID)+2 {
+				return fmt.Errorf("insert id %d replayed at lsn %d", rec.ID, lsn)
+			}
+			surviving[rec.ID] = true
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	// Everything above the fence (ids 20..39) must have survived; the
+	// file straddling the fence may keep a few fenced records too.
+	for id := int64(20); id < 40; id++ {
+		if !surviving[id] {
+			t.Fatalf("insert id %d (above the fence) was truncated", id)
+		}
+	}
+	// 41 insert/delete records plus the checkpoint record itself.
+	if r.LastLSN() != 42 {
+		t.Fatalf("LastLSN = %d, want 42", r.LastLSN())
+	}
+}
+
+func logFileCount(t *testing.T, dir string) int {
+	t.Helper()
+	paths, err := listLogFiles(dir)
+	if err != nil {
+		t.Fatalf("listLogFiles: %v", err)
+	}
+	return len(paths)
+}
+
+// TestTornTail cuts the final file at every byte boundary inside its
+// last frame and checks Open truncates back to the last clean record
+// and the log accepts appends again.
+func TestTornTail(t *testing.T) {
+	build := func(t *testing.T) (string, string) {
+		dir := t.TempDir()
+		l, err := Open(dir, Options{Sync: SyncNever})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		for id := int64(0); id < 5; id++ {
+			if _, err := l.Append(insertRec(id, uint32(id), uint32(id+100))); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		paths, err := listLogFiles(dir)
+		if err != nil || len(paths) != 1 {
+			t.Fatalf("want 1 log file, got %v (%v)", paths, err)
+		}
+		return dir, paths[0]
+	}
+
+	dir0, path0 := build(t)
+	full, err := os.ReadFile(path0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = dir0
+	frameLen := len(full) / 5
+	if len(full)%5 != 0 {
+		t.Fatalf("unexpected log size %d", len(full))
+	}
+	for cut := len(full) - frameLen + 1; cut < len(full); cut++ {
+		t.Run(fmt.Sprintf("cut%d", cut), func(t *testing.T) {
+			dir, path := build(t)
+			if err := os.Truncate(path, int64(cut)); err != nil {
+				t.Fatal(err)
+			}
+			l, err := Open(dir, Options{Sync: SyncNever})
+			if err != nil {
+				t.Fatalf("Open after torn tail: %v", err)
+			}
+			defer l.Close()
+			if st := l.Stats(); st.TornBytes == 0 {
+				t.Fatal("expected TornBytes > 0")
+			}
+			got := collect(t, l)
+			if len(got) != 4 {
+				t.Fatalf("replayed %d records after torn tail, want 4", len(got))
+			}
+			if l.LastLSN() != 4 {
+				t.Fatalf("LastLSN = %d, want 4", l.LastLSN())
+			}
+			if lsn, err := l.Append(insertRec(99, 1)); err != nil || lsn != 5 {
+				t.Fatalf("Append after truncation: lsn %d err %v", lsn, err)
+			}
+		})
+	}
+
+	// A flipped byte mid-file (not the tail frame) must fail Open on a
+	// single-file log only if it corrupts a non-tail file; within the
+	// tail file it is treated as torn and truncated there.
+	t.Run("midfile-corruption-truncates-rest", func(t *testing.T) {
+		dir, path := build(t)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[frameLen*2+10] ^= 0xff // inside the third frame's payload
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(dir, Options{Sync: SyncNever})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		defer l.Close()
+		if got := collect(t, l); len(got) != 2 {
+			t.Fatalf("replayed %d records, want 2 (everything after the corrupt frame dropped)", len(got))
+		}
+	})
+}
+
+// TestCorruptionInOldFileFails flips a byte in a rotated (non-tail)
+// file: that is real corruption, not a torn tail, and Open must refuse.
+func TestCorruptionInOldFileFails(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 64, Sync: SyncNever})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for id := int64(0); id < 30; id++ {
+		if _, err := l.Append(insertRec(id, uint32(id))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	paths, err := listLogFiles(dir)
+	if err != nil || len(paths) < 2 {
+		t.Fatalf("want >= 2 files, got %v (%v)", paths, err)
+	}
+	data, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[10] ^= 0xff
+	if err := os.WriteFile(paths[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{SegmentBytes: 64, Sync: SyncNever}); err == nil {
+		t.Fatal("Open accepted corruption in a non-tail file")
+	}
+}
+
+// TestGroupCommit hammers Append+Commit from many goroutines under
+// SyncAlways and checks every record survives reopen — the group-commit
+// path must not lose or reorder acknowledged records.
+func TestGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const writers, perWriter = 8, 25
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := int64(w*perWriter + i)
+				lsn, err := l.Append(insertRec(id, uint32(id)))
+				if err == nil {
+					err = l.Commit(lsn)
+				}
+				if err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatalf("writer: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer r.Close()
+	seen := make(map[int64]bool)
+	for _, rec := range collect(t, r) {
+		if rec.Op != OpInsert {
+			t.Fatalf("unexpected %v record", rec.Op)
+		}
+		if seen[rec.ID] {
+			t.Fatalf("id %d replayed twice", rec.ID)
+		}
+		seen[rec.ID] = true
+	}
+	if len(seen) != writers*perWriter {
+		t.Fatalf("replayed %d records, want %d", len(seen), writers*perWriter)
+	}
+}
+
+// TestAppendBatch checks the single-write batch path interleaves
+// correctly with single appends and survives reopen.
+func TestAppendBatch(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := l.Append(insertRec(0, 7)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	batch := []Record{insertRec(1, 8), insertRec(2, 9), {Op: OpDelete, ID: 0}}
+	lsn, err := l.AppendBatch(batch)
+	if err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	if lsn != 4 {
+		t.Fatalf("AppendBatch last LSN = %d, want 4", lsn)
+	}
+	if err := l.Commit(lsn); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer r.Close()
+	got := collect(t, r)
+	if len(got) != 4 || got[3].Op != OpDelete || got[3].ID != 0 {
+		t.Fatalf("unexpected replay %+v", got)
+	}
+}
+
+// TestReplayAfterAppendFails pins the pre-append contract.
+func TestReplayAfterAppendFails(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	if _, err := l.Append(insertRec(1, 2)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.Replay(func(uint64, Record) error { return nil }); err == nil {
+		t.Fatal("Replay after Append must fail")
+	}
+}
+
+// TestClosed pins the ErrClosed surface.
+func TestClosed(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := l.Append(insertRec(1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close: %v, want ErrClosed", err)
+	}
+	if err := l.Checkpoint(1, 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Checkpoint after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestIgnoresForeignFiles: checkpoint segment files and other artifacts
+// share the directory and must not confuse the file scan.
+func TestIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "ckpt-00000001.seg"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	if _, err := l.Append(insertRec(1, 2)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+}
