@@ -2,21 +2,23 @@ GO ?= go
 
 # Benchmarks covered by the smoke run and the JSON perf record: the
 # query-pipeline and build micro-benchmarks the perf trajectory is held
-# to, the bitvec merge kernels, the packed verification engine, and
+# to, the bitvec merge and popcount-intersect kernels (Intersect matches
+# IntersectionSize, IntersectionSizeSkewed, and the word-level
+# IntersectWords kernel benchmark), the packed verification engine, and
 # serialization, plus the serving subsystem (segmented query vs
 # frozen-only, shard fan-out, online insert) and the write-ahead log
 # (append path, batch framing, group commit).
-BENCH_PATTERN ?= QueryPath|LSFTraversal|BuildSkewSearch|BuildChosenPath|IntersectionSize|Verify|SerializeIndex|Segmented|Shard|WAL
+BENCH_PATTERN ?= QueryPath|LSFTraversal|BuildSkewSearch|BuildChosenPath|Intersect|Verify|SerializeIndex|Segmented|Shard|WAL
 
 # The JSON perf record for this PR's benchmark snapshot, the baseline it
 # is guarded against, and the number of samples per benchmark (benchjson
 # keeps the per-benchmark minimum — single-sample records were noisy
 # enough to fake 18% swings on allocation-free kernels between PRs).
-BENCH_OUT ?= BENCH_PR5.json
-BENCH_PREV ?= BENCH_PR4.json
+BENCH_OUT ?= BENCH_PR6.json
+BENCH_PREV ?= BENCH_PR5.json
 BENCH_COUNT ?= 5
 
-.PHONY: all build vet test race fuzz bench bench-json bench-guard docs
+.PHONY: all build vet test test-purego race fuzz bench bench-json bench-guard docs
 
 all: build vet test
 
@@ -36,19 +38,27 @@ vet:
 test:
 	$(GO) test ./...
 
+# Same suite with the assembly kernels compiled out (purego build tag):
+# proves the portable fallback path — what non-amd64 builds and
+# pre-AVX2 CPUs run — stays green, not just compiled.
+test-purego:
+	$(GO) test -tags purego ./...
+
 # Full suite under the race detector — the concurrency acceptance run
 # for the serving subsystem (segment/server stress tests).
 race:
 	$(GO) test -race ./...
 
-# Short fuzz smoke over the byte-level parsers. Each target gets a few
-# seconds of mutation on top of the checked-in seeds.
+# Short fuzz smoke over the byte-level parsers and the intersect kernel
+# (assembly vs portable differential). Each target gets a few seconds of
+# mutation on top of the checked-in seeds.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzRead$$' -fuzztime $(FUZZTIME) ./internal/dataio
 	$(GO) test -run '^$$' -fuzz '^FuzzReadIndexFrom$$' -fuzztime $(FUZZTIME) ./internal/lsf
 	$(GO) test -run '^$$' -fuzz '^FuzzSerializeRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/lsf
 	$(GO) test -run '^$$' -fuzz '^FuzzPackedRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/bitvec
+	$(GO) test -run '^$$' -fuzz '^FuzzIntersectKernel$$' -fuzztime $(FUZZTIME) ./internal/bitvec
 
 # Smoke-run the micro-benchmarks: one iteration each, with allocation
 # counters, so CI catches benchmarks that stop compiling or crash

@@ -415,6 +415,24 @@ func BenchmarkQueryPath(b *testing.B) {
 			ix.BatchQuery(w.Queries)
 		}
 	})
+	// best-loop vs batch-best is the amortizing-executor comparison:
+	// same exhaustive best-match semantics, but batch-best generates
+	// filters rep-major and resolves buckets for the whole batch before
+	// walking postings, so hash probes and filter generation amortize.
+	b.Run("best-loop", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, q := range w.Queries {
+				ix.QueryBest(q)
+			}
+		}
+	})
+	b.Run("batch-best", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ix.BatchQueryBest(w.Queries)
+		}
+	})
 	for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0)} {
 		b.Run(fmt.Sprintf("parallel-%d", workers), func(b *testing.B) {
 			b.ReportAllocs()

@@ -15,11 +15,13 @@ import (
 
 // runLoad is the throughput driver for a running skewsimd: it streams
 // the -data sets through /v1/insert (in batches) and then fires the
-// -queries sets at /v1/search from -concurrency goroutines, reporting
-// requests/s and latency quantiles for both phases. It measures the
-// daemon end to end — JSON decode, shard fan-out, segment merge — which
-// is the number the serving-throughput section of EXPERIMENTS.md
-// records.
+// -queries sets at /v1/search from -concurrency goroutines — or, with
+// -search-batch N, at /v1/search/batch with N queries per request,
+// driving the daemon's amortizing batch executor — reporting
+// requests/s and latency quantiles (mean/p50/p95/p99) for both phases.
+// It measures the daemon end to end — JSON decode, shard fan-out,
+// segment merge — which is the number the serving-throughput section
+// of EXPERIMENTS.md records.
 func runLoad(args []string) {
 	fs := flag.NewFlagSet("load", flag.ExitOnError)
 	addr := fs.String("addr", "http://localhost:8080", "skewsimd base URL")
@@ -31,7 +33,14 @@ func runLoad(args []string) {
 	k := fs.Int("k", 10, "k for topk searches")
 	threshold := fs.Float64("threshold", 0.5, "threshold for first searches")
 	repeat := fs.Int("repeat", 1, "passes over the query file")
+	searchBatch := fs.Int("search-batch", 0, "queries per /v1/search/batch request (0 = single-query /v1/search; modes best and first only)")
 	_ = fs.Parse(args)
+	if *searchBatch < 0 {
+		fatal(fmt.Errorf("-search-batch must be >= 0"))
+	}
+	if *searchBatch > 0 && *mode != "best" && *mode != "first" {
+		fatal(fmt.Errorf("-search-batch supports modes best and first, not %q", *mode))
+	}
 	if *dataPath == "" && *queryPath == "" {
 		fatal(fmt.Errorf("load needs -data and/or -queries"))
 	}
@@ -56,6 +65,30 @@ func runLoad(args []string) {
 	if *queryPath != "" {
 		qs := loadVectors(*queryPath)
 		total := len(qs) * *repeat
+		if *searchBatch > 0 {
+			// Batched search: the query stream is cut into -search-batch
+			// slices, each one /v1/search/batch request driving the
+			// daemon's amortizing batch executor. Latency quantiles are
+			// per request (one batch), items/s counts queries.
+			var reqs [][][]uint32
+			for start := 0; start < total; start += *searchBatch {
+				end := min(start+*searchBatch, total)
+				sets := make([][]uint32, 0, end-start)
+				for i := start; i < end; i++ {
+					sets = append(sets, qs[i%len(qs)].Bits())
+				}
+				reqs = append(reqs, sets)
+			}
+			lat, elapsed := fire(client, *concurrency, len(reqs), func(i int) error {
+				body := map[string]interface{}{"sets": reqs[i], "mode": *mode}
+				if *mode == "first" {
+					body["threshold"] = *threshold
+				}
+				return post(client, *addr+"/v1/search/batch", body)
+			})
+			report("search-batch", lat, elapsed, total)
+			return
+		}
 		lat, elapsed := fire(client, *concurrency, total, func(i int) error {
 			body := map[string]interface{}{"set": qs[i%len(qs)].Bits(), "mode": *mode}
 			switch *mode {

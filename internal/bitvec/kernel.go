@@ -1,0 +1,84 @@
+package bitvec
+
+import "math/bits"
+
+// Kernel layer: the AND+popcount word loops every verification path
+// bottoms out in, in two implementations selected once at startup:
+//
+//   - an AVX2 assembly kernel (kernel_amd64.s): 256-bit VPAND blocks
+//     counted with the PSHUFB nibble-LUT reduction (Muła's method —
+//     AVX2 has no vector popcount instruction) and a scalar POPCNTQ
+//     tail. Used when CPUID reports AVX2+POPCNT and the OS has enabled
+//     YMM state (XGETBV), never under the purego build tag.
+//   - a portable 4×-unrolled math/bits.OnesCount64 loop, the only
+//     implementation on non-amd64 targets and under -tags purego.
+//
+// Both kernels return the exact Σ popcount(a[i] & b[i]); the
+// differential and fuzz tests in kernel_test.go assert they agree on
+// every input shape, so dispatch can never change a result, only its
+// speed. Early exits for threshold pruning live a layer up
+// (PackedSet.IntersectWordsAtLeast) at block granularity, between
+// kernel calls, so the kernels themselves stay straight-line.
+
+// kernelMinWords is the span length at which dispatch prefers the
+// assembly kernel: below it the call overhead eats the SIMD win and the
+// inlined generic loop is faster.
+const kernelMinWords = 8
+
+// andCountWords returns Σ popcount(a[i] & b[i]) over i < len(a).
+// len(b) must be >= len(a).
+func andCountWords(a, b []uint64) int {
+	if kernelAVX2 && len(a) >= kernelMinWords {
+		return popcntAndAVX2(&a[0], &b[0], len(a))
+	}
+	return popcntAndGeneric(a, b)
+}
+
+// popcntAndGeneric is the portable kernel: a 4×-unrolled OnesCount64
+// loop (the compiler emits POPCNT-guarded code for it on amd64, NEON
+// CNT on arm64). It is the reference implementation the assembly is
+// differentially tested against, and the only kernel under purego.
+func popcntAndGeneric(a, b []uint64) int {
+	n := 0
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		n += bits.OnesCount64(a[i]&b[i]) +
+			bits.OnesCount64(a[i+1]&b[i+1]) +
+			bits.OnesCount64(a[i+2]&b[i+2]) +
+			bits.OnesCount64(a[i+3]&b[i+3])
+	}
+	for ; i < len(a); i++ {
+		n += bits.OnesCount64(a[i] & b[i])
+	}
+	return n
+}
+
+// andCountGather returns Σ popcount(w[k] & q[idxs[k]]) over k < len(w):
+// the sparse-form kernel, where each stored word carries its own word
+// index into the dense bitmap q. Every idxs[k] must be < len(q)
+// (callers clamp against the query span first). The reads of q are
+// data-dependent gathers, so this stays a scalar loop — unrolled so the
+// popcounts of independent iterations overlap.
+func andCountGather(w []uint64, idxs []uint32, q []uint64) int {
+	n := 0
+	k := 0
+	for ; k+4 <= len(w); k += 4 {
+		n += bits.OnesCount64(w[k]&q[idxs[k]]) +
+			bits.OnesCount64(w[k+1]&q[idxs[k+1]]) +
+			bits.OnesCount64(w[k+2]&q[idxs[k+2]]) +
+			bits.OnesCount64(w[k+3]&q[idxs[k+3]])
+	}
+	for ; k < len(w); k++ {
+		n += bits.OnesCount64(w[k] & q[idxs[k]])
+	}
+	return n
+}
+
+// KernelName names the active intersect kernel ("avx2" or "generic"),
+// for startup log lines and tests asserting the dispatch outcome.
+func KernelName() string {
+	if kernelAVX2 {
+		return "avx2"
+	}
+	return "generic"
+}

@@ -1,0 +1,49 @@
+//go:build amd64 && !purego
+
+package bitvec
+
+// popcntAndAVX2 is implemented in kernel_amd64.s: Σ popcount(a[i] &
+// b[i]) over i < n, 256-bit VPAND blocks reduced with the PSHUFB
+// nibble-LUT method, scalar POPCNTQ tail. Callers must have checked
+// kernelAVX2 first; n must be > 0.
+//
+//go:noescape
+func popcntAndAVX2(a, b *uint64, n int) int
+
+// cpuid executes CPUID with the given leaf/subleaf (kernel_amd64.s).
+func cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0, the OS-enabled extended-state mask
+// (kernel_amd64.s). Only valid when CPUID reports OSXSAVE.
+func xgetbv0() (eax, edx uint32)
+
+// kernelAVX2 gates the assembly kernel, decided once at init. The
+// module has no dependencies, so feature detection is hand-rolled
+// CPUID/XGETBV rather than golang.org/x/sys/cpu: AVX2 is
+// CPUID.(7,0):EBX[5], POPCNT is CPUID.1:ECX[23], and the OS must have
+// enabled XMM+YMM state saving (OSXSAVE set and XCR0[2:1] = 11b) or
+// executing VEX instructions faults.
+var kernelAVX2 = detectAVX2()
+
+func detectAVX2() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const (
+		popcntBit  = 1 << 23
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	if c1&popcntBit == 0 || c1&osxsaveBit == 0 || c1&avxBit == 0 {
+		return false
+	}
+	xlo, _ := xgetbv0()
+	if xlo&0b110 != 0b110 { // XCR0: SSE (bit 1) and AVX (bit 2) state
+		return false
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	const avx2Bit = 1 << 5
+	return b7&avx2Bit != 0
+}

@@ -1,0 +1,116 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// Per-byte popcounts of the 16 nibble values, repeated across both
+// 128-bit lanes for VPSHUFB.
+DATA popcntLUT<>+0(SB)/8, $0x0302020102010100
+DATA popcntLUT<>+8(SB)/8, $0x0403030203020201
+DATA popcntLUT<>+16(SB)/8, $0x0302020102010100
+DATA popcntLUT<>+24(SB)/8, $0x0403030203020201
+GLOBL popcntLUT<>(SB), RODATA|NOPTR, $32
+
+DATA nibbleMask<>+0(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibbleMask<>+8(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibbleMask<>+16(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibbleMask<>+24(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL nibbleMask<>(SB), RODATA|NOPTR, $32
+
+// func popcntAndAVX2(a, b *uint64, n int) int
+//
+// Σ popcount(a[i] & b[i]) for i in [0, n). Main loop ANDs two 256-bit
+// blocks (8 words) per iteration and counts set bits with the PSHUFB
+// nibble-LUT reduction: split each byte into nibbles, look up their
+// popcounts, sum bytes per 64-bit lane with VPSADBW, accumulate qword
+// counts. Per-iteration byte counts max out at 16 < 255, so the byte
+// adds cannot overflow before the VPSADBW widening. Tail words use
+// scalar POPCNTQ.
+TEXT ·popcntAndAVX2(SB), NOSPLIT, $0-32
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), CX
+	XORQ AX, AX
+	CMPQ CX, $8
+	JLT  tail
+
+	VMOVDQU popcntLUT<>(SB), Y1
+	VMOVDQU nibbleMask<>(SB), Y2
+	VPXOR   Y3, Y3, Y3 // qword accumulator
+	VPXOR   Y7, Y7, Y7 // zero, for VPSADBW
+
+loop8:
+	VMOVDQU (SI), Y4
+	VPAND   (DI), Y4, Y4
+	VMOVDQU 32(SI), Y8
+	VPAND   32(DI), Y8, Y8
+
+	// Nibble-LUT popcount of Y4 into byte counts Y5.
+	VPAND   Y2, Y4, Y5
+	VPSRLW  $4, Y4, Y6
+	VPAND   Y2, Y6, Y6
+	VPSHUFB Y5, Y1, Y5
+	VPSHUFB Y6, Y1, Y6
+	VPADDB  Y6, Y5, Y5
+
+	// Same for Y8 into Y9.
+	VPAND   Y2, Y8, Y9
+	VPSRLW  $4, Y8, Y10
+	VPAND   Y2, Y10, Y10
+	VPSHUFB Y9, Y1, Y9
+	VPSHUFB Y10, Y1, Y10
+	VPADDB  Y10, Y9, Y9
+
+	VPADDB  Y9, Y5, Y5
+	VPSADBW Y7, Y5, Y5
+	VPADDQ  Y5, Y3, Y3
+
+	ADDQ $64, SI
+	ADDQ $64, DI
+	SUBQ $8, CX
+	CMPQ CX, $8
+	JGE  loop8
+
+	// Horizontal sum of Y3's four qwords.
+	VEXTRACTI128 $1, Y3, X5
+	VPADDQ       X5, X3, X3
+	VPSRLDQ      $8, X3, X5
+	VPADDQ       X5, X3, X3
+	MOVQ         X3, AX
+	VZEROUPPER
+
+tail:
+	TESTQ CX, CX
+	JZ    done
+
+tailLoop:
+	MOVQ    (SI), DX
+	ANDQ    (DI), DX
+	POPCNTQ DX, DX
+	ADDQ    DX, AX
+	ADDQ    $8, SI
+	ADDQ    $8, DI
+	DECQ    CX
+	JNZ     tailLoop
+
+done:
+	MOVQ AX, ret+24(FP)
+	RET
+
+// func cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL subleaf+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,12 @@
+//go:build purego || !amd64
+
+package bitvec
+
+// Without the amd64 assembly (non-amd64 targets, or -tags purego) the
+// portable kernel is the only implementation; kernelAVX2 is a constant
+// false so the dispatch branch and this stub compile away entirely.
+const kernelAVX2 = false
+
+func popcntAndAVX2(a, b *uint64, n int) int {
+	panic("bitvec: SIMD kernel called on a purego build")
+}

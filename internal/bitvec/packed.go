@@ -117,48 +117,61 @@ func (ps *PackedSet) Append(v Vector) {
 
 // IntersectWords returns |v_id ∩ q| where qw is the query's dense word
 // bitmap: qw[i] holds the query bits [64i, 64i+64). Words of v_id beyond
-// len(qw) contain no query bits and are skipped.
+// len(qw) contain no query bits and are skipped. The count is computed
+// by the kernel layer (kernel.go): AVX2 assembly when the CPU has it,
+// the portable popcount loop otherwise — identical results either way.
 func (ps *PackedSet) IntersectWords(id int32, qw []uint64) int {
 	m := ps.meta[id]
 	if m.nw == 0 {
 		return 0
 	}
-	inter := 0
 	if m.base != packedSparse {
 		lo := int(m.base)
 		hi := lo + int(m.nw)
 		if hi > len(qw) {
 			hi = len(qw)
 		}
-		w := ps.words[m.woff : m.woff+m.nw]
-		for i := lo; i < hi; i++ {
-			inter += bits.OnesCount64(w[i-lo] & qw[i])
+		if hi <= lo {
+			return 0
 		}
-		return inter
+		return andCountWords(ps.words[m.woff:m.woff+uint32(hi-lo)], qw[lo:hi])
 	}
 	idxs := ps.idxs[m.ioff : m.ioff+m.nw]
 	w := ps.words[m.woff : m.woff+m.nw]
-	for k, idx := range idxs {
-		if int(idx) >= len(qw) {
-			break // idxs ascend: everything after is past the query too
-		}
-		inter += bits.OnesCount64(w[k] & qw[idx])
-	}
-	return inter
+	kmax := sparseLimit(idxs, len(qw))
+	return andCountGather(w[:kmax], idxs, qw)
 }
+
+// sparseLimit returns the number of leading entries of idxs (ascending)
+// that are < nq — the sparse words that can overlap the query bitmap.
+func sparseLimit(idxs []uint32, nq int) int {
+	kmax := len(idxs)
+	for kmax > 0 && int(idxs[kmax-1]) >= nq {
+		kmax--
+	}
+	return kmax
+}
+
+// exitBlock is the word granularity of IntersectWordsAtLeast's early
+// exit: the bound is checked between kernel calls, every exitBlock
+// words, so the kernels themselves stay straight-line (SIMD has no
+// cheap "running count so far" to test mid-block). Coarser than the
+// old per-8-words stride, but observationally identical: a pruned
+// candidate still returns (0, false), and a candidate that reaches
+// need can never trigger the bound (the remaining-words term is an
+// upper bound on what is left).
+const exitBlock = 32
 
 // IntersectWordsAtLeast is IntersectWords with an early exit: once the
 // running count plus the maximum contribution of the remaining words
 // (64 per word) cannot reach need, it returns (0, false) without
 // finishing. On (n, true), n is the exact intersection size and
-// n >= need. need <= 0 never exits early. The bound is checked every
-// few words so short vectors — the common case — pay nothing for it.
+// n >= need. need <= 0 never exits early.
 func (ps *PackedSet) IntersectWordsAtLeast(id int32, qw []uint64, need int) (int, bool) {
 	m := ps.meta[id]
 	if m.nw == 0 {
 		return 0, need <= 0
 	}
-	const stride = 8 // words between early-exit checks
 	inter := 0
 	if m.base != packedSparse {
 		lo := int(m.base)
@@ -167,24 +180,30 @@ func (ps *PackedSet) IntersectWordsAtLeast(id int32, qw []uint64, need int) (int
 			hi = len(qw)
 		}
 		w := ps.words[m.woff : m.woff+m.nw]
-		for i := lo; i < hi; i++ {
-			if (i-lo)&(stride-1) == 0 && inter+64*(hi-i) < need {
+		for i := lo; i < hi; i += exitBlock {
+			if inter+64*(hi-i) < need {
 				return 0, false
 			}
-			inter += bits.OnesCount64(w[i-lo] & qw[i])
+			end := i + exitBlock
+			if end > hi {
+				end = hi
+			}
+			inter += andCountWords(w[i-lo:end-lo], qw[i:end])
 		}
 		return inter, inter >= need
 	}
 	idxs := ps.idxs[m.ioff : m.ioff+m.nw]
 	w := ps.words[m.woff : m.woff+m.nw]
-	for k, idx := range idxs {
-		if int(idx) >= len(qw) {
-			break
-		}
-		if k&(stride-1) == 0 && inter+64*(len(idxs)-k) < need {
+	kmax := sparseLimit(idxs, len(qw))
+	for k := 0; k < kmax; k += exitBlock {
+		if inter+64*(kmax-k) < need {
 			return 0, false
 		}
-		inter += bits.OnesCount64(w[k] & qw[idx])
+		end := k + exitBlock
+		if end > kmax {
+			end = kmax
+		}
+		inter += andCountGather(w[k:end], idxs[k:], qw)
 	}
 	return inter, inter >= need
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"skewsim/internal/bitvec"
 	"skewsim/internal/lsf"
+	"skewsim/internal/verify"
 )
 
 // BatchQuery answers the queries in input order through Query. Results
@@ -38,5 +39,86 @@ func (ix *Index) BatchCandidates(qs []bitvec.Vector, workers int) [][]int32 {
 	lsf.ForEachParallel(len(qs), workers, func(k int) {
 		out[k] = ix.Candidates(qs[k])
 	})
+	return out
+}
+
+// BatchQueryBest answers QueryBest for every query through the
+// amortizing batch executor: each repetition is visited once per batch.
+// For one repetition, filter generation and bucket resolution run for
+// all queries back to back — one hot pass over the repetition's engine
+// tables and key table, with the resolved posting spans accumulated in
+// one arena — before any posting is walked. Per-query verification
+// state (the packed verify session, the cross-repetition visited set,
+// the running best) persists across repetitions.
+//
+// Results and stats are bit-identical to calling QueryBest in a loop:
+// within a query, spans are walked in exactly the single-query order
+// (repetition order, then filter order, then posting order), and the
+// per-repetition Distinct accounting keeps its own dedup scope just
+// like the underlying traversal.
+func (ix *Index) BatchQueryBest(qs []bitvec.Vector) []Result {
+	nq := len(qs)
+	if nq == 0 {
+		return nil
+	}
+	out := make([]Result, nq)
+	ses := make([]*verify.Session, nq)
+	vis := make([]*lsf.Visited, nq)
+	for k, q := range qs {
+		out[k].ID = -1
+		out[k].Similarity = -1
+		ses[k] = verify.Acquire(ix.measure, q)
+		vis[k] = ix.visitPool.Get(len(ix.data))
+	}
+	defer func() {
+		for k := range ses {
+			verify.Release(ses[k])
+			ix.visitPool.Put(vis[k])
+		}
+	}()
+
+	var fs lsf.FilterSet
+	var refs []lsf.PostingRef
+	bounds := make([]int, nq+1)
+	for _, rep := range ix.reps {
+		// Phase 1: one generation+resolution sweep over the whole batch.
+		refs = refs[:0]
+		for k, q := range qs {
+			var nf int
+			refs, nf, _ = rep.AppendFilterRefs(q, &fs, refs)
+			bounds[k+1] = len(refs)
+			out[k].Stats.Repetitions++
+			out[k].Stats.Filters += nf
+		}
+		// Phase 2: walk each query's resolved spans in filter order.
+		for k := range qs {
+			res := &out[k]
+			// repVis scopes Distinct to this repetition, mirroring the
+			// per-traversal dedup of the single-query path; vis[k] is the
+			// cross-repetition dedup that gates verification.
+			repVis := ix.visitPool.Get(len(ix.data))
+			for _, r := range refs[bounds[k]:bounds[k+1]] {
+				for _, id := range rep.RefIDs(r) {
+					res.Stats.Candidates++
+					if !repVis.FirstVisit(id) {
+						continue
+					}
+					res.Stats.Distinct++
+					if !vis[k].FirstVisit(id) {
+						continue
+					}
+					if sim, ok := ses[k].MoreThan(ix.packed, ix.data, id, res.Similarity); ok {
+						res.ID, res.Similarity, res.Found = int(id), sim, true
+					}
+				}
+			}
+			ix.visitPool.Put(repVis)
+		}
+	}
+	for k := range out {
+		if !out[k].Found {
+			out[k].Similarity = 0
+		}
+	}
 	return out
 }

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"skewsim/internal/bitvec"
+	"skewsim/internal/dist"
+	"skewsim/internal/hashing"
+)
+
+// TestBatchQueryBestBitIdentical is the batch executor's acceptance
+// test at the core layer: BatchQueryBest must reproduce a loop of
+// QueryBest bit for bit — ids, similarities, found flags, AND the full
+// work stats — because within each query it walks candidates in
+// exactly the single-query order.
+func TestBatchQueryBestBitIdentical(t *testing.T) {
+	d := dist.MustProduct(dist.Zipf(96, 0.6, 1.2))
+	rng := hashing.NewSplitMix64(17)
+	data := d.SampleN(rng, 400)
+	ix, err := BuildCorrelated(d, data, 0.7, Options{Seed: 11, Repetitions: 4})
+	if err != nil {
+		t.Fatalf("BuildCorrelated: %v", err)
+	}
+	// Query mix: planted-style perturbations of data vectors, fresh
+	// samples, an empty vector, and a duplicate (exercises batch state
+	// isolation between identical queries).
+	var qs []bitvec.Vector
+	for i := 0; i < 40; i++ {
+		qs = append(qs, d.Sample(rng))
+	}
+	qs = append(qs, bitvec.New(), data[7], data[7])
+
+	want := make([]Result, len(qs))
+	for k, q := range qs {
+		want[k] = ix.QueryBest(q)
+	}
+	got := ix.BatchQueryBest(qs)
+	if len(got) != len(want) {
+		t.Fatalf("BatchQueryBest returned %d results, want %d", len(got), len(want))
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Errorf("query %d: batch %+v != single %+v", k, got[k], want[k])
+		}
+	}
+
+	if out := ix.BatchQueryBest(nil); out != nil {
+		t.Errorf("empty batch should return nil, got %v", out)
+	}
+}

@@ -182,3 +182,89 @@ func (e Extender) Unit(i uint32) float64 {
 	fp := addmod61(mulmod61(e.fp, e.h.base), uint64(i)+1)
 	return float64(addmod61(mulmod61(e.h.a, fp), e.h.b)) / float64(MersennePrime61)
 }
+
+// Expanded extension hashing. The extension hash distributes over the
+// modulus:
+//
+//	h_j(v ∘ i) = (a·(fp·base + (i+1)) + b) mod p
+//	           = ((a·(fp·base) + b) mod p  +  (a·(i+1)) mod p) mod p
+//	           =  Bias(v)                  ⊕  ExtTerm(j, i)
+//
+// All operations are exact on canonical residues, so ExtHash(Bias,
+// ExtTerm) equals the nested computation inside Unit bit for bit. The
+// filter engine exploits this: Bias is hoisted per frontier node,
+// ExtTerm per (depth, element), leaving one modular addition per
+// candidate extension — and the threshold comparison Unit(i) >= s
+// moves to the integer side through UnitCut, eliminating the float
+// divide entirely.
+
+// Bias returns (a·(fp·base) + b) mod p: the per-path constant of the
+// expanded extension hash.
+func (e Extender) Bias() uint64 {
+	return addmod61(mulmod61(e.h.a, mulmod61(e.fp, e.h.base)), e.h.b)
+}
+
+// ExtTerm returns (a_j·(i+1)) mod p, the per-element term of the
+// expanded extension hash at level j (the length of the extended path,
+// 1-based). It panics if j is out of range, like Unit.
+func (p *PathHasher) ExtTerm(j int, i uint32) uint64 {
+	if j < 1 || j > len(p.levels) {
+		panic("hashing: path length out of range")
+	}
+	return mulmod61(p.levels[j-1].a, uint64(i)+1)
+}
+
+// ExtHash combines a path bias with an element term into the canonical
+// extension hash value: Extend(v).Unit(i) == float64(ExtHash(bias,
+// term)) / float64(MersennePrime61) exactly.
+func ExtHash(bias, term uint64) uint64 { return addmod61(bias, term) }
+
+// UnitCut translates a unit-interval threshold s into its exact integer
+// cutoff: the smallest canonical hash value h with
+// float64(h)/float64(MersennePrime61) >= s, so that
+//
+//	Unit >= s  ⟺  ExtHash(bias, term) >= UnitCut(s)
+//
+// for every hash value. The equivalence is exact, not approximate:
+// float64(MersennePrime61) rounds to 2^61, so the division only shifts
+// the exponent and float64(h)/float64(p) >= s holds iff float64(h) >=
+// s·2^61, with both scalings exact; the conversion float64(h) is
+// monotone in h, so a short binary search around s·2^61 (whose rounding
+// granularity is at most 256 below 2^61) pins the boundary without a
+// single approximate step. Out-of-range thresholds keep their
+// comparison semantics: s <= 0 maps to 0 (every hash is >= it), s >= 1
+// and NaN map to MersennePrime61 (no canonical hash reaches it — for
+// NaN, every float comparison against s is false, and no h passes
+// h >= p either).
+func UnitCut(s float64) uint64 {
+	if !(s > 0) { // s <= 0 or NaN; NaN must map high, not low
+		if s != s {
+			return MersennePrime61
+		}
+		return 0
+	}
+	if s >= 1 {
+		return MersennePrime61
+	}
+	const mf = float64(MersennePrime61) // rounds to 2^61 exactly
+	t := s * mf                         // exact: power-of-two scaling
+	// Smallest h with float64(h) >= t. |float64(h) - h| <= 128 for
+	// h < 2^61, so the boundary lies strictly inside a ±1024 window
+	// around t; float64() is monotone, so binary search it.
+	lo, hi := uint64(0), uint64(MersennePrime61)
+	if t > 1024 {
+		lo = uint64(t) - 1024
+	}
+	if c := uint64(t) + 1024; c < hi {
+		hi = c
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if float64(mid) >= t {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

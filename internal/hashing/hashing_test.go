@@ -278,3 +278,43 @@ func TestNewPathHasherPanicsOnBadK(t *testing.T) {
 	}()
 	NewPathHasher(1, 0)
 }
+
+// TestExpandedHashMatchesUnit proves the expanded extension hash
+// (Bias + ExtTerm composed by ExtHash) is the same canonical value
+// Unit divides, and that the integer cutoff test ExtHash >= UnitCut(s)
+// decides exactly like the float comparison Unit >= s — the identity
+// the filter engine's integer inner loop rests on.
+func TestExpandedHashMatchesUnit(t *testing.T) {
+	ph := NewPathHasher(99, 8)
+	rng := NewSplitMix64(5)
+	for trial := 0; trial < 2000; trial++ {
+		pl := int(rng.NextBelow(7))
+		path := make([]uint32, pl)
+		for k := range path {
+			path[k] = uint32(rng.Next())
+		}
+		i := uint32(rng.Next())
+		ext := ph.Extend(path)
+		h := ExtHash(ext.Bias(), ph.ExtTerm(pl+1, i))
+		unit := ext.Unit(i)
+		if got := float64(h) / float64(MersennePrime61); got != unit {
+			t.Fatalf("trial %d: expanded hash %d gives unit %v, Unit says %v", trial, h, got, unit)
+		}
+		// Thresholds around the hash's own unit value are the adversarial
+		// cases: the cutoff must flip exactly where the float compare does.
+		for _, s := range []float64{
+			unit,
+			math.Nextafter(unit, 0),
+			math.Nextafter(unit, 1),
+			rng.NextUnit(),
+			0, 1, -0.5, 1.5,
+			math.Inf(1), math.Inf(-1), math.NaN(),
+		} {
+			wantReject := unit >= s
+			if gotReject := h >= UnitCut(s); gotReject != wantReject {
+				t.Fatalf("trial %d: s=%v h=%d unit=%v: cutoff rejects %v, float rejects %v",
+					trial, s, h, unit, gotReject, wantReject)
+			}
+		}
+	}
+}

@@ -217,11 +217,16 @@ func (fs *FilterSet) Reset() {
 type filterScratch struct {
 	cur, next       []uint32
 	curLog, nextLog []float64
-	// sDepth holds s(x, depth, i) per element of x for the depth being
-	// expanded. The threshold function sees only (x, j, i) — never the
-	// path — so its value is shared by every frontier node of a depth and
-	// is hoisted out of the node loop.
-	sDepth []float64
+	// cutDepth and termDepth hold the integer form of the per-depth
+	// threshold test. The threshold function sees only (x, j, i) — never
+	// the path — so s(x, depth, i) is shared by every frontier node of a
+	// depth; it is evaluated once per element and stored as its exact
+	// hash cutoff (hashing.UnitCut), next to the element's expanded-hash
+	// term (hashing.ExtTerm). The node loop then decides each candidate
+	// extension with one modular addition and one integer compare,
+	// bit-identical to evaluating ext.Unit(i) >= s in floats.
+	cutDepth  []uint64
+	termDepth []uint64
 }
 
 // Filters computes F(x) under the engine's threshold and stopping rule.
@@ -258,39 +263,45 @@ func (e *Engine) FiltersInto(x bitvec.Vector, fs *FilterSet) {
 	}
 	cur, next := sc.cur[:0], sc.next[:0]
 	curLog, nextLog := sc.curLog[:0], sc.nextLog[:0]
-	sDepth := sc.sDepth[:0]
+	cutDepth, termDepth := sc.cutDepth[:0], sc.termDepth[:0]
 	defer func() {
 		sc.cur, sc.next, sc.curLog, sc.nextLog = cur, next, curLog, nextLog
-		sc.sDepth = sDepth
+		sc.cutDepth, sc.termDepth = cutDepth, termDepth
 		e.scratch.Put(sc)
 	}()
 	bitsX := x.Bits()
 	curLog = append(curLog, 0) // the root: empty path, Σ log(1/p) = 0
 	for depth := 0; depth < e.maxDepth && len(curLog) > 0; depth++ {
 		next, nextLog = next[:0], nextLog[:0]
-		// s(x, depth, i) is path-independent: evaluate it once per element
-		// for this depth instead of once per (node, element).
-		sDepth = sDepth[:0]
+		// s(x, depth, i) is path-independent: evaluate it once per
+		// element for this depth instead of once per (node, element),
+		// and translate it straight into integer form — the exact hash
+		// cutoff (s <= 0 becomes cutoff 0, rejecting every extension,
+		// exactly as the old explicit skip did) and the element's
+		// expanded-hash term at the extended level.
+		cutDepth, termDepth = cutDepth[:0], termDepth[:0]
 		for _, i := range bitsX {
-			sDepth = append(sDepth, e.threshold(x, depth, i))
+			cutDepth = append(cutDepth, hashing.UnitCut(e.threshold(x, depth, i)))
+			termDepth = append(termDepth, e.hasher.ExtTerm(depth+1, i))
 		}
 		for pi, plog := range curLog {
 			elems := cur[pi*depth : pi*depth+depth]
 			fs.Expanded++
 			// One fingerprint of the path serves every candidate
-			// extension: ext.Unit(i) is O(1) where the naive UnitExt
-			// re-rolls the whole path per element.
-			ext := e.hasher.Extend(elems)
+			// extension, and its expanded-hash bias is hoisted too: the
+			// per-element test below is one modular add and one compare,
+			// bit-identical to ext.Unit(i) >= s (see hashing.UnitCut).
+			bias := e.hasher.Extend(elems).Bias()
 			for bi, i := range bitsX {
+				// Hash rejection first: it is one add+compare and throws
+				// out most elements, so the O(depth) membership scan runs
+				// only for survivors. Both checks are pure rejections, so
+				// the order cannot change what is emitted.
+				if hashing.ExtHash(bias, termDepth[bi]) >= cutDepth[bi] {
+					continue
+				}
 				if containsElem(elems, i) {
 					continue // sampling without replacement
-				}
-				s := sDepth[bi]
-				if s <= 0 {
-					continue
-				}
-				if s < 1 && ext.Unit(i) >= s {
-					continue
 				}
 				var logInvP float64
 				if e.logInv != nil {

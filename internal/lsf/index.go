@@ -36,6 +36,9 @@ type Index struct {
 	// fsPool recycles per-query FilterSets (arena + spans) so traversal
 	// reuses filter storage across queries.
 	fsPool sync.Pool
+	// refPool recycles the per-query PostingRef scratch of the two-phase
+	// traversal (resolve all buckets, then walk all spans).
+	refPool sync.Pool
 	// packed is the word-packed form of data for popcount verification,
 	// shared across the repetitions of a SkewSearch index (see UsePacked).
 	// nil indexes verify against the sorted slices, with identical results.
@@ -93,23 +96,49 @@ func (ix *Index) bucketIDs(b int32) []int32 {
 	return ix.ids[ix.idOff[b]:ix.idOff[b+1]]
 }
 
-// postings returns the ids sharing the path, or nil. Never allocates:
-// one linear-probe walk over the key table, path equality verified
-// against the span arena.
-func (ix *Index) postings(path []uint32) []int32 {
+// PostingRef addresses one posting list inside the frozen CSR arena:
+// ids[Off:Off+Len]. Refs are plain offsets, so a traversal can resolve
+// all its buckets first (the pointer-chasing phase) and then walk the
+// spans (the sequential phase) — and a batch executor can sort refs by
+// Off to visit the arena in layout order. A ref is valid for the
+// lifetime of its (immutable) index.
+type PostingRef struct {
+	Off, Len uint32
+}
+
+// PathRef resolves the exact path to its posting span, reporting
+// whether the path is indexed. Never allocates: one linear-probe walk
+// over the key table, path equality verified against the span arena.
+func (ix *Index) PathRef(path []uint32) (PostingRef, bool) {
 	if len(ix.tableIdx) == 0 {
-		return nil
+		return PostingRef{}, false
 	}
 	h := HashPath(path)
 	for slot := h & ix.tableMask; ; slot = (slot + 1) & ix.tableMask {
 		b := ix.tableIdx[slot]
 		if b < 0 {
-			return nil
+			return PostingRef{}, false
 		}
 		if ix.tableKeys[slot] == h && pathsEqual(ix.bucketPath(b), path) {
-			return ix.bucketIDs(b)
+			off := ix.idOff[b]
+			return PostingRef{Off: off, Len: ix.idOff[b+1] - off}, true
 		}
 	}
+}
+
+// RefIDs returns the posting list a PathRef resolved to, as a read-only
+// view into the CSR arena.
+func (ix *Index) RefIDs(r PostingRef) []int32 {
+	return ix.ids[r.Off : r.Off+r.Len]
+}
+
+// postings returns the ids sharing the path, or nil.
+func (ix *Index) postings(path []uint32) []int32 {
+	r, ok := ix.PathRef(path)
+	if !ok {
+		return nil
+	}
+	return ix.RefIDs(r)
 }
 
 // Postings returns the posting list of the exact path as a read-only view
@@ -400,10 +429,38 @@ func (p *VisitedPool) Get(n int) *Visited {
 // Put returns the set to the pool.
 func (p *VisitedPool) Put(v *Visited) { p.pool.Put(v) }
 
+// resolveRefs probes the key table for filters [from, to) of fs,
+// appending the posting span of each indexed path to dst in filter
+// order. Unindexed paths contribute nothing (their posting lists are
+// empty). Batching the probes separates traversal's pointer-chasing
+// phase (hash-table lookups, scattered loads) from its sequential phase
+// (walking id spans), so each runs back to back instead of alternating
+// per bucket.
+func (ix *Index) resolveRefs(dst []PostingRef, fs *FilterSet, from, to int) []PostingRef {
+	for k := from; k < to; k++ {
+		if r, ok := ix.PathRef(fs.Path(k)); ok && r.Len > 0 {
+			dst = append(dst, r)
+		}
+	}
+	return dst
+}
+
+// refBlock is the stride of the blocked traversal: how many filters are
+// resolved to posting spans before those spans are walked. Large enough
+// that the probe and walk phases each run over dozens of buckets in a
+// tight loop, small enough that a threshold query's early exit wastes
+// at most one block of probes.
+const refBlock = 64
+
 // traverse is the single candidate-traversal implementation behind every
-// query entry point: it computes F(q) once (into a pooled arena), walks
-// the CSR posting list of each filter, deduplicates ids, and streams each
-// distinct candidate into sink in first-encounter order. The sink returns
+// query entry point. It computes F(q) once (into a pooled arena), then
+// alternates two phases per block of refBlock filters: resolve the
+// block's buckets to posting spans back to back (the cache-hostile hash
+// probes), then walk the resolved CSR spans in filter order,
+// deduplicating ids and streaming each distinct candidate into sink in
+// first-encounter order (sequential arena reads). The blocking changes
+// no observable behaviour: spans are walked in exactly the order the
+// fused probe-then-walk-per-bucket loop visited them. The sink returns
 // false to stop early (the threshold query's early exit); stats always
 // reflect exactly the work performed up to the stop.
 func (ix *Index) traverse(q bitvec.Vector, stats *QueryStats, sink func(id int32) bool) {
@@ -419,20 +476,47 @@ func (ix *Index) traverse(q bitvec.Vector, stats *QueryStats, sink func(id int32
 	if fs.Len() == 0 {
 		return
 	}
+	rs, _ := ix.refPool.Get().(*[refBlock]PostingRef)
+	if rs == nil {
+		rs = new([refBlock]PostingRef)
+	}
+	defer ix.refPool.Put(rs)
 	vis := ix.visitPool.Get(len(ix.data))
 	defer ix.visitPool.Put(vis)
-	for k := 0; k < fs.Len(); k++ {
-		for _, id := range ix.postings(fs.Path(k)) {
-			stats.Candidates++
-			if !vis.FirstVisit(id) {
-				continue
-			}
-			stats.Distinct++
-			if !sink(id) {
-				return
+	for base := 0; base < fs.Len(); base += refBlock {
+		end := base + refBlock
+		if end > fs.Len() {
+			end = fs.Len()
+		}
+		refs := ix.resolveRefs(rs[:0], fs, base, end)
+		for _, r := range refs {
+			for _, id := range ix.ids[r.Off : r.Off+r.Len] {
+				stats.Candidates++
+				if !vis.FirstVisit(id) {
+					continue
+				}
+				stats.Distinct++
+				if !sink(id) {
+					return
+				}
 			}
 		}
 	}
+}
+
+// AppendFilterRefs computes F(q) into fs (resetting it first) and
+// appends the resolved posting span of every indexed filter to refs, in
+// filter order. It returns the grown refs slice plus the filter count
+// and truncation flag of the generation. Walking the returned refs
+// through RefIDs streams exactly the candidate occurrences, in exactly
+// the order, that ForEachCandidate would deliver — the batch executor
+// uses this to run filter generation and bucket resolution for many
+// queries back to back while keeping per-query results bit-identical to
+// the single-query path.
+func (ix *Index) AppendFilterRefs(q bitvec.Vector, fs *FilterSet, refs []PostingRef) (_ []PostingRef, filters int, truncated bool) {
+	fs.Reset()
+	ix.engine.FiltersInto(q, fs)
+	return ix.resolveRefs(refs, fs, 0, fs.Len()), fs.Len(), fs.Truncated
 }
 
 // ForEachCandidate streams the distinct data ids sharing at least one

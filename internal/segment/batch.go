@@ -1,0 +1,162 @@
+package segment
+
+import (
+	"cmp"
+	"slices"
+
+	"skewsim/internal/lsf"
+	"skewsim/internal/verify"
+)
+
+// BatchResult is one query's outcome in a batch search.
+type BatchResult struct {
+	Match Match
+	Found bool
+}
+
+// SearchBatch answers a batch of queries in one pass over the index,
+// under one read lock (every query sees the same snapshot). Work that
+// the single-query path repeats per query is amortized across the
+// batch:
+//
+//   - one filter generation per repetition engine covers the whole
+//     batch: all queries' filter sets for a repetition are computed
+//     back to back while the engine's tables are hot;
+//   - each frozen segment is visited once per batch per repetition,
+//     and within it every query's resolved posting spans are walked in
+//     ascending arena offset (posting-array order), so the segment's
+//     CSR arena is read as sequentially as the bucket mix allows;
+//   - each query's verify session (its packed bitmap) is built once by
+//     the caller and reused across every layer — and, at the server
+//     level, every shard.
+//
+// thresholds selects the semantics: nil answers best-match for every
+// query (found means the query had any candidate, like QueryBest);
+// otherwise thresholds[k] is query k's minimum similarity and found
+// means a candidate at or above it exists (the batch analogue of
+// Query, which returns some passing match — SearchBatch returns the
+// best one, verifying exhaustively instead of stopping at the first).
+//
+// Per query, the candidate set — the distinct live slots sharing a
+// filter with the query — is exactly the single-query path's; only the
+// visit order differs. Results are deterministic regardless of that
+// order: the reported match is the candidate with the highest
+// similarity, ties broken by lowest external id. (The single-query
+// QueryBest keeps the first-encountered of equal-similarity
+// candidates instead, so on exact ties the two paths may name
+// different — equally similar — ids.)
+//
+// The aggregate stats count batch-level work: Reps and Segments count
+// each repetition and frozen segment once per batch (not once per
+// query); Filters, Truncated, Candidates, and Distinct sum over all
+// queries and equal the sums of the corresponding single-query stats.
+func (s *SegmentedIndex) SearchBatch(sess []*verify.Session, thresholds []float64) ([]BatchResult, QueryStats) {
+	var stats QueryStats
+	nq := len(sess)
+	if nq == 0 {
+		return nil, stats
+	}
+	if thresholds != nil && len(thresholds) != nq {
+		panic("segment: SearchBatch thresholds length does not match sessions")
+	}
+	out := make([]BatchResult, nq)
+	best := make([]float64, nq)
+	for k := range best {
+		best[k] = -1
+	}
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	stats.Segments = len(s.segs)
+	vis := make([]*lsf.Visited, nq)
+	for k := range vis {
+		vis[k] = s.visitPool.Get(len(s.vecs))
+	}
+	defer func() {
+		for _, v := range vis {
+			s.visitPool.Put(v)
+		}
+	}()
+
+	emit := func(k int, slot int32) {
+		stats.Candidates++
+		if !vis[k].FirstVisit(slot) || !s.alive[slot] {
+			return
+		}
+		stats.Distinct++
+		// Prune at the running best, non-strictly: equal-similarity
+		// candidates must surface so the lowest-id tie-break can apply.
+		t := -1.0
+		if thresholds != nil {
+			t = thresholds[k]
+		}
+		if out[k].Found && best[k] > t {
+			t = best[k]
+		}
+		if sim, ok := sess[k].AtLeast(&s.packed, s.vecs, slot, t); ok {
+			ext := s.ext[slot]
+			if !out[k].Found || sim > best[k] || (sim == best[k] && ext < out[k].Match.ID) {
+				out[k] = BatchResult{Match: Match{ID: ext, Similarity: sim}, Found: true}
+				best[k] = sim
+			}
+		}
+	}
+
+	fss := make([]*lsf.FilterSet, nq)
+	var refs []lsf.PostingRef
+	for r, eng := range s.engines {
+		stats.Reps++
+		// One filter generation for the whole batch.
+		for k := range sess {
+			fs := s.getFilterSet()
+			eng.FiltersInto(sess[k].Query(), fs)
+			stats.Filters += fs.Len()
+			if fs.Truncated {
+				stats.Truncated++
+			}
+			fss[k] = fs
+		}
+		// Mutable layers: chained-bucket maps, probed per query in
+		// filter order (they are small; blocking buys nothing here).
+		for k, fs := range fss {
+			for i := 0; i < fs.Len(); i++ {
+				path := fs.Path(i)
+				for _, slot := range s.mem.reps[r].postings(path) {
+					emit(k, slot)
+				}
+				for _, mt := range s.flushing {
+					for _, slot := range mt.reps[r].postings(path) {
+						emit(k, slot)
+					}
+				}
+			}
+		}
+		// Frozen segments: visit each once for the whole batch; per
+		// query, resolve all bucket probes first, then walk the posting
+		// spans in ascending arena offset.
+		for _, g := range s.segs {
+			ix := g.reps[r]
+			for k, fs := range fss {
+				refs = refs[:0]
+				for i := 0; i < fs.Len(); i++ {
+					if ref, ok := ix.PathRef(fs.Path(i)); ok && ref.Len > 0 {
+						refs = append(refs, ref)
+					}
+				}
+				slices.SortFunc(refs, func(a, b lsf.PostingRef) int {
+					return cmp.Compare(a.Off, b.Off)
+				})
+				for _, ref := range refs {
+					for _, lid := range ix.RefIDs(ref) {
+						emit(k, g.slots[lid])
+					}
+				}
+			}
+		}
+		for k := range fss {
+			s.fsPool.Put(fss[k])
+			fss[k] = nil
+		}
+	}
+	return out, stats
+}

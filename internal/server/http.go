@@ -17,13 +17,18 @@ import (
 //	POST /v1/insert   {"sets": [[3,17,42], ...]}            → {"ids": [...]}
 //	POST /v1/delete   {"ids": [0, 7]}                       → {"deleted": 2}
 //	POST /v1/search   {"set": [...], "mode": "best"}        → {"found": ..., "matches": [...], "stats": {...}}
+//	POST /v1/search/batch {"sets": [[...], ...]}            → {"results": [{"found": ..., "id": ..., "similarity": ...}, ...], "stats": {...}}
 //	GET  /v1/stats                                          → aggregated + per-shard sizes
 //	POST /v1/snapshot {"path": "index.snap"}                → {"bytes": n}
 //
 // Search modes: "best" (default; most similar candidate), "first"
 // (first candidate at or above "threshold"), "topk" ("k" most similar).
 // "measure" names a similarity measure (bitvec.ParseMeasure);
-// Braun-Blanquet — the paper's — when omitted.
+// Braun-Blanquet — the paper's — when omitted. Batch search runs the
+// amortizing batch executor (one filter generation and one segment
+// pass per shard for the whole batch) and supports modes "best" and
+// "first"; in batch form "first" returns each query's best match at or
+// above the threshold, deterministically (ties to the lowest id).
 
 type insertRequest struct {
 	Sets [][]uint32 `json:"sets"`
@@ -64,6 +69,27 @@ type matchJSON struct {
 type searchResponse struct {
 	Found   bool               `json:"found"`
 	Matches []matchJSON        `json:"matches"`
+	Stats   segment.QueryStats `json:"stats"`
+}
+
+type batchSearchRequest struct {
+	Sets [][]uint32 `json:"sets"`
+	// Mode "best" (default) returns each query's most similar candidate;
+	// "first" returns each query's best candidate at or above the
+	// threshold. "topk" is not offered in batch form.
+	Mode      string   `json:"mode"`
+	Threshold *float64 `json:"threshold"`
+	Measure   string   `json:"measure"`
+}
+
+type batchResultJSON struct {
+	Found      bool    `json:"found"`
+	ID         int64   `json:"id"`
+	Similarity float64 `json:"similarity"`
+}
+
+type batchSearchResponse struct {
+	Results []batchResultJSON  `json:"results"`
 	Stats   segment.QueryStats `json:"stats"`
 }
 
@@ -171,6 +197,52 @@ func NewHandler(srv *Server, hc HandlerConfig) http.Handler {
 		default:
 			httpError(w, http.StatusBadRequest, fmt.Errorf("search: unknown mode %q", req.Mode))
 			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("POST /v1/search/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req batchSearchRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		if len(req.Sets) == 0 {
+			httpError(w, http.StatusBadRequest, errors.New("search/batch: empty sets"))
+			return
+		}
+		m := bitvec.BraunBlanquetMeasure
+		if req.Measure != "" {
+			var err error
+			if m, err = bitvec.ParseMeasure(req.Measure); err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+		}
+		var thresholds []float64
+		switch req.Mode {
+		case "", "best":
+		case "first":
+			threshold := hc.DefaultThreshold
+			if req.Threshold != nil {
+				threshold = *req.Threshold
+			}
+			thresholds = make([]float64, len(req.Sets))
+			for i := range thresholds {
+				thresholds[i] = threshold
+			}
+		default:
+			httpError(w, http.StatusBadRequest, fmt.Errorf("search/batch: unknown mode %q", req.Mode))
+			return
+		}
+		qs := make([]bitvec.Vector, len(req.Sets))
+		for i, bits := range req.Sets {
+			qs[i] = bitvec.New(bits...)
+		}
+		results, stats := srv.SearchBatch(qs, thresholds, m)
+		resp := batchSearchResponse{Results: make([]batchResultJSON, len(results)), Stats: stats}
+		for i, res := range results {
+			if res.Found {
+				resp.Results[i] = batchResultJSON{Found: true, ID: res.Match.ID, Similarity: res.Match.Similarity}
+			}
 		}
 		writeJSON(w, resp)
 	})

@@ -279,6 +279,53 @@ func (s *Server) aggregate(matches []segment.Match, founds []bool, stats []segme
 	return best, agg, found
 }
 
+// SearchBatch answers a batch of queries through the amortizing batch
+// executor: each query is packed into a verify session exactly once,
+// the sessions are fanned out to every shard together (sessions are
+// read-only during verification, so the concurrent fan-out is safe),
+// and each shard runs one segment.SearchBatch pass — one read lock,
+// one filter generation per repetition, each frozen segment visited
+// once per batch in posting-array order. thresholds selects the
+// semantics exactly as in segment.SearchBatch: nil means best-match
+// per query, otherwise thresholds[k] is query k's minimum similarity.
+// Per query, shard winners aggregate by similarity desc, id asc — the
+// same deterministic rule QueryBest uses.
+func (s *Server) SearchBatch(qs []bitvec.Vector, thresholds []float64, m bitvec.Measure) ([]segment.BatchResult, segment.QueryStats) {
+	nq := len(qs)
+	if nq == 0 {
+		return nil, segment.QueryStats{}
+	}
+	sess := make([]*verify.Session, nq)
+	for k, q := range qs {
+		sess[k] = verify.Acquire(m, q)
+	}
+	defer func() {
+		for _, se := range sess {
+			verify.Release(se)
+		}
+	}()
+	perShard := make([][]segment.BatchResult, len(s.shards))
+	stats := make([]segment.QueryStats, len(s.shards))
+	lsf.ForEachParallel(len(s.shards), s.workers, func(i int) {
+		perShard[i], stats[i] = s.shards[i].SearchBatch(sess, thresholds)
+	})
+	out := perShard[0]
+	var agg segment.QueryStats
+	agg.Merge(stats[0])
+	for i := 1; i < len(s.shards); i++ {
+		agg.Merge(stats[i])
+		for k := range out {
+			r := perShard[i][k]
+			if r.Found && (!out[k].Found ||
+				r.Match.Similarity > out[k].Match.Similarity ||
+				(r.Match.Similarity == out[k].Match.Similarity && r.Match.ID < out[k].Match.ID)) {
+				out[k] = r
+			}
+		}
+	}
+	return out, agg
+}
+
 // TopK fans out, merges the shard top-k lists, and returns the global
 // top k (similarity desc, id asc — same order as segment.TopK).
 func (s *Server) TopK(q bitvec.Vector, k int, m bitvec.Measure) ([]segment.Match, segment.QueryStats) {
