@@ -14,11 +14,11 @@ BENCH_PATTERN ?= QueryPath|LSFTraversal|BuildSkewSearch|BuildChosenPath|Intersec
 # is guarded against, and the number of samples per benchmark (benchjson
 # keeps the per-benchmark minimum — single-sample records were noisy
 # enough to fake 18% swings on allocation-free kernels between PRs).
-BENCH_OUT ?= BENCH_PR6.json
-BENCH_PREV ?= BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR7.json
+BENCH_PREV ?= BENCH_PR6.json
 BENCH_COUNT ?= 5
 
-.PHONY: all build vet test test-purego race fuzz bench bench-json bench-guard docs
+.PHONY: all build vet test test-purego race fuzz bench bench-json bench-guard docs test-fault
 
 all: build vet test
 
@@ -48,6 +48,15 @@ test-purego:
 # for the serving subsystem (segment/server stress tests).
 race:
 	$(GO) test -race ./...
+
+# The failure-path acceptance run: the fault-injection suite
+# (internal/faultinject registry + the Fault* tests it arms) under the
+# race detector — injected fsync errors must surface as ErrNotDurable,
+# a failed checkpoint must leave recovery bit-identical, stalled shards
+# must degrade to partial answers within the deadline, and overload
+# must shed with 429/503 instead of growing goroutines.
+test-fault:
+	$(GO) test -race -run 'Fault' ./internal/faultinject ./internal/segment ./internal/server
 
 # Short fuzz smoke over the byte-level parsers and the intersect kernel
 # (assembly vs portable differential). Each target gets a few seconds of

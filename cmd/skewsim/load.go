@@ -3,11 +3,14 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"os"
 	"slices"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -57,10 +60,11 @@ func runLoad(args []string) {
 			}
 			reqs = append(reqs, sets)
 		}
+		var st loadStats
 		lat, elapsed := fire(client, *concurrency, len(reqs), func(i int) error {
-			return post(client, *addr+"/v1/insert", map[string]interface{}{"sets": reqs[i]})
+			return postRetry(client, *addr+"/v1/insert", map[string]interface{}{"sets": reqs[i]}, &st)
 		})
-		report("insert", lat, elapsed, len(vecs))
+		report("insert", lat, elapsed, len(vecs), &st)
 	}
 	if *queryPath != "" {
 		qs := loadVectors(*queryPath)
@@ -79,16 +83,18 @@ func runLoad(args []string) {
 				}
 				reqs = append(reqs, sets)
 			}
+			var st loadStats
 			lat, elapsed := fire(client, *concurrency, len(reqs), func(i int) error {
 				body := map[string]interface{}{"sets": reqs[i], "mode": *mode}
 				if *mode == "first" {
 					body["threshold"] = *threshold
 				}
-				return post(client, *addr+"/v1/search/batch", body)
+				return postRetry(client, *addr+"/v1/search/batch", body, &st)
 			})
-			report("search-batch", lat, elapsed, total)
+			report("search-batch", lat, elapsed, total, &st)
 			return
 		}
+		var st loadStats
 		lat, elapsed := fire(client, *concurrency, total, func(i int) error {
 			body := map[string]interface{}{"set": qs[i%len(qs)].Bits(), "mode": *mode}
 			switch *mode {
@@ -97,10 +103,18 @@ func runLoad(args []string) {
 			case "first":
 				body["threshold"] = *threshold
 			}
-			return post(client, *addr+"/v1/search", body)
+			return postRetry(client, *addr+"/v1/search", body, &st)
 		})
-		report("search", lat, elapsed, total)
+		report("search", lat, elapsed, total, &st)
 	}
+}
+
+// loadStats counts the driver's interactions with an overloaded or
+// degraded daemon across one phase.
+type loadStats struct {
+	shed    atomic.Int64 // 429/503 rejections observed (before retries succeeded)
+	retried atomic.Int64 // requests that needed at least one retry
+	partial atomic.Int64 // 200 responses flagged "partial": true
 }
 
 // fire runs n requests through `concurrency` workers, returning the
@@ -136,7 +150,59 @@ func fire(client *http.Client, concurrency, n int, do func(i int) error) ([]time
 	return lat, time.Since(start)
 }
 
-func post(client *http.Client, url string, body interface{}) error {
+// statusError is a non-200 response; 429 and 503 carry the server's
+// Retry-After wish.
+type statusError struct {
+	status     int
+	retryAfter time.Duration
+	msg        string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+func (e *statusError) retriable() bool {
+	return e.status == http.StatusTooManyRequests || e.status == http.StatusServiceUnavailable
+}
+
+// postRetry posts with capped exponential backoff on 429/503 (an
+// overloaded daemon sheds load expecting exactly this): the wait
+// honors Retry-After when the server sends one, doubles up to a cap
+// otherwise, and is jittered so a fleet of shed clients does not
+// return in lockstep. Other failures are returned immediately.
+func postRetry(client *http.Client, url string, body interface{}, st *loadStats) error {
+	const (
+		maxAttempts = 8
+		baseBackoff = 50 * time.Millisecond
+		maxBackoff  = 2 * time.Second
+	)
+	backoff := baseBackoff
+	for attempt := 0; ; attempt++ {
+		err := post(client, url, body, st)
+		if err == nil {
+			if attempt > 0 {
+				st.retried.Add(1)
+			}
+			return nil
+		}
+		var se *statusError
+		if !errors.As(err, &se) || !se.retriable() || attempt == maxAttempts-1 {
+			return err
+		}
+		st.shed.Add(1)
+		wait := backoff
+		if se.retryAfter > wait {
+			wait = se.retryAfter
+		}
+		// Full jitter on the second half of the window.
+		wait = wait/2 + time.Duration(rand.Int63n(int64(wait/2)+1))
+		time.Sleep(wait)
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+func post(client *http.Client, url string, body interface{}, st *loadStats) error {
 	b, err := json.Marshal(body)
 	if err != nil {
 		return err
@@ -151,14 +217,29 @@ func post(client *http.Client, url string, body interface{}) error {
 			Error string `json:"error"`
 		}
 		_ = json.NewDecoder(resp.Body).Decode(&e)
-		return fmt.Errorf("%s: %s (%s)", url, resp.Status, e.Error)
+		se := &statusError{
+			status: resp.StatusCode,
+			msg:    fmt.Sprintf("%s: %s (%s)", url, resp.Status, e.Error),
+		}
+		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+			se.retryAfter = time.Duration(ra) * time.Second
+		}
+		return se
 	}
-	// Drain so the connection is reused.
-	var sink json.RawMessage
-	return json.NewDecoder(resp.Body).Decode(&sink)
+	// Drain so the connection is reused; note degraded answers.
+	var payload struct {
+		Partial bool `json:"partial"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return err
+	}
+	if payload.Partial {
+		st.partial.Add(1)
+	}
+	return nil
 }
 
-func report(phase string, lat []time.Duration, elapsed time.Duration, items int) {
+func report(phase string, lat []time.Duration, elapsed time.Duration, items int, st *loadStats) {
 	if len(lat) == 0 {
 		fmt.Printf("%s: 0 requests (empty input)\n", phase)
 		return
@@ -174,4 +255,8 @@ func report(phase string, lat []time.Duration, elapsed time.Duration, items int)
 		phase, len(lat), items, elapsed.Round(time.Millisecond),
 		float64(items)/elapsed.Seconds(),
 		total/time.Duration(len(lat)), q(0.50), q(0.95), q(0.99))
+	if shed, retried, partial := st.shed.Load(), st.retried.Load(), st.partial.Load(); shed+retried+partial > 0 {
+		fmt.Printf("%s: overload: %d shed (429/503), %d requests retried to success, %d partial answers\n",
+			phase, shed, retried, partial)
+	}
 }

@@ -36,11 +36,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"skewsim/internal/bitvec"
@@ -83,6 +87,11 @@ func main() {
 		walDir      = flag.String("wal-dir", "", "write-ahead log root (per-shard logs under it); enables crash recovery at startup")
 		fsyncMode   = flag.String("fsync", "always", "WAL fsync policy: always (group commit per batch) or never (OS writeback)")
 		walSegBytes = flag.Int64("wal-segment-bytes", 0, "WAL file rotation size (0 = 4 MiB default)")
+		drain       = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain window for in-flight requests on SIGINT/SIGTERM")
+		maxInflight = flag.Int("max-inflight", 0, "admission bound on concurrent query fan-outs (0 = 4x GOMAXPROCS, negative disables)")
+		maxQueue    = flag.Int("max-queue", -1, "admission wait-queue depth past max-inflight; beyond it requests get 429 (0 rejects immediately, negative = 4x max-inflight)")
+		defTimeout  = flag.Duration("default-timeout", 0, "deadline for search requests without ?timeout_ms= (0 = none beyond -max-timeout)")
+		maxTimeout  = flag.Duration("max-timeout", 30*time.Second, "cap on every search deadline, incl. explicit ?timeout_ms= (0 = uncapped)")
 	)
 	flag.Parse()
 
@@ -114,8 +123,10 @@ func main() {
 		log.Fatalf("skewsimd: %v", err)
 	}
 	cfg := server.Config{
-		Shards:  *shards,
-		Workers: *workers,
+		Shards:      *shards,
+		Workers:     *workers,
+		MaxInFlight: *maxInflight,
+		MaxQueue:    *maxQueue,
 		Segment: segment.Config{
 			Params:       params,
 			N:            *n,
@@ -178,7 +189,8 @@ func main() {
 			log.Printf("preloaded %d vectors from %s", len(preload), *dataPath)
 		}
 	}
-	defer srv.Close()
+	// No deferred Close: both exit paths below close srv explicitly,
+	// and log.Fatal would skip a defer anyway.
 
 	// Threshold-mode searches that omit a threshold fall back to the
 	// mode's verification threshold (b1, or α/1.3 in correlated mode).
@@ -189,6 +201,8 @@ func main() {
 	handler := server.NewHandler(srv, server.HandlerConfig{
 		SnapshotDir:      *snapshotDir,
 		DefaultThreshold: verify,
+		DefaultTimeout:   *defTimeout,
+		MaxTimeout:       *maxTimeout,
 	})
 	hs := &http.Server{
 		Addr:    *addr,
@@ -201,7 +215,32 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 	log.Printf("skewsimd: %s mode, %d shards, serving on %s", mode, srv.Shards(), *addr)
-	if err := hs.ListenAndServe(); err != nil {
+
+	// Graceful shutdown: SIGINT/SIGTERM stops the listener, drains
+	// in-flight requests for up to -drain, then stops the background
+	// workers and (srv.Close → shard Close → wal Close) fsyncs and
+	// closes each shard's log, so a routine restart loses nothing and
+	// recovers instantly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.ListenAndServe() }()
+	select {
+	case err := <-serveErr:
+		srv.Close()
 		log.Fatal(fmt.Errorf("skewsimd: %w", err))
+	case <-ctx.Done():
 	}
+	stop() // a second signal kills immediately instead of re-draining
+	log.Printf("skewsimd: shutdown signal received, draining for up to %v", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		log.Printf("skewsimd: drain incomplete: %v", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("skewsimd: listener: %v", err)
+	}
+	srv.Close() // stops shard workers, final WAL sync + close
+	log.Printf("skewsimd: shutdown complete (WAL synced and closed)")
 }

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"context"
+
+	"skewsim/internal/bitvec"
+	"skewsim/internal/lsf"
+	"skewsim/internal/verify"
+)
+
+// QueryContext is Query with cooperative cancellation: the context is
+// polled inside the repetition traversals (filter generation and
+// posting-block walks), so a query abandoned by its caller stops within
+// one posting block instead of running to completion. On cancellation
+// the partial Result is returned alongside the context error — and the
+// linear-scan fallback is NOT taken, even if every repetition that ran
+// truncated: truncation means "work budget hit, degrade to exact
+// scanning", which a canceled query must never amplify into a full
+// scan. An un-cancelable context (context.Background) costs one nil
+// compare per checkpoint.
+func (ix *Index) QueryContext(ctx context.Context, q bitvec.Vector) (Result, error) {
+	cc := lsf.NewCancelCheck(ctx)
+	if cc == nil {
+		return ix.Query(q), nil
+	}
+	var res Result
+	res.ID = -1
+	ses := verify.Acquire(ix.measure, q)
+	defer verify.Release(ses)
+	vis := ix.visitPool.Get(len(ix.data))
+	defer ix.visitPool.Put(vis)
+	allTruncated := true
+	for _, rep := range ix.reps {
+		st, err := rep.ForEachCandidateCancel(q, cc, func(id int32) bool {
+			if !vis.FirstVisit(id) {
+				return true
+			}
+			if sim, ok := ses.AtLeast(ix.packed, ix.data, id, ix.threshold); ok {
+				res.ID, res.Similarity, res.Found = int(id), sim, true
+				return false
+			}
+			return true
+		})
+		res.Stats.add(st)
+		if err != nil {
+			return res, err
+		}
+		if !st.Truncated {
+			allTruncated = false
+		}
+		if res.Found {
+			return res, nil
+		}
+	}
+	if allTruncated && ix.fallback {
+		res.Stats.FellBack = true
+		id, sim, found := ix.linearScan(ses)
+		if found {
+			res.ID, res.Similarity, res.Found = id, sim, true
+		}
+	}
+	return res, nil
+}
+
+// QueryBestContext is QueryBest with cooperative cancellation (see
+// QueryContext). The partial best-so-far accompanies a cancellation
+// error; callers must treat it as incomplete.
+func (ix *Index) QueryBestContext(ctx context.Context, q bitvec.Vector) (Result, error) {
+	cc := lsf.NewCancelCheck(ctx)
+	if cc == nil {
+		return ix.QueryBest(q), nil
+	}
+	var res Result
+	res.ID = -1
+	res.Similarity = -1
+	ses := verify.Acquire(ix.measure, q)
+	defer verify.Release(ses)
+	vis := ix.visitPool.Get(len(ix.data))
+	defer ix.visitPool.Put(vis)
+	for _, rep := range ix.reps {
+		st, err := rep.ForEachCandidateCancel(q, cc, func(id int32) bool {
+			if !vis.FirstVisit(id) {
+				return true
+			}
+			if sim, ok := ses.MoreThan(ix.packed, ix.data, id, res.Similarity); ok {
+				res.ID, res.Similarity, res.Found = int(id), sim, true
+			}
+			return true
+		})
+		res.Stats.add(st)
+		if err != nil {
+			if !res.Found {
+				res.Similarity = 0
+			}
+			return res, err
+		}
+	}
+	if !res.Found {
+		res.Similarity = 0
+	}
+	return res, nil
+}

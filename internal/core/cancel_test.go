@@ -1,0 +1,51 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"skewsim/internal/dist"
+	"skewsim/internal/hashing"
+)
+
+// TestQueryContext: with an un-cancelable context both ctx variants are
+// exactly their plain counterparts; with an expired context they abort
+// with the context error and never take the linear-scan fallback.
+func TestQueryContext(t *testing.T) {
+	d := dist.MustProduct(dist.Zipf(400, 0.4, 1.0))
+	data := d.SampleN(hashing.NewSplitMix64(5), 400)
+	ix, err := BuildAdversarial(d, data, 0.5, Options{Seed: 9})
+	if err != nil {
+		t.Fatalf("BuildAdversarial: %v", err)
+	}
+	q := data[7]
+
+	res, err := ix.QueryContext(context.Background(), q)
+	if err != nil {
+		t.Fatalf("QueryContext(Background): %v", err)
+	}
+	if want := ix.Query(q); res != want {
+		t.Fatalf("QueryContext = %+v, Query = %+v", res, want)
+	}
+	bres, err := ix.QueryBestContext(context.Background(), q)
+	if err != nil {
+		t.Fatalf("QueryBestContext(Background): %v", err)
+	}
+	if want := ix.QueryBest(q); bres != want {
+		t.Fatalf("QueryBestContext = %+v, QueryBest = %+v", bres, want)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cres, err := ix.QueryContext(ctx, q)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled QueryContext: err = %v", err)
+	}
+	if cres.Stats.FellBack {
+		t.Fatal("canceled query took the linear-scan fallback")
+	}
+	if _, err := ix.QueryBestContext(ctx, q); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled QueryBestContext: err = %v", err)
+	}
+}

@@ -1,0 +1,78 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFireDisarmed(t *testing.T) {
+	if Enabled() {
+		t.Fatal("no hook armed, Enabled() = true")
+	}
+	if err := Fire(WALFsync); err != nil {
+		t.Fatalf("disarmed Fire: %v", err)
+	}
+}
+
+func TestFaultSetFireRestore(t *testing.T) {
+	boom := errors.New("boom")
+	var got []any
+	restore := Set(SegmentCheckpointWrite, func(args ...any) error {
+		got = append(got[:0], args...)
+		return boom
+	})
+	if !Enabled() {
+		t.Fatal("armed hook, Enabled() = false")
+	}
+	if err := Fire(SegmentCheckpointWrite, uint64(7)); !errors.Is(err, boom) {
+		t.Fatalf("Fire = %v, want boom", err)
+	}
+	if len(got) != 1 || got[0] != uint64(7) {
+		t.Fatalf("hook args = %v", got)
+	}
+	// Other points stay disarmed.
+	if err := Fire(WALFsync); err != nil {
+		t.Fatalf("unrelated point fired: %v", err)
+	}
+	restore()
+	if Enabled() {
+		t.Fatal("restore left a hook armed")
+	}
+	if err := Fire(SegmentCheckpointWrite, uint64(8)); err != nil {
+		t.Fatalf("restored Fire: %v", err)
+	}
+}
+
+func TestFaultNestedSetRestoresPrevious(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	r1 := Set(WALFsync, func(...any) error { return errA })
+	r2 := Set(WALFsync, func(...any) error { return errB })
+	if err := Fire(WALFsync); !errors.Is(err, errB) {
+		t.Fatalf("inner hook: %v", err)
+	}
+	r2()
+	if err := Fire(WALFsync); !errors.Is(err, errA) {
+		t.Fatalf("after inner restore: %v", err)
+	}
+	r1()
+	if err := Fire(WALFsync); err != nil {
+		t.Fatalf("after full restore: %v", err)
+	}
+	if Enabled() {
+		t.Fatal("hooks left armed")
+	}
+}
+
+func TestFaultSetNilDisarms(t *testing.T) {
+	restore := Set(ServerShardStall, func(...any) error { return errors.New("x") })
+	Set(ServerShardStall, nil)()
+	// The nil Set's restore reinstated the outer hook; the outer restore
+	// must still unwind it.
+	if err := Fire(ServerShardStall); err == nil {
+		t.Fatal("outer hook should be back after nil-set restore")
+	}
+	restore()
+	if Enabled() {
+		t.Fatal("hooks left armed")
+	}
+}

@@ -253,6 +253,17 @@ func (e *Engine) Filters(x bitvec.Vector) FilterSet {
 // Reset it between vectors (or deliberately batch several vectors'
 // filters into one arena). The Paths view is not populated.
 func (e *Engine) FiltersInto(x bitvec.Vector, fs *FilterSet) {
+	e.FiltersIntoCancel(x, fs, nil)
+}
+
+// FiltersIntoCancel is FiltersInto with a cooperative cancellation
+// checkpoint, polled once per frontier-node expansion (the O(|x|) cost
+// unit of Lemma 6). On cancellation the filter set is abandoned
+// incomplete WITHOUT setting Truncated — truncation means "work budget
+// hit, fall back to exact scanning", which a canceled query must never
+// trigger; callers detect cancellation through cc.Err() and abort. A
+// nil cc is the plain FiltersInto.
+func (e *Engine) FiltersIntoCancel(x bitvec.Vector, fs *FilterSet, cc *CancelCheck) {
 	if x.IsEmpty() {
 		return
 	}
@@ -285,6 +296,9 @@ func (e *Engine) FiltersInto(x bitvec.Vector, fs *FilterSet) {
 			termDepth = append(termDepth, e.hasher.ExtTerm(depth+1, i))
 		}
 		for pi, plog := range curLog {
+			if cc != nil && cc.Check() {
+				return
+			}
 			elems := cur[pi*depth : pi*depth+depth]
 			fs.Expanded++
 			// One fingerprint of the path serves every candidate

@@ -463,17 +463,25 @@ const refBlock = 64
 // fused probe-then-walk-per-bucket loop visited them. The sink returns
 // false to stop early (the threshold query's early exit); stats always
 // reflect exactly the work performed up to the stop.
-func (ix *Index) traverse(q bitvec.Vector, stats *QueryStats, sink func(id int32) bool) {
+//
+// cc, when non-nil, is a cooperative cancellation checkpoint polled
+// during filter generation and once per block of resolved posting
+// spans — coarse enough that the nil (no-deadline) path pays one
+// pointer compare per block, fine enough that a canceled query stops
+// within one block's span walk. A canceled traversal leaves stats
+// reflecting the work actually performed; callers distinguish it from
+// a sink-initiated early stop through cc.Err().
+func (ix *Index) traverse(q bitvec.Vector, stats *QueryStats, cc *CancelCheck, sink func(id int32) bool) {
 	fs, _ := ix.fsPool.Get().(*FilterSet)
 	if fs == nil {
 		fs = new(FilterSet)
 	}
 	defer ix.fsPool.Put(fs)
 	fs.Reset()
-	ix.engine.FiltersInto(q, fs)
+	ix.engine.FiltersIntoCancel(q, fs, cc)
 	stats.Filters = fs.Len()
 	stats.Truncated = fs.Truncated
-	if fs.Len() == 0 {
+	if fs.Len() == 0 || cc.Err() != nil {
 		return
 	}
 	rs, _ := ix.refPool.Get().(*[refBlock]PostingRef)
@@ -484,6 +492,9 @@ func (ix *Index) traverse(q bitvec.Vector, stats *QueryStats, sink func(id int32
 	vis := ix.visitPool.Get(len(ix.data))
 	defer ix.visitPool.Put(vis)
 	for base := 0; base < fs.Len(); base += refBlock {
+		if cc != nil && cc.Check() {
+			return
+		}
 		end := base + refBlock
 		if end > fs.Len() {
 			end = fs.Len()
@@ -526,8 +537,20 @@ func (ix *Index) AppendFilterRefs(q bitvec.Vector, fs *FilterSet, refs []Posting
 // candidates without materializing per-repetition slices.
 func (ix *Index) ForEachCandidate(q bitvec.Vector, sink func(id int32) bool) QueryStats {
 	var stats QueryStats
-	ix.traverse(q, &stats, sink)
+	ix.traverse(q, &stats, nil, sink)
 	return stats
+}
+
+// ForEachCandidateCancel is ForEachCandidate with a cooperative
+// cancellation checkpoint threaded into the traversal loops (polled
+// during filter generation and once per posting block). The returned
+// error is non-nil exactly when the traversal was cut short by cc; the
+// stats then reflect the work actually performed. A nil cc never
+// cancels.
+func (ix *Index) ForEachCandidateCancel(q bitvec.Vector, cc *CancelCheck, sink func(id int32) bool) (QueryStats, error) {
+	var stats QueryStats
+	ix.traverse(q, &stats, cc, sink)
+	return stats, cc.Err()
 }
 
 // UsePacked attaches a word-packed form of the index's data, aligned
@@ -552,7 +575,7 @@ func (ix *Index) Query(q bitvec.Vector, threshold float64, m bitvec.Measure) (be
 	if ix.packed == nil {
 		// No packed data (baseline instantiations like chosenpath):
 		// verify straight off the sorted slices, paying no session.
-		ix.traverse(q, &stats, func(id int32) bool {
+		ix.traverse(q, &stats, nil, func(id int32) bool {
 			if s := m.Similarity(q, ix.data[id]); s >= threshold {
 				best, sim, found = int(id), s, true
 				return false
@@ -563,7 +586,7 @@ func (ix *Index) Query(q bitvec.Vector, threshold float64, m bitvec.Measure) (be
 	}
 	ses := verify.Acquire(m, q)
 	defer verify.Release(ses)
-	ix.traverse(q, &stats, func(id int32) bool {
+	ix.traverse(q, &stats, nil, func(id int32) bool {
 		if s, ok := ses.AtLeast(ix.packed, ix.data, id, threshold); ok {
 			best, sim, found = int(id), s, true
 			return false
@@ -581,7 +604,7 @@ func (ix *Index) Query(q bitvec.Vector, threshold float64, m bitvec.Measure) (be
 func (ix *Index) QueryBest(q bitvec.Vector, m bitvec.Measure) (best int, sim float64, stats QueryStats, found bool) {
 	best, sim = -1, -1
 	if ix.packed == nil {
-		ix.traverse(q, &stats, func(id int32) bool {
+		ix.traverse(q, &stats, nil, func(id int32) bool {
 			if s := m.Similarity(q, ix.data[id]); s > sim {
 				best, sim = int(id), s
 			}
@@ -590,7 +613,7 @@ func (ix *Index) QueryBest(q bitvec.Vector, m bitvec.Measure) (best int, sim flo
 	} else {
 		ses := verify.Acquire(m, q)
 		defer verify.Release(ses)
-		ix.traverse(q, &stats, func(id int32) bool {
+		ix.traverse(q, &stats, nil, func(id int32) bool {
 			if s, ok := ses.MoreThan(ix.packed, ix.data, id, sim); ok {
 				best, sim = int(id), s
 			}
@@ -615,7 +638,7 @@ func (ix *Index) CandidateIDs(q bitvec.Vector) ([]int32, QueryStats) {
 // traversal allocation-free in steady state.
 func (ix *Index) AppendCandidateIDs(dst []int32, q bitvec.Vector) ([]int32, QueryStats) {
 	var stats QueryStats
-	ix.traverse(q, &stats, func(id int32) bool {
+	ix.traverse(q, &stats, nil, func(id int32) bool {
 		dst = append(dst, id)
 		return true
 	})

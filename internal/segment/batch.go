@@ -2,6 +2,7 @@ package segment
 
 import (
 	"cmp"
+	"context"
 	"slices"
 
 	"skewsim/internal/lsf"
@@ -51,10 +52,23 @@ type BatchResult struct {
 // query); Filters, Truncated, Candidates, and Distinct sum over all
 // queries and equal the sums of the corresponding single-query stats.
 func (s *SegmentedIndex) SearchBatch(sess []*verify.Session, thresholds []float64) ([]BatchResult, QueryStats) {
+	out, stats, _ := s.SearchBatchContext(nil, sess, thresholds)
+	return out, stats
+}
+
+// SearchBatchContext is SearchBatch with cooperative cancellation: ctx
+// is polled between filter generations and posting-span walks, so an
+// abandoned batch releases the read lock within one span instead of
+// finishing the pass. On cancellation the partial results gathered so
+// far are returned alongside the context error and must be treated as
+// incomplete. A nil or never-canceled ctx costs one nil compare per
+// checkpoint.
+func (s *SegmentedIndex) SearchBatchContext(ctx context.Context, sess []*verify.Session, thresholds []float64) ([]BatchResult, QueryStats, error) {
+	cc := lsf.NewCancelCheck(ctx)
 	var stats QueryStats
 	nq := len(sess)
 	if nq == 0 {
-		return nil, stats
+		return nil, stats, nil
 	}
 	if thresholds != nil && len(thresholds) != nq {
 		panic("segment: SearchBatch thresholds length does not match sessions")
@@ -103,23 +117,39 @@ func (s *SegmentedIndex) SearchBatch(sess []*verify.Session, thresholds []float6
 	}
 
 	fss := make([]*lsf.FilterSet, nq)
+	releaseFss := func() {
+		for k := range fss {
+			if fss[k] != nil {
+				s.fsPool.Put(fss[k])
+				fss[k] = nil
+			}
+		}
+	}
 	var refs []lsf.PostingRef
 	for r, eng := range s.engines {
 		stats.Reps++
 		// One filter generation for the whole batch.
 		for k := range sess {
 			fs := s.getFilterSet()
-			eng.FiltersInto(sess[k].Query(), fs)
+			eng.FiltersIntoCancel(sess[k].Query(), fs, cc)
 			stats.Filters += fs.Len()
 			if fs.Truncated {
 				stats.Truncated++
 			}
 			fss[k] = fs
 		}
+		if cc.Err() != nil {
+			releaseFss()
+			return out, stats, cc.Err()
+		}
 		// Mutable layers: chained-bucket maps, probed per query in
 		// filter order (they are small; blocking buys nothing here).
 		for k, fs := range fss {
 			for i := 0; i < fs.Len(); i++ {
+				if cc != nil && cc.Check() {
+					releaseFss()
+					return out, stats, cc.Err()
+				}
 				path := fs.Path(i)
 				for _, slot := range s.mem.reps[r].postings(path) {
 					emit(k, slot)
@@ -137,6 +167,10 @@ func (s *SegmentedIndex) SearchBatch(sess []*verify.Session, thresholds []float6
 		for _, g := range s.segs {
 			ix := g.reps[r]
 			for k, fs := range fss {
+				if cc != nil && cc.Check() {
+					releaseFss()
+					return out, stats, cc.Err()
+				}
 				refs = refs[:0]
 				for i := 0; i < fs.Len(); i++ {
 					if ref, ok := ix.PathRef(fs.Path(i)); ok && ref.Len > 0 {
@@ -153,10 +187,7 @@ func (s *SegmentedIndex) SearchBatch(sess []*verify.Session, thresholds []float6
 				}
 			}
 		}
-		for k := range fss {
-			s.fsPool.Put(fss[k])
-			fss[k] = nil
-		}
+		releaseFss()
 	}
-	return out, stats
+	return out, stats, nil
 }

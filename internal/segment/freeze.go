@@ -5,6 +5,7 @@ import (
 	"slices"
 
 	"skewsim/internal/bitvec"
+	"skewsim/internal/faultinject"
 	"skewsim/internal/lsf"
 )
 
@@ -18,6 +19,11 @@ func (s *SegmentedIndex) buildSegment(mt *memtable) *frozenSeg {
 	if len(mt.slots) == 0 {
 		return nil
 	}
+	// Test-only stall: lets the fault harness hold a freeze in flight
+	// while concurrent queries and writes proceed against the flushing
+	// list. The returned error is deliberately ignored — a slow freeze
+	// is a delay, not a failure.
+	_ = faultinject.Fire(faultinject.SegmentSlowFreeze, len(mt.slots))
 	data := make([]bitvec.Vector, len(mt.slots))
 	s.mu.RLock()
 	for i, slot := range mt.slots {

@@ -36,6 +36,7 @@
 package segment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -525,7 +526,13 @@ func (s *SegmentedIndex) getFilterSet() *lsf.FilterSet {
 // distinct live slot into sink in first-encounter order until sink
 // returns false. Runs entirely under the read lock: one query sees one
 // consistent snapshot.
-func (s *SegmentedIndex) forEach(q bitvec.Vector, stats *QueryStats, sink func(slot int32) bool) {
+//
+// cc, when non-nil, is a cooperative cancellation checkpoint polled
+// during each repetition's filter generation and once per filter path —
+// the nil (no-deadline) path pays one pointer compare per path. The
+// returned error is non-nil exactly when the traversal was cut short by
+// cc; a sink-initiated early stop returns nil.
+func (s *SegmentedIndex) forEach(q bitvec.Vector, stats *QueryStats, cc *lsf.CancelCheck, sink func(slot int32) bool) error {
 	fs := s.getFilterSet()
 	defer s.fsPool.Put(fs)
 	s.mu.RLock()
@@ -546,35 +553,42 @@ func (s *SegmentedIndex) forEach(q bitvec.Vector, stats *QueryStats, sink func(s
 	}
 	for r, eng := range s.engines {
 		fs.Reset()
-		eng.FiltersInto(q, fs)
+		eng.FiltersIntoCancel(q, fs, cc)
+		if cc.Err() != nil {
+			return cc.Err()
+		}
 		stats.Reps++
 		stats.Filters += fs.Len()
 		if fs.Truncated {
 			stats.Truncated++
 		}
 		for k := 0; k < fs.Len(); k++ {
+			if cc != nil && cc.Check() {
+				return cc.Err()
+			}
 			path := fs.Path(k)
 			for _, slot := range s.mem.reps[r].postings(path) {
 				if !emit(slot) {
-					return
+					return nil
 				}
 			}
 			for _, mt := range s.flushing {
 				for _, slot := range mt.reps[r].postings(path) {
 					if !emit(slot) {
-						return
+						return nil
 					}
 				}
 			}
 			for _, g := range s.segs {
 				for _, lid := range g.reps[r].Postings(path) {
 					if !emit(g.slots[lid]) {
-						return
+						return nil
 					}
 				}
 			}
 		}
 	}
+	return nil
 }
 
 // Query returns the first live vector with measure-similarity at least
@@ -582,7 +596,8 @@ func (s *SegmentedIndex) forEach(q bitvec.Vector, stats *QueryStats, sink func(s
 func (s *SegmentedIndex) Query(q bitvec.Vector, threshold float64, m bitvec.Measure) (Match, QueryStats, bool) {
 	ses := verify.Acquire(m, q)
 	defer verify.Release(ses)
-	return s.QueryWith(ses, threshold)
+	match, stats, found, _ := s.QueryWithContext(nil, ses, threshold)
+	return match, stats, found
 }
 
 // QueryWith is Query over a caller-supplied verification session
@@ -591,12 +606,24 @@ func (s *SegmentedIndex) Query(q bitvec.Vector, threshold float64, m bitvec.Meas
 // every shard — Session verification is read-only, so concurrent shard
 // goroutines share it safely.
 func (s *SegmentedIndex) QueryWith(ses *verify.Session, threshold float64) (Match, QueryStats, bool) {
+	match, stats, found, _ := s.QueryWithContext(nil, ses, threshold)
+	return match, stats, found
+}
+
+// QueryWithContext is QueryWith with cooperative cancellation: ctx is
+// polled inside the traversal (filter generation and per-path probes),
+// so an abandoned query releases its read lock within one posting walk
+// instead of running to completion. The error is non-nil exactly when
+// the query was cut short (ctx.Err()); the partial result alongside it
+// must be treated as incomplete. A nil or never-canceled ctx costs one
+// nil compare per checkpoint.
+func (s *SegmentedIndex) QueryWithContext(ctx context.Context, ses *verify.Session, threshold float64) (Match, QueryStats, bool, error) {
 	var (
 		stats QueryStats
 		match Match
 		found bool
 	)
-	s.forEach(ses.Query(), &stats, func(slot int32) bool {
+	err := s.forEach(ses.Query(), &stats, lsf.NewCancelCheck(ctx), func(slot int32) bool {
 		if sim, ok := ses.AtLeast(&s.packed, s.vecs, slot, threshold); ok {
 			match = Match{ID: s.ext[slot], Similarity: sim}
 			found = true
@@ -604,7 +631,7 @@ func (s *SegmentedIndex) QueryWith(ses *verify.Session, threshold float64) (Matc
 		}
 		return true
 	})
-	return match, stats, found
+	return match, stats, found, err
 }
 
 // QueryBest examines every candidate and returns the most similar one
@@ -612,20 +639,28 @@ func (s *SegmentedIndex) QueryWith(ses *verify.Session, threshold float64) (Matc
 func (s *SegmentedIndex) QueryBest(q bitvec.Vector, m bitvec.Measure) (Match, QueryStats, bool) {
 	ses := verify.Acquire(m, q)
 	defer verify.Release(ses)
-	return s.QueryBestWith(ses)
+	match, stats, found, _ := s.QueryBestWithContext(nil, ses)
+	return match, stats, found
 }
 
 // QueryBestWith is QueryBest over a caller-supplied session; each
 // candidate is pruned against the running best before its intersection
 // is computed.
 func (s *SegmentedIndex) QueryBestWith(ses *verify.Session) (Match, QueryStats, bool) {
+	match, stats, found, _ := s.QueryBestWithContext(nil, ses)
+	return match, stats, found
+}
+
+// QueryBestWithContext is QueryBestWith with cooperative cancellation
+// (see QueryWithContext for the contract).
+func (s *SegmentedIndex) QueryBestWithContext(ctx context.Context, ses *verify.Session) (Match, QueryStats, bool, error) {
 	var (
 		stats QueryStats
 		match Match
 		found bool
 	)
 	best := -1.0
-	s.forEach(ses.Query(), &stats, func(slot int32) bool {
+	err := s.forEach(ses.Query(), &stats, lsf.NewCancelCheck(ctx), func(slot int32) bool {
 		if sim, ok := ses.MoreThan(&s.packed, s.vecs, slot, best); ok {
 			best = sim
 			match = Match{ID: s.ext[slot], Similarity: sim}
@@ -633,7 +668,7 @@ func (s *SegmentedIndex) QueryBestWith(ses *verify.Session) (Match, QueryStats, 
 		}
 		return true
 	})
-	return match, stats, found
+	return match, stats, found, err
 }
 
 // TopK returns the k most similar live candidates, sorted by decreasing
@@ -642,19 +677,28 @@ func (s *SegmentedIndex) QueryBestWith(ses *verify.Session) (Match, QueryStats, 
 func (s *SegmentedIndex) TopK(q bitvec.Vector, k int, m bitvec.Measure) ([]Match, QueryStats) {
 	ses := verify.Acquire(m, q)
 	defer verify.Release(ses)
-	return s.TopKWith(ses, k)
+	matches, stats, _ := s.TopKWithContext(nil, ses, k)
+	return matches, stats
 }
 
 // TopKWith is TopK over a caller-supplied session. Every positive
 // similarity is computed exactly (no threshold prune — any candidate
 // can make the cut), but through the packed popcount kernel.
 func (s *SegmentedIndex) TopKWith(ses *verify.Session, k int) ([]Match, QueryStats) {
+	matches, stats, _ := s.TopKWithContext(nil, ses, k)
+	return matches, stats
+}
+
+// TopKWithContext is TopKWith with cooperative cancellation (see
+// QueryWithContext for the contract). A canceled top-k returns the
+// ranked prefix gathered so far alongside the error.
+func (s *SegmentedIndex) TopKWithContext(ctx context.Context, ses *verify.Session, k int) ([]Match, QueryStats, error) {
 	var stats QueryStats
 	if k <= 0 {
-		return nil, stats
+		return nil, stats, nil
 	}
 	var matches []Match
-	s.forEach(ses.Query(), &stats, func(slot int32) bool {
+	err := s.forEach(ses.Query(), &stats, lsf.NewCancelCheck(ctx), func(slot int32) bool {
 		if sim := ses.Similarity(&s.packed, s.vecs, slot); sim > 0 {
 			matches = append(matches, Match{ID: s.ext[slot], Similarity: sim})
 		}
@@ -664,7 +708,7 @@ func (s *SegmentedIndex) TopKWith(ses *verify.Session, k int) ([]Match, QuerySta
 	if len(matches) > k {
 		matches = matches[:k]
 	}
-	return matches, stats
+	return matches, stats, err
 }
 
 // Candidates returns the distinct live candidate slots for q over all
@@ -677,7 +721,7 @@ func (s *SegmentedIndex) TopKWith(ses *verify.Session, k int) ([]Match, QuerySta
 func (s *SegmentedIndex) Candidates(q bitvec.Vector) []int32 {
 	var out []int32
 	var stats QueryStats
-	s.forEach(q, &stats, func(slot int32) bool {
+	s.forEach(q, &stats, nil, func(slot int32) bool {
 		out = append(out, slot)
 		return true
 	})
@@ -688,7 +732,7 @@ func (s *SegmentedIndex) Candidates(q bitvec.Vector) []int32 {
 func (s *SegmentedIndex) CandidatesExt(q bitvec.Vector) ([]int64, QueryStats) {
 	var out []int64
 	var stats QueryStats
-	s.forEach(q, &stats, func(slot int32) bool {
+	s.forEach(q, &stats, nil, func(slot int32) bool {
 		out = append(out, s.ext[slot])
 		return true
 	})

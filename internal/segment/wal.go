@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"skewsim/internal/bitvec"
+	"skewsim/internal/faultinject"
 	"skewsim/internal/lsf"
 	"skewsim/internal/wal"
 )
@@ -327,6 +328,9 @@ func (s *SegmentedIndex) persistCompactionLocked(merged, a, b *frozenSeg) {
 // temp name, fsync, rename into place, fsync the directory. The frozen
 // lsf indexes are immutable, so no index lock is needed.
 func writeCkptFile(dir string, seq uint64, dump segDump, reps []*lsf.Index) (err error) {
+	if err = faultinject.Fire(faultinject.SegmentCheckpointWrite, seq); err != nil {
+		return fmt.Errorf("segment: checkpoint: %w", err)
+	}
 	final := filepath.Join(dir, ckptName(seq))
 	tmp := final + ".tmp"
 	f, err := os.Create(tmp)

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// Admission control: a bounded gate in front of the query fan-out.
+// Unlimited concurrent queries would fan out to every shard at once and
+// convoy on the shards' read locks — past saturation, added load only
+// adds latency until every request misses its deadline (congestion
+// collapse). The gate bounds concurrent fan-outs at MaxInFlight and
+// holds at most MaxQueue requests in a deadline-aware wait queue;
+// beyond that, requests are rejected immediately so the callers retry
+// with backoff while admitted requests keep meeting their deadlines.
+
+// ErrOverloaded is returned when the admission queue is full: the
+// request was rejected without doing any work. HTTP maps it to 429.
+var ErrOverloaded = errors.New("server: overloaded, admission queue full")
+
+// ErrShed is returned when a request's deadline expired while it was
+// queued for admission: the server was too busy to start it in time.
+// The context error is wrapped. HTTP maps it to 503.
+var ErrShed = errors.New("server: shed while queued for admission")
+
+// configGate builds the server's gate from Config: negative
+// MaxInFlight disables admission entirely.
+func configGate(cfg Config) *gate {
+	if cfg.MaxInFlight < 0 {
+		return nil
+	}
+	return newGate(cfg.MaxInFlight, cfg.MaxQueue)
+}
+
+// gate is the admission semaphore. A nil *gate admits everything.
+type gate struct {
+	slots    chan struct{} // buffered; a held slot is an in-flight query
+	queued   atomic.Int64
+	maxQueue int64
+}
+
+// newGate sizes the gate: maxInFlight <= 0 defaults to 4×GOMAXPROCS
+// (enough to hide shard-lock stalls without convoying), maxQueue < 0
+// defaults to 4×maxInFlight, maxQueue == 0 disables queuing (reject
+// the moment the in-flight slots are taken). The 4×GOMAXPROCS queue
+// default bounds waiting requests — and therefore queue memory and
+// goroutines — at a small multiple of what the machine can execute.
+func newGate(maxInFlight, maxQueue int) *gate {
+	if maxInFlight <= 0 {
+		maxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if maxQueue < 0 {
+		maxQueue = 4 * maxInFlight
+	}
+	return &gate{
+		slots:    make(chan struct{}, maxInFlight),
+		maxQueue: int64(maxQueue),
+	}
+}
+
+// acquire admits the request or rejects it: nil on admission (the
+// caller must release), ErrOverloaded when the queue is full, ErrShed
+// (wrapping ctx.Err()) when the context expires while queued. The
+// queue is a counter plus the channel's blocked senders, so waiters
+// drain in roughly FIFO order and an expired waiter costs nothing.
+func (g *gate) acquire(ctx context.Context) error {
+	if g == nil {
+		return ctx.Err()
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if g.queued.Add(1) > g.maxQueue {
+		g.queued.Add(-1)
+		return ErrOverloaded
+	}
+	defer g.queued.Add(-1)
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("%w: %w", ErrShed, ctx.Err())
+	}
+}
+
+// release frees an admitted request's slot. Must be called exactly once
+// per successful acquire — after every shard goroutine of the fan-out
+// has finished, so a stalled shard keeps its slot held and the gate's
+// bound stays honest.
+func (g *gate) release() {
+	if g != nil {
+		<-g.slots
+	}
+}

@@ -1,0 +1,330 @@
+package server
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"sync/atomic"
+
+	"skewsim/internal/bitvec"
+	"skewsim/internal/faultinject"
+	"skewsim/internal/segment"
+	"skewsim/internal/verify"
+)
+
+// Deadline-aware query fan-out. The *Context query methods thread the
+// caller's context through admission (a queue-full or expired wait
+// rejects before any work), into every shard's traversal (cooperative
+// cancellation checkpoints release the shard read lock within one
+// posting walk), and into the aggregation (a shard that misses the
+// deadline is abandoned, not awaited). Degradation is graceful: the
+// merged answer from the shards that did answer is returned with the
+// fan-out marked partial, so a single stalled shard degrades result
+// completeness instead of availability.
+
+// ShardError reports one shard's failure within a fan-out.
+type ShardError struct {
+	Shard int    `json:"shard"`
+	Err   string `json:"error"`
+}
+
+// Fanout reports how a query's shard fan-out went: how many shards
+// contributed to the merged answer and what happened to the rest.
+// Returned alongside the (possibly partial) results of every *Context
+// query method.
+type Fanout struct {
+	// Shards is the fan-out width (the server's shard count).
+	Shards int
+	// Answered counts shards whose results are merged into the answer.
+	Answered int
+	// Errs details the failed shards, ascending by shard.
+	Errs []ShardError
+
+	ok       []bool
+	firstErr error
+}
+
+// OK reports whether shard i's results are part of the merged answer.
+func (f *Fanout) OK(i int) bool { return f.ok[i] }
+
+// Complete reports whether every shard answered.
+func (f *Fanout) Complete() bool { return f.Answered == f.Shards }
+
+// Partial reports whether the answer merges some but not all shards —
+// a usable, degraded result.
+func (f *Fanout) Partial() bool { return f.Answered > 0 && f.Answered < f.Shards }
+
+// Err returns nil when the fan-out produced a usable answer (complete
+// or partial) and the reason otherwise: the admission rejection
+// (ErrOverloaded, ErrShed), the context error when every shard missed
+// the deadline, or the first shard failure.
+func (f *Fanout) Err() error {
+	if f.Answered == 0 {
+		return f.firstErr
+	}
+	return nil
+}
+
+func (f *Fanout) fail(i int, err error) {
+	f.Errs = append(f.Errs, ShardError{Shard: i, Err: err.Error()})
+	if f.firstErr == nil {
+		f.firstErr = err
+	}
+}
+
+// rejected builds the Fanout for a request that never got past
+// admission: zero shards answered, every query slot unused.
+func (s *Server) rejected(err error) *Fanout {
+	return &Fanout{Shards: len(s.shards), ok: make([]bool, len(s.shards)), firstErr: err}
+}
+
+// fanOut runs work(i) for every shard on the bounded worker pool and
+// aggregates per-shard success. If ctx expires mid-flight the
+// un-reported shards are marked failed and the call returns without
+// awaiting them; a reaper goroutine drains the stragglers and only then
+// runs cleanup, so shared state (the pooled verify session, the
+// admission slot) stays live for exactly as long as any shard goroutine
+// can touch it. Callers must read result slots only for shards with
+// f.OK(i) — the report channel orders those writes before this return,
+// while an abandoned shard may still be writing its slot.
+func (s *Server) fanOut(ctx context.Context, work func(i int) error, cleanup func()) *Fanout {
+	n := len(s.shards)
+	f := &Fanout{Shards: n, ok: make([]bool, n)}
+	type report struct {
+		i   int
+		err error
+	}
+	ch := make(chan report, n)
+	var idx atomic.Int64
+	workers := s.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for {
+				i := int(idx.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				// The stall point lets the fault harness hold a shard's
+				// goroutine exactly where a slow disk or a lock convoy
+				// would.
+				err := faultinject.Fire(faultinject.ServerShardStall, ctx, i)
+				if err == nil {
+					err = work(i)
+				}
+				ch <- report{i, err}
+			}
+		}()
+	}
+	reported := make([]bool, n)
+	done := ctx.Done()
+	for got := 0; got < n; {
+		select {
+		case r := <-ch:
+			reported[r.i] = true
+			got++
+			if r.err == nil {
+				f.ok[r.i] = true
+				f.Answered++
+			} else {
+				f.fail(r.i, r.err)
+			}
+		case <-done:
+			err := ctx.Err()
+			for i := 0; i < n; i++ {
+				if !reported[i] {
+					f.fail(i, err)
+				}
+			}
+			remaining := n - got
+			go func() {
+				for j := 0; j < remaining; j++ {
+					<-ch
+				}
+				cleanup()
+			}()
+			sortShardErrs(f.Errs)
+			return f
+		}
+	}
+	cleanup()
+	sortShardErrs(f.Errs)
+	return f
+}
+
+func sortShardErrs(errs []ShardError) {
+	sort.Slice(errs, func(a, b int) bool { return errs[a].Shard < errs[b].Shard })
+}
+
+// QueryContext is Query under a deadline: admission-gated, canceled
+// cooperatively inside every shard, degraded to the answering shards'
+// merged match when some miss the deadline. The Fanout is never nil;
+// its Err is non-nil exactly when there is no usable answer (rejected,
+// or zero shards answered).
+func (s *Server) QueryContext(ctx context.Context, q bitvec.Vector, threshold float64, m bitvec.Measure) (segment.Match, segment.QueryStats, bool, *Fanout) {
+	if err := s.gate.acquire(ctx); err != nil {
+		return segment.Match{}, segment.QueryStats{}, false, s.rejected(err)
+	}
+	ses := verify.Acquire(m, q)
+	n := len(s.shards)
+	matches := make([]segment.Match, n)
+	founds := make([]bool, n)
+	stats := make([]segment.QueryStats, n)
+	f := s.fanOut(ctx, func(i int) error {
+		var err error
+		matches[i], stats[i], founds[i], err = s.shards[i].QueryWithContext(ctx, ses, threshold)
+		return err
+	}, func() {
+		verify.Release(ses)
+		s.gate.release()
+	})
+	match, agg, found := aggregateOK(f, matches, founds, stats, func(a, b segment.Match) bool {
+		return a.ID < b.ID
+	})
+	return match, agg, found, f
+}
+
+// QueryBestContext is QueryBest under a deadline (see QueryContext).
+func (s *Server) QueryBestContext(ctx context.Context, q bitvec.Vector, m bitvec.Measure) (segment.Match, segment.QueryStats, bool, *Fanout) {
+	if err := s.gate.acquire(ctx); err != nil {
+		return segment.Match{}, segment.QueryStats{}, false, s.rejected(err)
+	}
+	ses := verify.Acquire(m, q)
+	n := len(s.shards)
+	matches := make([]segment.Match, n)
+	founds := make([]bool, n)
+	stats := make([]segment.QueryStats, n)
+	f := s.fanOut(ctx, func(i int) error {
+		var err error
+		matches[i], stats[i], founds[i], err = s.shards[i].QueryBestWithContext(ctx, ses)
+		return err
+	}, func() {
+		verify.Release(ses)
+		s.gate.release()
+	})
+	match, agg, found := aggregateOK(f, matches, founds, stats, func(a, b segment.Match) bool {
+		if a.Similarity != b.Similarity {
+			return a.Similarity > b.Similarity
+		}
+		return a.ID < b.ID
+	})
+	return match, agg, found, f
+}
+
+// aggregateOK merges the shard results that actually answered; slots of
+// failed shards are never read (their goroutines may still be writing).
+func aggregateOK(f *Fanout, matches []segment.Match, founds []bool, stats []segment.QueryStats, better func(a, b segment.Match) bool) (segment.Match, segment.QueryStats, bool) {
+	var (
+		agg   segment.QueryStats
+		best  segment.Match
+		found bool
+	)
+	for i := range matches {
+		if !f.OK(i) {
+			continue
+		}
+		agg.Merge(stats[i])
+		if founds[i] && (!found || better(matches[i], best)) {
+			best, found = matches[i], true
+		}
+	}
+	return best, agg, found
+}
+
+// TopKContext is TopK under a deadline (see QueryContext). A partial
+// fan-out returns the merged top-k of the answering shards.
+func (s *Server) TopKContext(ctx context.Context, q bitvec.Vector, k int, m bitvec.Measure) ([]segment.Match, segment.QueryStats, *Fanout) {
+	if k <= 0 {
+		return nil, segment.QueryStats{}, &Fanout{Shards: len(s.shards), Answered: len(s.shards), ok: okAll(len(s.shards))}
+	}
+	if err := s.gate.acquire(ctx); err != nil {
+		return nil, segment.QueryStats{}, s.rejected(err)
+	}
+	ses := verify.Acquire(m, q)
+	n := len(s.shards)
+	perShard := make([][]segment.Match, n)
+	stats := make([]segment.QueryStats, n)
+	f := s.fanOut(ctx, func(i int) error {
+		var err error
+		perShard[i], stats[i], err = s.shards[i].TopKWithContext(ctx, ses, k)
+		return err
+	}, func() {
+		verify.Release(ses)
+		s.gate.release()
+	})
+	var agg segment.QueryStats
+	var all []segment.Match
+	for i := range perShard {
+		if !f.OK(i) {
+			continue
+		}
+		agg.Merge(stats[i])
+		all = append(all, perShard[i]...)
+	}
+	segment.SortMatches(all)
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all, agg, f
+}
+
+func okAll(n int) []bool {
+	ok := make([]bool, n)
+	for i := range ok {
+		ok[i] = true
+	}
+	return ok
+}
+
+// SearchBatchContext is SearchBatch under a deadline (see
+// QueryContext): one admission slot covers the whole batch, and a
+// partial fan-out merges each query's winners over the answering
+// shards only.
+func (s *Server) SearchBatchContext(ctx context.Context, qs []bitvec.Vector, thresholds []float64, m bitvec.Measure) ([]segment.BatchResult, segment.QueryStats, *Fanout) {
+	nq := len(qs)
+	if nq == 0 {
+		return nil, segment.QueryStats{}, &Fanout{Shards: len(s.shards), Answered: len(s.shards), ok: okAll(len(s.shards))}
+	}
+	if err := s.gate.acquire(ctx); err != nil {
+		return nil, segment.QueryStats{}, s.rejected(err)
+	}
+	sess := make([]*verify.Session, nq)
+	for k, q := range qs {
+		sess[k] = verify.Acquire(m, q)
+	}
+	n := len(s.shards)
+	perShard := make([][]segment.BatchResult, n)
+	stats := make([]segment.QueryStats, n)
+	f := s.fanOut(ctx, func(i int) error {
+		var err error
+		perShard[i], stats[i], err = s.shards[i].SearchBatchContext(ctx, sess, thresholds)
+		return err
+	}, func() {
+		for _, se := range sess {
+			verify.Release(se)
+		}
+		s.gate.release()
+	})
+	out := make([]segment.BatchResult, nq)
+	var agg segment.QueryStats
+	for i := 0; i < n; i++ {
+		if !f.OK(i) {
+			continue
+		}
+		agg.Merge(stats[i])
+		for k := range out {
+			r := perShard[i][k]
+			if r.Found && (!out[k].Found ||
+				r.Match.Similarity > out[k].Match.Similarity ||
+				(r.Match.Similarity == out[k].Match.Similarity && r.Match.ID < out[k].Match.ID)) {
+				out[k] = r
+			}
+		}
+	}
+	return out, agg, f
+}

@@ -1,12 +1,17 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime/debug"
+	"strconv"
+	"time"
 
 	"skewsim/internal/bitvec"
 	"skewsim/internal/segment"
@@ -70,6 +75,11 @@ type searchResponse struct {
 	Found   bool               `json:"found"`
 	Matches []matchJSON        `json:"matches"`
 	Stats   segment.QueryStats `json:"stats"`
+	// Partial is set when some shards missed the request deadline: the
+	// result merges only the shards that answered (ShardErrors details
+	// the rest). See API.md "Errors, deadlines, and overload".
+	Partial     bool         `json:"partial,omitempty"`
+	ShardErrors []ShardError `json:"shard_errors,omitempty"`
 }
 
 type batchSearchRequest struct {
@@ -91,6 +101,11 @@ type batchResultJSON struct {
 type batchSearchResponse struct {
 	Results []batchResultJSON  `json:"results"`
 	Stats   segment.QueryStats `json:"stats"`
+	// Partial and ShardErrors as in searchResponse: a deadline that a
+	// subset of shards missed degrades the batch, per query, to the
+	// answering shards' merged winners.
+	Partial     bool         `json:"partial,omitempty"`
+	ShardErrors []ShardError `json:"shard_errors,omitempty"`
 }
 
 type snapshotRequest struct {
@@ -112,6 +127,14 @@ type HandlerConfig struct {
 	// threshold; typically the mode's verification threshold from
 	// core.VerificationThreshold.
 	DefaultThreshold float64
+	// DefaultTimeout is the per-request deadline applied to search
+	// requests that do not pass ?timeout_ms=. Zero means no deadline
+	// beyond MaxTimeout.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps every search request's deadline, including
+	// requests that ask for more via ?timeout_ms= and requests that ask
+	// for none. Zero means no cap.
+	MaxTimeout time.Duration
 }
 
 // NewHandler wraps srv in the HTTP/JSON API above.
@@ -165,12 +188,21 @@ func NewHandler(srv *Server, hc HandlerConfig) http.Handler {
 				return
 			}
 		}
+		ctx, cancel, err := requestContext(r, hc)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		defer cancel()
 		q := bitvec.New(req.Set...)
 		var resp searchResponse
+		var f *Fanout
 		switch req.Mode {
 		case "", "best":
-			match, stats, found := srv.QueryBest(q, m)
-			resp.Found, resp.Stats = found, stats
+			var match segment.Match
+			var found bool
+			match, resp.Stats, found, f = srv.QueryBestContext(ctx, q, m)
+			resp.Found = found
 			if found {
 				resp.Matches = []matchJSON{{ID: match.ID, Similarity: match.Similarity}}
 			}
@@ -179,8 +211,10 @@ func NewHandler(srv *Server, hc HandlerConfig) http.Handler {
 			if req.Threshold != nil {
 				threshold = *req.Threshold
 			}
-			match, stats, found := srv.Query(q, threshold, m)
-			resp.Found, resp.Stats = found, stats
+			var match segment.Match
+			var found bool
+			match, resp.Stats, found, f = srv.QueryContext(ctx, q, threshold, m)
+			resp.Found = found
 			if found {
 				resp.Matches = []matchJSON{{ID: match.ID, Similarity: match.Similarity}}
 			}
@@ -189,8 +223,9 @@ func NewHandler(srv *Server, hc HandlerConfig) http.Handler {
 			if k <= 0 {
 				k = 10
 			}
-			matches, stats := srv.TopK(q, k, m)
-			resp.Found, resp.Stats = len(matches) > 0, stats
+			var matches []segment.Match
+			matches, resp.Stats, f = srv.TopKContext(ctx, q, k, m)
+			resp.Found = len(matches) > 0
 			for _, mt := range matches {
 				resp.Matches = append(resp.Matches, matchJSON{ID: mt.ID, Similarity: mt.Similarity})
 			}
@@ -198,6 +233,11 @@ func NewHandler(srv *Server, hc HandlerConfig) http.Handler {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("search: unknown mode %q", req.Mode))
 			return
 		}
+		if err := f.Err(); err != nil {
+			httpFanoutError(w, err)
+			return
+		}
+		resp.Partial, resp.ShardErrors = f.Partial(), f.Errs
 		writeJSON(w, resp)
 	})
 	mux.HandleFunc("POST /v1/search/batch", func(w http.ResponseWriter, r *http.Request) {
@@ -237,8 +277,23 @@ func NewHandler(srv *Server, hc HandlerConfig) http.Handler {
 		for i, bits := range req.Sets {
 			qs[i] = bitvec.New(bits...)
 		}
-		results, stats := srv.SearchBatch(qs, thresholds, m)
-		resp := batchSearchResponse{Results: make([]batchResultJSON, len(results)), Stats: stats}
+		ctx, cancel, err := requestContext(r, hc)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		defer cancel()
+		results, stats, f := srv.SearchBatchContext(ctx, qs, thresholds, m)
+		if err := f.Err(); err != nil {
+			httpFanoutError(w, err)
+			return
+		}
+		resp := batchSearchResponse{
+			Results:     make([]batchResultJSON, len(results)),
+			Stats:       stats,
+			Partial:     f.Partial(),
+			ShardErrors: f.Errs,
+		}
 		for i, res := range results {
 			if res.Found {
 				resp.Results[i] = batchResultJSON{Found: true, ID: res.Match.ID, Similarity: res.Match.Similarity}
@@ -291,7 +346,78 @@ func NewHandler(srv *Server, hc HandlerConfig) http.Handler {
 		}
 		writeJSON(w, snapshotResponse{Bytes: n})
 	})
-	return mux
+	return recoverMiddleware(mux)
+}
+
+// requestContext derives the request's deadline context: ?timeout_ms=
+// when present (must be a positive integer), else the configured
+// default, both capped by the configured max. The CancelFunc is always
+// non-nil.
+func requestContext(r *http.Request, hc HandlerConfig) (context.Context, context.CancelFunc, error) {
+	timeout := hc.DefaultTimeout
+	if raw := r.URL.Query().Get("timeout_ms"); raw != "" {
+		ms, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || ms <= 0 {
+			return nil, nil, fmt.Errorf("invalid timeout_ms %q: want a positive integer", raw)
+		}
+		timeout = time.Duration(ms) * time.Millisecond
+	}
+	if hc.MaxTimeout > 0 && (timeout == 0 || timeout > hc.MaxTimeout) {
+		timeout = hc.MaxTimeout
+	}
+	if timeout <= 0 {
+		return r.Context(), func() {}, nil
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	return ctx, cancel, nil
+}
+
+// httpFanoutError maps a fan-out failure to its status code:
+//
+//	429 Too Many Requests  admission queue full (ErrOverloaded)
+//	503 Service Unavailable deadline expired while queued (ErrShed)
+//	504 Gateway Timeout     deadline expired in flight, no shard answered
+//	500                     anything else
+//
+// 429 and 503 carry Retry-After: the rejection did no work, so an
+// immediate retry would meet the same wall.
+func httpFanoutError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrShed):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		httpError(w, http.StatusGatewayTimeout, err)
+	default:
+		httpError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// recoverMiddleware turns a handler panic into a logged 500 instead of
+// killing the connection with an opaque reset: one bad request must not
+// look like a server crash to every client sharing the connection.
+// http.ErrAbortHandler passes through — it is the sanctioned way to
+// abort a response and net/http handles it quietly.
+func recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			log.Printf("skewsim: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			// Best effort: if the handler already wrote, this is a no-op
+			// on the status line and the client sees a torn body.
+			httpError(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", rec))
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // maxRequestBytes bounds request bodies: large enough for bulk insert

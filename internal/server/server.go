@@ -11,6 +11,7 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -21,7 +22,6 @@ import (
 	"skewsim/internal/bitvec"
 	"skewsim/internal/lsf"
 	"skewsim/internal/segment"
-	"skewsim/internal/verify"
 	"skewsim/internal/wal"
 )
 
@@ -45,12 +45,22 @@ type Config struct {
 	WALDir string
 	// WAL tunes the per-shard logs (fsync policy, rotation size).
 	WAL wal.Options
+	// MaxInFlight bounds concurrently executing query fan-outs (the
+	// admission gate; see admission.go). 0 selects 4×GOMAXPROCS,
+	// negative disables admission control entirely.
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for admission once MaxInFlight
+	// fan-outs are executing; beyond it requests fail ErrOverloaded
+	// immediately. 0 rejects the moment the in-flight slots are taken,
+	// negative selects 4×MaxInFlight.
+	MaxQueue int
 }
 
 // Server is a sharded segmented index. Safe for concurrent use.
 type Server struct {
 	shards  []*segment.SegmentedIndex
 	workers int
+	gate    *gate // query admission; nil admits everything
 
 	mu   sync.Mutex
 	next int64 // next external id
@@ -69,7 +79,7 @@ func New(cfg Config) (*Server, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("server: Shards %d must be >= 1", cfg.Shards)
 	}
-	s := &Server{workers: cfg.Workers}
+	s := &Server{workers: cfg.Workers, gate: configGate(cfg)}
 	for i := 0; i < k; i++ {
 		sh, err := newShard(cfg, i)
 		if err != nil {
@@ -231,52 +241,16 @@ func (s *Server) Delete(id int64) bool {
 // concurrent fan-out is safe); steady-state serving allocates only the
 // fan-out bookkeeping.
 func (s *Server) Query(q bitvec.Vector, threshold float64, m bitvec.Measure) (segment.Match, segment.QueryStats, bool) {
-	ses := verify.Acquire(m, q)
-	defer verify.Release(ses)
-	matches := make([]segment.Match, len(s.shards))
-	founds := make([]bool, len(s.shards))
-	stats := make([]segment.QueryStats, len(s.shards))
-	lsf.ForEachParallel(len(s.shards), s.workers, func(i int) {
-		matches[i], stats[i], founds[i] = s.shards[i].QueryWith(ses, threshold)
-	})
-	return s.aggregate(matches, founds, stats, func(a, b segment.Match) bool {
-		return a.ID < b.ID
-	})
+	match, stats, found, _ := s.QueryContext(context.Background(), q, threshold, m)
+	return match, stats, found
 }
 
 // QueryBest fans out and returns the globally most similar candidate
 // (ties to the lowest id). Like Query, one packed session serves every
 // shard.
 func (s *Server) QueryBest(q bitvec.Vector, m bitvec.Measure) (segment.Match, segment.QueryStats, bool) {
-	ses := verify.Acquire(m, q)
-	defer verify.Release(ses)
-	matches := make([]segment.Match, len(s.shards))
-	founds := make([]bool, len(s.shards))
-	stats := make([]segment.QueryStats, len(s.shards))
-	lsf.ForEachParallel(len(s.shards), s.workers, func(i int) {
-		matches[i], stats[i], founds[i] = s.shards[i].QueryBestWith(ses)
-	})
-	return s.aggregate(matches, founds, stats, func(a, b segment.Match) bool {
-		if a.Similarity != b.Similarity {
-			return a.Similarity > b.Similarity
-		}
-		return a.ID < b.ID
-	})
-}
-
-func (s *Server) aggregate(matches []segment.Match, founds []bool, stats []segment.QueryStats, better func(a, b segment.Match) bool) (segment.Match, segment.QueryStats, bool) {
-	var (
-		agg   segment.QueryStats
-		best  segment.Match
-		found bool
-	)
-	for i := range matches {
-		agg.Merge(stats[i])
-		if founds[i] && (!found || better(matches[i], best)) {
-			best, found = matches[i], true
-		}
-	}
-	return best, agg, found
+	match, stats, found, _ := s.QueryBestContext(context.Background(), q, m)
+	return match, stats, found
 }
 
 // SearchBatch answers a batch of queries through the amortizing batch
@@ -291,65 +265,15 @@ func (s *Server) aggregate(matches []segment.Match, founds []bool, stats []segme
 // Per query, shard winners aggregate by similarity desc, id asc — the
 // same deterministic rule QueryBest uses.
 func (s *Server) SearchBatch(qs []bitvec.Vector, thresholds []float64, m bitvec.Measure) ([]segment.BatchResult, segment.QueryStats) {
-	nq := len(qs)
-	if nq == 0 {
-		return nil, segment.QueryStats{}
-	}
-	sess := make([]*verify.Session, nq)
-	for k, q := range qs {
-		sess[k] = verify.Acquire(m, q)
-	}
-	defer func() {
-		for _, se := range sess {
-			verify.Release(se)
-		}
-	}()
-	perShard := make([][]segment.BatchResult, len(s.shards))
-	stats := make([]segment.QueryStats, len(s.shards))
-	lsf.ForEachParallel(len(s.shards), s.workers, func(i int) {
-		perShard[i], stats[i] = s.shards[i].SearchBatch(sess, thresholds)
-	})
-	out := perShard[0]
-	var agg segment.QueryStats
-	agg.Merge(stats[0])
-	for i := 1; i < len(s.shards); i++ {
-		agg.Merge(stats[i])
-		for k := range out {
-			r := perShard[i][k]
-			if r.Found && (!out[k].Found ||
-				r.Match.Similarity > out[k].Match.Similarity ||
-				(r.Match.Similarity == out[k].Match.Similarity && r.Match.ID < out[k].Match.ID)) {
-				out[k] = r
-			}
-		}
-	}
-	return out, agg
+	out, stats, _ := s.SearchBatchContext(context.Background(), qs, thresholds, m)
+	return out, stats
 }
 
 // TopK fans out, merges the shard top-k lists, and returns the global
 // top k (similarity desc, id asc — same order as segment.TopK).
 func (s *Server) TopK(q bitvec.Vector, k int, m bitvec.Measure) ([]segment.Match, segment.QueryStats) {
-	if k <= 0 {
-		return nil, segment.QueryStats{}
-	}
-	ses := verify.Acquire(m, q)
-	defer verify.Release(ses)
-	perShard := make([][]segment.Match, len(s.shards))
-	stats := make([]segment.QueryStats, len(s.shards))
-	lsf.ForEachParallel(len(s.shards), s.workers, func(i int) {
-		perShard[i], stats[i] = s.shards[i].TopKWith(ses, k)
-	})
-	var agg segment.QueryStats
-	var all []segment.Match
-	for i := range perShard {
-		agg.Merge(stats[i])
-		all = append(all, perShard[i]...)
-	}
-	segment.SortMatches(all)
-	if len(all) > k {
-		all = all[:k]
-	}
-	return all, agg
+	all, stats, _ := s.TopKContext(context.Background(), q, k, m)
+	return all, stats
 }
 
 // Stats aggregates shard size reports. The WAL* fields sum the
@@ -472,7 +396,7 @@ func ReadSnapshot(r io.Reader, cfg Config) (*Server, error) {
 	if int(shards) != k {
 		return nil, fmt.Errorf("server: snapshot has %d shards, config %d", shards, k)
 	}
-	s := &Server{workers: cfg.Workers, next: int64(next)}
+	s := &Server{workers: cfg.Workers, gate: configGate(cfg), next: int64(next)}
 	ok := false
 	defer func() {
 		if !ok {

@@ -38,6 +38,7 @@ import (
 	"sync"
 
 	"skewsim/internal/dataio"
+	"skewsim/internal/faultinject"
 )
 
 // SyncPolicy selects when appended records are fsynced to media.
@@ -445,7 +446,7 @@ func (l *Log) Commit(lsn uint64) error {
 		var err error
 		if closed {
 			err = ErrClosed
-		} else {
+		} else if err = faultinject.Fire(faultinject.WALFsync); err == nil {
 			err = f.Sync()
 		}
 
