@@ -14,11 +14,11 @@ BENCH_PATTERN ?= QueryPath|LSFTraversal|BuildSkewSearch|BuildChosenPath|Intersec
 # is guarded against, and the number of samples per benchmark (benchjson
 # keeps the per-benchmark minimum — single-sample records were noisy
 # enough to fake 18% swings on allocation-free kernels between PRs).
-BENCH_OUT ?= BENCH_PR7.json
-BENCH_PREV ?= BENCH_PR6.json
+BENCH_OUT ?= BENCH_PR8.json
+BENCH_PREV ?= BENCH_PR7.json
 BENCH_COUNT ?= 5
 
-.PHONY: all build vet test test-purego race fuzz bench bench-json bench-guard docs test-fault
+.PHONY: all build vet test test-purego race fuzz bench bench-json bench-guard bench-obs-guard docs test-fault test-obs e2e
 
 all: build vet test
 
@@ -58,6 +58,20 @@ race:
 test-fault:
 	$(GO) test -race -run 'Fault' ./internal/faultinject ./internal/segment ./internal/server
 
+# The observability acceptance run: the metrics core under the race
+# detector (concurrent registration + observation, exposition golden
+# file), the instrumented-handler and stalled-shard metric tests, and
+# the scrape parser behind `skewsim metrics` / `skewsim load
+# -scrape-metrics`.
+test-obs:
+	$(GO) test -race ./internal/obs ./cmd/skewsim
+	$(GO) test -race -run 'Obs' ./internal/server
+
+# Boot a real daemon, drive it with skewsim load, scrape and validate
+# /metrics over the wire (see scripts/e2e_metrics.sh).
+e2e:
+	sh scripts/e2e_metrics.sh
+
 # Short fuzz smoke over the byte-level parsers and the intersect kernel
 # (assembly vs portable differential). Each target gets a few seconds of
 # mutation on top of the checked-in seeds.
@@ -92,3 +106,16 @@ bench-json:
 # hosted runners).
 bench-guard:
 	$(GO) run ./cmd/benchguard -old $(BENCH_PREV) -new $(BENCH_OUT)
+
+# Observability-overhead gate: the instrumented query path must stay
+# within 5% of bare. The benchmark interleaves both paths per iteration
+# and reports each side as a custom metric, so the comparison shares
+# one run's cache and clock state — the only way a 5% bound survives
+# shared runners (back-to-back runs drift ~10% by themselves).
+bench-obs-guard:
+	$(GO) test -run '^$$' -bench 'QueryPathInstrumented' -benchtime=8000x -count=$(BENCH_COUNT) ./internal/segment > bench_obs.log
+	$(GO) run ./cmd/benchjson < bench_obs.log > BENCH_OBS.json; st=$$?; rm -f bench_obs.log; exit $$st
+	$(GO) run ./cmd/benchguard -new BENCH_OBS.json \
+		-within 'BenchmarkQueryPathInstrumented:instr-ns/op=BenchmarkQueryPathInstrumented:bare-ns/op' \
+		-within-max 0.05
+	rm -f BENCH_OBS.json

@@ -37,6 +37,7 @@ func runLoad(args []string) {
 	threshold := fs.Float64("threshold", 0.5, "threshold for first searches")
 	repeat := fs.Int("repeat", 1, "passes over the query file")
 	searchBatch := fs.Int("search-batch", 0, "queries per /v1/search/batch request (0 = single-query /v1/search; modes best and first only)")
+	scrape := fs.Bool("scrape-metrics", false, "scrape the daemon's /metrics after the run and print its server-side overload counters")
 	_ = fs.Parse(args)
 	if *searchBatch < 0 {
 		fatal(fmt.Errorf("-search-batch must be >= 0"))
@@ -48,6 +49,12 @@ func runLoad(args []string) {
 		fatal(fmt.Errorf("load needs -data and/or -queries"))
 	}
 	client := &http.Client{Timeout: 30 * time.Second}
+	if *scrape {
+		// After both phases: put the daemon's own overload accounting
+		// next to the client-observed numbers reported above. (fatal
+		// exits skip this — a failed run has no meaningful scrape.)
+		defer scrapeReport(client, *addr)
+	}
 
 	if *dataPath != "" {
 		vecs := loadVectors(*dataPath)
@@ -259,4 +266,26 @@ func report(phase string, lat []time.Duration, elapsed time.Duration, items int,
 		fmt.Printf("%s: overload: %d shed (429/503), %d requests retried to success, %d partial answers\n",
 			phase, shed, retried, partial)
 	}
+}
+
+// scrapeReport prints the daemon's server-side overload counters after
+// a load run, so the client-observed shed/partial numbers above can be
+// cross-checked against what the server accounted for. Counters are
+// cumulative since daemon start, not per-run.
+func scrapeReport(client *http.Client, addr string) {
+	fams, err := scrapeMetrics(client, addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "skewsim load: -scrape-metrics:", err)
+		return
+	}
+	out := func(outcome string) float64 {
+		return sumFamily(fams, "skewsim_http_requests_total", map[string]string{"outcome": outcome})
+	}
+	fmt.Printf("server: requests ok=%.0f partial=%.0f rejected=%.0f shed=%.0f timeout=%.0f error=%.0f (cumulative since daemon start)\n",
+		out("ok"), out("partial"), out("rejected"), out("shed"), out("timeout"), out("error"))
+	fmt.Printf("server: admission rejected: queue_full=%.0f shed=%.0f; partial fan-outs=%.0f, abandoned shards=%.0f\n",
+		sumFamily(fams, "skewsim_admission_rejected_total", map[string]string{"reason": "queue_full"}),
+		sumFamily(fams, "skewsim_admission_rejected_total", map[string]string{"reason": "shed"}),
+		sumFamily(fams, "skewsim_fanout_partial_total", nil),
+		sumFamily(fams, "skewsim_fanout_abandoned_shards_total", nil))
 }

@@ -10,6 +10,8 @@
 //	skewsim selfjoin -data s.txt -threshold 0.8              # S ⋈ S
 //	skewsim load -addr http://localhost:8080 -data s.txt -queries q.txt
 //	                                                         # drive a skewsimd daemon
+//	skewsim metrics -addr http://localhost:8080 -require skewsim_http_requests_total
+//	                                                         # scrape + validate /metrics
 package main
 
 import (
@@ -37,13 +39,15 @@ func main() {
 		runJoin(os.Args[2:], true)
 	case "load":
 		runLoad(os.Args[2:])
+	case "metrics":
+		runMetrics(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: skewsim <search|join|selfjoin|load> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: skewsim <search|join|selfjoin|load|metrics> [flags]")
 	os.Exit(2)
 }
 

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleExposition = `# HELP skewsim_http_requests_total API requests served, by endpoint and outcome.
+# TYPE skewsim_http_requests_total counter
+skewsim_http_requests_total{endpoint="search",outcome="ok"} 41
+skewsim_http_requests_total{endpoint="search",outcome="partial"} 2
+skewsim_http_requests_total{endpoint="insert",outcome="ok"} 7
+# HELP skewsim_http_request_seconds API request latency, by endpoint.
+# TYPE skewsim_http_request_seconds histogram
+skewsim_http_request_seconds_bucket{endpoint="search",le="0.001"} 40
+skewsim_http_request_seconds_bucket{endpoint="search",le="+Inf"} 43
+skewsim_http_request_seconds_sum{endpoint="search"} 0.25
+skewsim_http_request_seconds_count{endpoint="search"} 43
+# HELP skewsim_index_live_vectors Vectors currently live in the index.
+# TYPE skewsim_index_live_vectors gauge
+skewsim_index_live_vectors 400
+`
+
+func TestScrapeParseAndSum(t *testing.T) {
+	fams, err := parseExposition(strings.NewReader(sampleExposition))
+	if err != nil {
+		t.Fatalf("parseExposition: %v", err)
+	}
+	if err := validateFamilies(fams); err != nil {
+		t.Fatalf("validateFamilies: %v", err)
+	}
+	if got := sumFamily(fams, "skewsim_http_requests_total", nil); got != 50 {
+		t.Fatalf("sum of requests = %v, want 50", got)
+	}
+	if got := sumFamily(fams, "skewsim_http_requests_total", map[string]string{"outcome": "partial"}); got != 2 {
+		t.Fatalf("partial requests = %v, want 2", got)
+	}
+	// Histogram series must not leak into the family sum.
+	if got := sumFamily(fams, "skewsim_http_request_seconds", nil); got != 0 {
+		t.Fatalf("histogram family plain-sample sum = %v, want 0", got)
+	}
+	if fams["skewsim_http_request_seconds"].typ != "histogram" {
+		t.Fatalf("request_seconds type = %q", fams["skewsim_http_request_seconds"].typ)
+	}
+}
+
+func TestScrapeLabelEscapes(t *testing.T) {
+	in := `# HELP m help
+# TYPE m counter
+m{path="a\"b\\c\nd"} 1
+`
+	fams, err := parseExposition(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("parseExposition: %v", err)
+	}
+	got := fams["m"].samples[0].labels["path"]
+	if got != "a\"b\\c\nd" {
+		t.Fatalf("unescaped label = %q", got)
+	}
+}
+
+func TestScrapeRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"untyped sample":        "orphan_metric 1\n",
+		"bad value":             "# TYPE m counter\n# HELP m h\nm not-a-number\n",
+		"unterminated label":    "# TYPE m counter\n# HELP m h\nm{a=\"x} 1\n",
+		"unknown type":          "# TYPE m speedometer\n",
+		"missing help":          "# TYPE m counter\nm 1\n",
+		"inf bucket mismatch":   "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n",
+		"buckets without count": "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\n",
+	}
+	for name, in := range cases {
+		fams, err := parseExposition(strings.NewReader(in))
+		if err == nil {
+			err = validateFamilies(fams)
+		}
+		if err == nil {
+			t.Errorf("%s: accepted malformed exposition", name)
+		}
+	}
+}

@@ -11,6 +11,7 @@
 //	POST /v1/delete    tombstone ids
 //	POST /v1/search    best / first-above-threshold / top-k search
 //	GET  /v1/stats     aggregated + per-shard sizes, incl. WAL sizes
+//	GET  /metrics      Prometheus text exposition (see API.md "Metrics")
 //	POST /v1/snapshot  persist the index to a server-local file
 //
 // Durability: with -wal-dir every accepted insert/delete is journaled
@@ -21,6 +22,13 @@
 // loss), "never" leaves flushing to the OS (survives process crashes).
 // -restore composes with -wal-dir: the snapshot loads first and the log
 // tail reconciles on top.
+//
+// Observability: logs are structured (log/slog; -log-format text|json,
+// -log-level debug|info|warn|error), every request carries an
+// X-Request-Id, requests slower than -slow-query-ms are logged with
+// their query shape and shard fan-out, and -pprof-addr serves
+// net/http/pprof on a separate listener (keep it off public interfaces;
+// profiles expose internals).
 //
 // The engine runs the paper's adversarial scheme by default (-b1), or
 // the correlated scheme with -alpha. Item probabilities come from a
@@ -33,6 +41,7 @@
 //	skewsimd -addr :8080 -dim 4096 -n 100000 -shards 8
 //	skewsimd -wal-dir ./wal -fsync always -data s.txt    # durable serving
 //	skewsimd -restore index.snap -wal-dir ./wal          # snapshot + log tail
+//	skewsimd -log-format json -slow-query-ms 250 -pprof-addr 127.0.0.1:6060
 package main
 
 import (
@@ -40,8 +49,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -51,6 +61,7 @@ import (
 	"skewsim/internal/core"
 	"skewsim/internal/dataio"
 	"skewsim/internal/dist"
+	"skewsim/internal/obs"
 	"skewsim/internal/segment"
 	"skewsim/internal/server"
 	"skewsim/internal/wal"
@@ -92,25 +103,39 @@ func main() {
 		maxQueue    = flag.Int("max-queue", -1, "admission wait-queue depth past max-inflight; beyond it requests get 429 (0 rejects immediately, negative = 4x max-inflight)")
 		defTimeout  = flag.Duration("default-timeout", 0, "deadline for search requests without ?timeout_ms= (0 = none beyond -max-timeout)")
 		maxTimeout  = flag.Duration("max-timeout", 30*time.Second, "cap on every search deadline, incl. explicit ?timeout_ms= (0 = uncapped)")
+		logFormat   = flag.String("log-format", "text", "log format: text (logfmt-style) or json")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, or error")
+		slowQueryMS = flag.Int64("slow-query-ms", 0, "log requests slower than this many milliseconds, with query shape and fan-out detail (0 disables)")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty disables; bind to localhost)")
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skewsimd: %v\n", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	var (
 		d       *dist.Product
 		preload []bitvec.Vector
-		err     error
 	)
 	if *dataPath != "" {
 		preload, err = dataio.ReadFile(*dataPath) // .gz dumps stream transparently
 		if err != nil {
-			log.Fatalf("skewsimd: %v", err)
+			fatal("reading warm-start dataset", "err", err)
 		}
 		if d, err = dist.EstimateProduct(preload, 0); err != nil {
-			log.Fatalf("skewsimd: estimating probabilities: %v", err)
+			fatal("estimating probabilities", "err", err)
 		}
 	} else {
 		if d, err = dist.NewProduct(dist.Zipf(*dim, *pmax, 1.0)); err != nil {
-			log.Fatalf("skewsimd: %v", err)
+			fatal("building synthetic profile", "err", err)
 		}
 	}
 
@@ -120,13 +145,15 @@ func main() {
 	}
 	params, err := core.EngineParams(mode, d, *n, param, core.Options{Seed: *seed, Repetitions: *reps})
 	if err != nil {
-		log.Fatalf("skewsimd: %v", err)
+		fatal("deriving engine parameters", "err", err)
 	}
+	metrics := server.NewMetrics(obs.NewRegistry())
 	cfg := server.Config{
 		Shards:      *shards,
 		Workers:     *workers,
 		MaxInFlight: *maxInflight,
 		MaxQueue:    *maxQueue,
+		Metrics:     metrics,
 		Segment: segment.Config{
 			Params:       params,
 			N:            *n,
@@ -138,7 +165,7 @@ func main() {
 	if *walDir != "" {
 		policy, err := wal.ParseSyncPolicy(*fsyncMode)
 		if err != nil {
-			log.Fatalf("skewsimd: %v", err)
+			fatal("parsing -fsync", "err", err)
 		}
 		cfg.WAL = wal.Options{Sync: policy, SegmentBytes: *walSegBytes}
 	}
@@ -147,21 +174,21 @@ func main() {
 	if *restorePath != "" {
 		f, err := os.Open(*restorePath)
 		if err != nil {
-			log.Fatalf("skewsimd: %v", err)
+			fatal("opening snapshot", "err", err)
 		}
 		// With -wal-dir this also replays each shard's log tail on top of
 		// the snapshot, so a snapshot older than the log loses nothing.
 		srv, err = server.ReadSnapshot(f, cfg)
 		f.Close()
 		if err != nil {
-			log.Fatalf("skewsimd: restoring %s: %v", *restorePath, err)
+			fatal("restoring snapshot", "path", *restorePath, "err", err)
 		}
-		log.Printf("restored %d live vectors from %s", srv.Stats().Live, *restorePath)
+		logger.Info("restored snapshot", "path", *restorePath, "live", srv.Stats().Live)
 	} else {
 		// server.New recovers whatever durable state -wal-dir holds; a
 		// fresh directory starts empty.
 		if srv, err = server.New(cfg); err != nil {
-			log.Fatalf("skewsimd: %v", err)
+			fatal("building server", "err", err)
 		}
 		// Preload only a server with no durable history: "recovered but
 		// everything was deleted" (live 0, log non-empty) must not
@@ -175,34 +202,37 @@ func main() {
 			}
 		}
 		if recovered {
-			log.Printf("recovered %d live vectors (%d WAL records, %s) from %s",
-				st.Live, st.WALRecords, byteCount(st.WALBytes), *walDir)
+			logger.Info("recovered from write-ahead log", "wal_dir", *walDir,
+				"live", st.Live, "wal_records", st.WALRecords, "wal_bytes", byteCount(st.WALBytes))
 		} else if len(preload) > 0 {
 			if _, err := srv.InsertBatch(preload); err != nil {
 				if !server.NotDurableOnly(err) {
-					log.Fatalf("skewsimd: preloading: %v", err)
+					fatal("preloading", "err", err)
 				}
 				// Applied and journaled; only the fsync is unconfirmed —
 				// the next start would recover the same state anyway.
-				log.Printf("skewsimd: preload applied but not yet durable: %v", err)
+				logger.Warn("preload applied but not yet durable", "err", err)
 			}
-			log.Printf("preloaded %d vectors from %s", len(preload), *dataPath)
+			logger.Info("preloaded warm-start dataset", "path", *dataPath, "vectors", len(preload))
 		}
 	}
 	// No deferred Close: both exit paths below close srv explicitly,
-	// and log.Fatal would skip a defer anyway.
+	// and fatal (os.Exit) would skip a defer anyway.
 
 	// Threshold-mode searches that omit a threshold fall back to the
 	// mode's verification threshold (b1, or α/1.3 in correlated mode).
 	verify, err := core.VerificationThreshold(mode, param)
 	if err != nil {
-		log.Fatalf("skewsimd: %v", err)
+		fatal("deriving verification threshold", "err", err)
 	}
 	handler := server.NewHandler(srv, server.HandlerConfig{
 		SnapshotDir:      *snapshotDir,
 		DefaultThreshold: verify,
 		DefaultTimeout:   *defTimeout,
 		MaxTimeout:       *maxTimeout,
+		Metrics:          metrics,
+		Logger:           logger,
+		SlowQuery:        time.Duration(*slowQueryMS) * time.Millisecond,
 	})
 	hs := &http.Server{
 		Addr:    *addr,
@@ -214,7 +244,26 @@ func main() {
 		WriteTimeout:      5 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
-	log.Printf("skewsimd: %s mode, %d shards, serving on %s", mode, srv.Shards(), *addr)
+
+	// pprof on its own listener with an explicit mux: the profiling
+	// surface never rides the API address, and importing net/http/pprof
+	// does not silently instrument http.DefaultServeMux for the API.
+	if *pprofAddr != "" {
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pmux); err != nil {
+				logger.Error("pprof listener failed", "err", err)
+			}
+		}()
+	}
+
+	logger.Info("serving", "mode", mode.String(), "shards", srv.Shards(), "addr", *addr)
 
 	// Graceful shutdown: SIGINT/SIGTERM stops the listener, drains
 	// in-flight requests for up to -drain, then stops the background
@@ -228,19 +277,19 @@ func main() {
 	select {
 	case err := <-serveErr:
 		srv.Close()
-		log.Fatal(fmt.Errorf("skewsimd: %w", err))
+		fatal("listener failed", "err", err)
 	case <-ctx.Done():
 	}
 	stop() // a second signal kills immediately instead of re-draining
-	log.Printf("skewsimd: shutdown signal received, draining for up to %v", *drain)
+	logger.Info("shutdown signal received, draining", "window", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {
-		log.Printf("skewsimd: drain incomplete: %v", err)
+		logger.Warn("drain incomplete", "err", err)
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("skewsimd: listener: %v", err)
+		logger.Warn("listener", "err", err)
 	}
 	srv.Close() // stops shard workers, final WAL sync + close
-	log.Printf("skewsimd: shutdown complete (WAL synced and closed)")
+	logger.Info("shutdown complete (WAL synced and closed)")
 }

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition format (version 0.0.4): per family a
+// # HELP line, a # TYPE line, then one sample line per child —
+// counters and gauges as name{labels} value, histograms as the
+// cumulative _bucket series plus _sum and _count. Families are written
+// in name order and children in label order, so the output is
+// deterministic and diffable (the golden test depends on that).
+
+// ContentType is the Content-Type of the text exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteTo writes the full exposition of every registered family.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	// Snapshot families AND their child lists under the lock
+	// (registration appends to children concurrently); the collectors
+	// themselves are then read lock-free.
+	r.mu.Lock()
+	fams := make([]family, 0, len(r.fams))
+	for _, f := range r.fams {
+		snap := *f
+		snap.children = append([]*child(nil), f.children...)
+		fams = append(fams, snap)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b []byte
+	for _, f := range fams {
+		b = append(b, "# HELP "...)
+		b = append(b, f.name...)
+		b = append(b, ' ')
+		b = appendEscapedHelp(b, f.help)
+		b = append(b, '\n')
+		b = append(b, "# TYPE "...)
+		b = append(b, f.name...)
+		b = append(b, ' ')
+		b = append(b, f.typ.String()...)
+		b = append(b, '\n')
+		children := f.children
+		sort.Slice(children, func(i, j int) bool { return children[i].labelKey < children[j].labelKey })
+		for _, c := range children {
+			b = c.col.collect(b, f.name, c.labelKey)
+		}
+	}
+	n, err := w.Write(b)
+	return int64(n), err
+}
+
+// Handler serves the exposition over HTTP (mount at GET /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_, _ = r.WriteTo(w)
+	})
+}
+
+// appendSample writes one sample line: name{labels} value.
+func appendSample(b []byte, name, labels string, v float64) []byte {
+	b = append(b, name...)
+	if labels != "" {
+		b = append(b, '{')
+		b = append(b, labels...)
+		b = append(b, '}')
+	}
+	b = append(b, ' ')
+	b = append(b, formatFloat(v)...)
+	b = append(b, '\n')
+	return b
+}
+
+// formatFloat renders a sample value or bucket bound: integers without
+// a fractional part, everything else in Go's shortest 'g' form (the
+// format Prometheus parsers accept).
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// renderLabels renders a sorted label set in exposition syntax without
+// the surrounding braces: k1="v1",k2="v2". Values are escaped.
+func renderLabels(ls []Label) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		for _, c := range l.Value {
+			switch c {
+			case '\\':
+				sb.WriteString(`\\`)
+			case '"':
+				sb.WriteString(`\"`)
+			case '\n':
+				sb.WriteString(`\n`)
+			default:
+				sb.WriteRune(c)
+			}
+		}
+		sb.WriteByte('"')
+	}
+	return sb.String()
+}
+
+// joinLabels merges a pre-rendered label string with one extra rendered
+// pair (the histogram le label).
+func joinLabels(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	return labels + "," + extra
+}
+
+// appendEscapedHelp escapes a HELP string (backslash and newline).
+func appendEscapedHelp(b []byte, s string) []byte {
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b = append(b, `\\`...)
+		case '\n':
+			b = append(b, `\n`...)
+		default:
+			b = append(b, string(c)...)
+		}
+	}
+	return b
+}

@@ -1,0 +1,336 @@
+// Package obs is the dependency-free observability core behind the
+// serving stack: a metric registry (counters, gauges, fixed-bucket
+// exponential histograms) whose hot-path cost is an uncontended atomic
+// add — no locks, no allocation, no interface dispatch — plus a writer
+// that emits the Prometheus text exposition format (expose.go) and a
+// structured-logging constructor for the CLIs (log.go).
+//
+// The module deliberately has zero third-party dependencies, so this
+// package reimplements the small slice of a metrics client the daemon
+// needs rather than importing one:
+//
+//   - Counter / Gauge: one atomic int64.
+//   - Histogram: power-of-two exponential buckets over an integer value
+//     domain (nanoseconds, counts, bytes). Observe computes the bucket
+//     with one bits.Len64 and issues two atomic adds (bucket + sum) —
+//     there is no per-observation boxing, mutex, or float math. Bucket
+//     upper bounds are scaled to the exposed unit (e.g. seconds) only
+//     at scrape time.
+//   - CounterFunc / GaugeFunc: scrape-time callbacks for values some
+//     other structure already maintains (queue depths, file sizes), so
+//     instrumentation never has to mirror state it can just read.
+//
+// Registration is cheap but locked; do it at construction time and keep
+// the returned handles. Metric families group children that share a
+// name but differ in label values; children must be pre-registered (no
+// on-demand label lookup on the hot path, by design). All methods on
+// Registry and on the returned instruments are safe for concurrent use.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one name="value" pair attached to a metric child.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for building a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// metricType is the exposition TYPE of a family.
+type metricType int
+
+const (
+	typeCounter metricType = iota
+	typeGauge
+	typeHistogram
+)
+
+func (t metricType) String() string {
+	switch t {
+	case typeCounter:
+		return "counter"
+	case typeGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// collector is what a registered child knows how to do at scrape time:
+// append its sample lines for family name fam with pre-rendered label
+// string labels (exposition syntax, without braces; may be empty).
+type collector interface {
+	collect(b []byte, fam, labels string) []byte
+}
+
+// child is one registered metric: a label set plus its collector.
+type child struct {
+	labels   []Label
+	labelKey string // canonical rendered form, used for dedup and sort
+	col      collector
+}
+
+// family groups the children sharing one metric name.
+type family struct {
+	name     string
+	help     string
+	typ      metricType
+	children []*child
+}
+
+// Registry holds metric families and writes them in the Prometheus text
+// exposition format. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// register adds a child under name, creating the family on first use.
+// Registration errors are programming errors (bad names, type
+// conflicts, duplicate label sets), so they panic.
+func (r *Registry) register(name, help string, typ metricType, labels []Label, col collector) {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validLabelName(l.Key) {
+			panic(fmt.Sprintf("obs: metric %s: invalid label name %q", name, l.Key))
+		}
+		if l.Key == "le" {
+			panic(fmt.Sprintf("obs: metric %s: label name \"le\" is reserved for histogram buckets", name))
+		}
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	key := renderLabels(ls)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam := r.fams[name]
+	if fam == nil {
+		fam = &family{name: name, help: help, typ: typ}
+		r.fams[name] = fam
+	} else if fam.typ != typ {
+		panic(fmt.Sprintf("obs: metric %s registered as %s and %s", name, fam.typ, typ))
+	}
+	for _, c := range fam.children {
+		if c.labelKey == key {
+			panic(fmt.Sprintf("obs: metric %s{%s} registered twice", name, key))
+		}
+	}
+	fam.children = append(fam.children, &child{labels: ls, labelKey: key, col: col})
+}
+
+// Counter registers a monotonically increasing counter. The exposition
+// name should end in _total by convention.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.register(name, help, typeCounter, labels, c)
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — for monotone values another structure already maintains.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, typeCounter, labels, funcCollector(fn))
+}
+
+// Gauge registers a gauge (a value that can go up and down).
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, typeGauge, labels, g)
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape
+// time. fn must be safe for concurrent use; it is called with no
+// registry locks held beyond the scrape snapshot.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, typeGauge, labels, funcCollector(fn))
+}
+
+// HistogramOpts sizes a histogram's exponential bucket layout over an
+// integer value domain.
+type HistogramOpts struct {
+	// MinPow and MaxPow bound the finite buckets: upper bounds
+	// 2^MinPow, 2^MinPow+1, ..., 2^MaxPow in the *native* unit of the
+	// observed values, plus a +Inf overflow bucket. MaxPow must be
+	// >= MinPow; MinPow may be 0 (first bucket is "<= 1").
+	MinPow, MaxPow int
+	// Scale converts the native unit to the exposed unit for the le=""
+	// bucket bounds and the _sum line (e.g. 1e-9 for values observed in
+	// nanoseconds and exposed in seconds). 0 means 1 (expose the native
+	// unit unscaled).
+	Scale float64
+}
+
+// Histogram registers a fixed-bucket exponential histogram.
+func (r *Registry) Histogram(name, help string, opts HistogramOpts, labels ...Label) *Histogram {
+	if opts.MaxPow < opts.MinPow || opts.MinPow < 0 || opts.MaxPow > 62 {
+		panic(fmt.Sprintf("obs: metric %s: invalid bucket range 2^%d..2^%d", name, opts.MinPow, opts.MaxPow))
+	}
+	scale := opts.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	h := &Histogram{
+		minPow:  uint(opts.MinPow),
+		scale:   scale,
+		buckets: make([]atomic.Int64, opts.MaxPow-opts.MinPow+2), // finite buckets + overflow
+	}
+	r.register(name, help, typeHistogram, labels, h)
+	return h
+}
+
+// Counter is a monotone counter. Increment-only; reads are for tests
+// and the scrape path.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the exposition to stay a valid
+// counter; this is not checked on the hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) collect(b []byte, fam, labels string) []byte {
+	return appendSample(b, fam, labels, float64(c.v.Load()))
+}
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) collect(b []byte, fam, labels string) []byte {
+	return appendSample(b, fam, labels, float64(g.v.Load()))
+}
+
+// funcCollector adapts a scrape-time callback.
+type funcCollector func() float64
+
+func (f funcCollector) collect(b []byte, fam, labels string) []byte {
+	return appendSample(b, fam, labels, f())
+}
+
+// Histogram is a fixed-bucket exponential histogram over non-negative
+// integer values (durations in nanoseconds, counts, bytes). Bucket i
+// counts observations v with v <= 2^(minPow+i); the last bucket is the
+// +Inf overflow. Observe is wait-free: one bits.Len64 plus two
+// uncontended atomic adds, no allocation, no lock — cheap enough to sit
+// on the query path.
+type Histogram struct {
+	minPow  uint
+	scale   float64
+	buckets []atomic.Int64 // per-bucket (non-cumulative); cumulated at scrape
+	sum     atomic.Int64   // native units
+}
+
+// Observe records v (negative values clamp to 0).
+func (h *Histogram) Observe(v int64) {
+	u := uint64(v)
+	if v < 0 {
+		u, v = 0, 0
+	}
+	// Bucket i covers (2^(minPow+i-1), 2^(minPow+i)]; values at or
+	// below 2^minPow land in bucket 0.
+	var idx int
+	if u > 1<<h.minPow {
+		idx = bits.Len64((u - 1) >> h.minPow)
+	}
+	if idx >= len(h.buckets) {
+		idx = len(h.buckets) - 1
+	}
+	h.buckets[idx].Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records d in nanoseconds (pair with Scale: 1e-9 to
+// expose seconds).
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of observed values in native units.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+func (h *Histogram) collect(b []byte, fam, labels string) []byte {
+	// Cumulate into the canonical _bucket/_sum/_count triplet. The
+	// per-bucket loads are not a consistent snapshot under concurrent
+	// observes — the standard (and accepted) histogram scrape race; the
+	// cumulative counts it produces are still monotone per bucket.
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		var le string
+		if i == len(h.buckets)-1 {
+			le = "+Inf"
+		} else {
+			le = formatFloat(math.Ldexp(1, int(h.minPow)+i) * h.scale)
+		}
+		b = appendSample(b, fam+"_bucket", joinLabels(labels, `le="`+le+`"`), float64(cum))
+	}
+	b = appendSample(b, fam+"_sum", labels, float64(h.sum.Load())*h.scale)
+	b = appendSample(b, fam+"_count", labels, float64(cum))
+	return b
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}

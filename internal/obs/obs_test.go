@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the exposition golden file")
+
+// buildTestRegistry assembles one of every instrument with values that
+// exercise the exposition corners: label escaping, multiple children of
+// one family, scrape-time callbacks, histogram overflow, float gauges.
+func buildTestRegistry() *Registry {
+	reg := NewRegistry()
+	c := reg.Counter("skewtest_requests_total", "Requests served.", L("endpoint", "search"), L("outcome", "ok"))
+	c.Add(41)
+	c.Inc()
+	c2 := reg.Counter("skewtest_requests_total", "Requests served.", L("endpoint", "search"), L("outcome", "shed"))
+	c2.Add(7)
+	esc := reg.Counter("skewtest_escapes_total", "Help with a backslash \\ and\nnewline.",
+		L("path", `C:\temp`), L("quote", `say "hi"`), L("nl", "a\nb"))
+	esc.Inc()
+	g := reg.Gauge("skewtest_inflight", "Queries in flight.")
+	g.Set(3)
+	reg.GaugeFunc("skewtest_ratio", "A scrape-time float.", func() float64 { return 0.375 })
+	reg.CounterFunc("skewtest_derived_total", "A scrape-time counter.", func() float64 { return 12 })
+	// Buckets 2^0..2^4 native, scaled 1e-3: le 0.001,0.002,...,0.016,+Inf.
+	h := reg.Histogram("skewtest_latency_seconds", "Latency.", HistogramOpts{MinPow: 0, MaxPow: 4, Scale: 1e-3})
+	for _, v := range []int64{0, 1, 2, 3, 4, 16, 17, 1000} {
+		h.Observe(v)
+	}
+	return reg
+}
+
+func TestExpositionGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := buildTestRegistry().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("exposition drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestExpositionDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	reg := buildTestRegistry()
+	if _, err := reg.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two scrapes of an idle registry differ")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h_test", "t", HistogramOpts{MinPow: 2, MaxPow: 6}) // bounds 4,8,16,32,64,+Inf
+	cases := []struct {
+		v    int64
+		want int // bucket index
+	}{
+		{-5, 0}, {0, 0}, {1, 0}, {4, 0},
+		{5, 1}, {8, 1},
+		{9, 2}, {16, 2},
+		{64, 4},
+		{65, 5}, {1 << 40, 5},
+	}
+	for _, c := range cases {
+		before := make([]int64, len(h.buckets))
+		for i := range h.buckets {
+			before[i] = h.buckets[i].Load()
+		}
+		h.Observe(c.v)
+		for i := range h.buckets {
+			d := h.buckets[i].Load() - before[i]
+			if (i == c.want) != (d == 1) {
+				t.Fatalf("Observe(%d): bucket %d delta %d (want increment only at bucket %d)", c.v, i, d, c.want)
+			}
+		}
+	}
+	if got := h.Count(); got != int64(len(cases)) {
+		t.Errorf("Count = %d, want %d", got, len(cases))
+	}
+}
+
+func TestHistogramExpositionInvariants(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("inv_seconds", "t", HistogramOpts{MinPow: 0, MaxPow: 10, Scale: 1e-9})
+	for i := int64(0); i < 1000; i += 7 {
+		h.Observe(i * i)
+	}
+	h.ObserveDuration(3 * time.Millisecond)
+	var buf bytes.Buffer
+	if _, err := reg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	var (
+		prevCum  = math.Inf(-1)
+		prevLe   = math.Inf(-1)
+		infCount = math.NaN()
+		count    = math.NaN()
+		buckets  int
+	)
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "#") {
+			continue
+		}
+		name, rest, _ := strings.Cut(ln, " ")
+		v, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			t.Fatalf("bad sample value in %q: %v", ln, err)
+		}
+		switch {
+		case strings.HasPrefix(name, "inv_seconds_bucket"):
+			buckets++
+			leStr := strings.TrimSuffix(strings.TrimPrefix(name, `inv_seconds_bucket{le="`), `"}`)
+			le := math.Inf(1)
+			if leStr != "+Inf" {
+				if le, err = strconv.ParseFloat(leStr, 64); err != nil {
+					t.Fatalf("bad le %q: %v", leStr, err)
+				}
+			}
+			if le <= prevLe {
+				t.Errorf("bucket bounds not increasing: %v after %v", le, prevLe)
+			}
+			if v < prevCum {
+				t.Errorf("cumulative bucket counts decreased: %v after %v", v, prevCum)
+			}
+			prevLe, prevCum = le, v
+			if leStr == "+Inf" {
+				infCount = v
+			}
+		case name == "inv_seconds_count":
+			count = v
+		}
+	}
+	if buckets == 0 {
+		t.Fatal("no bucket lines emitted")
+	}
+	if math.IsNaN(infCount) {
+		t.Fatal("no +Inf bucket emitted")
+	}
+	if infCount != count {
+		t.Errorf("+Inf bucket %v != _count %v", infCount, count)
+	}
+	if count != float64(h.Count()) {
+		t.Errorf("_count %v != Count() %d", count, h.Count())
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	reg := NewRegistry()
+	reg.Counter("ok_total", "t", L("a", "1"))
+	expectPanic("bad metric name", func() { reg.Counter("bad-name", "t") })
+	expectPanic("bad label name", func() { reg.Counter("ok2_total", "t", L("bad-label", "x")) })
+	expectPanic("reserved le", func() { reg.Histogram("h2", "t", HistogramOpts{MaxPow: 4}, L("le", "x")) })
+	expectPanic("type conflict", func() { reg.Gauge("ok_total", "t") })
+	expectPanic("duplicate labels", func() { reg.Counter("ok_total", "t", L("a", "1")) })
+	expectPanic("bad bucket range", func() { reg.Histogram("h3", "t", HistogramOpts{MinPow: 5, MaxPow: 4}) })
+}
+
+func TestLoggerConstruction(t *testing.T) {
+	var buf bytes.Buffer
+	for _, format := range []string{"text", "json", "logfmt", ""} {
+		lg, err := NewLogger(&buf, format, "info")
+		if err != nil {
+			t.Fatalf("format %q: %v", format, err)
+		}
+		lg.Info("hello", "k", "v")
+	}
+	if !strings.Contains(buf.String(), "hello") {
+		t.Error("log output missing message")
+	}
+	buf.Reset()
+	lg, err := NewLogger(&buf, "json", "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("dropped")
+	lg.Warn("kept")
+	if strings.Contains(buf.String(), "dropped") || !strings.Contains(buf.String(), "kept") {
+		t.Errorf("level filtering wrong: %q", buf.String())
+	}
+	if _, err := NewLogger(&buf, "xml", "info"); err == nil {
+		t.Error("expected error for unknown format")
+	}
+	if _, err := NewLogger(&buf, "text", "loud"); err == nil {
+		t.Error("expected error for unknown level")
+	}
+}

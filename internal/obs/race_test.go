@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentRegistrationAndObserve is the -race acceptance test for
+// the registry: goroutines registering fresh children, hammering every
+// instrument type, and scraping the exposition all at once. It proves
+// the locking discipline (registration under the registry lock,
+// observation lock-free, scrape over a snapshot) rather than any
+// particular output.
+func TestConcurrentRegistrationAndObserve(t *testing.T) {
+	reg := NewRegistry()
+	base := reg.Counter("race_total", "t", L("who", "base"))
+	hist := reg.Histogram("race_seconds", "t", HistogramOpts{MinPow: 0, MaxPow: 20, Scale: 1e-9}, L("who", "base"))
+	gauge := reg.Gauge("race_gauge", "t")
+	const (
+		workers = 8
+		iters   = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker registers its own children of the shared
+			// families mid-flight...
+			mine := reg.Counter("race_total", "t", L("who", fmt.Sprintf("w%d", w)))
+			h := reg.Histogram("race_seconds", "t", HistogramOpts{MinPow: 0, MaxPow: 20, Scale: 1e-9}, L("who", fmt.Sprintf("w%d", w)))
+			reg.GaugeFunc("race_func", "t", func() float64 { return float64(w) }, L("who", fmt.Sprintf("w%d", w)))
+			// ...and observes into both its own and the shared ones.
+			for i := 0; i < iters; i++ {
+				mine.Inc()
+				base.Add(2)
+				h.Observe(int64(i))
+				hist.Observe(int64(i * w))
+				gauge.Set(int64(i))
+				if i%100 == 0 {
+					if _, err := reg.WriteTo(io.Discard); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := base.Value(), int64(2*workers*iters); got != want {
+		t.Errorf("shared counter = %d, want %d", got, want)
+	}
+	if got, want := hist.Count(), int64(workers*iters); got != want {
+		t.Errorf("shared histogram count = %d, want %d", got, want)
+	}
+	if _, err := reg.WriteTo(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestObserveAllocs pins the zero-alloc claim for the hot-path
+// instruments.
+func TestObserveAllocs(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("alloc_total", "t")
+	h := reg.Histogram("alloc_seconds", "t", HistogramOpts{MinPow: 0, MaxPow: 30, Scale: 1e-9})
+	g := reg.Gauge("alloc_gauge", "t")
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(7)
+		h.Observe(12345)
+	}); n != 0 {
+		t.Errorf("hot-path observation allocates %.1f per op, want 0", n)
+	}
+}

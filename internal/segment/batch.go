@@ -73,6 +73,11 @@ func (s *SegmentedIndex) SearchBatchContext(ctx context.Context, sess []*verify.
 	if thresholds != nil && len(thresholds) != nq {
 		panic("segment: SearchBatch thresholds length does not match sessions")
 	}
+	if m := s.cfg.Metrics; m != nil {
+		// One aggregate observation per shard-batch (query="batch"
+		// children), on every exit path including cancellation.
+		defer func() { m.observeBatch(&stats) }()
+	}
 	out := make([]BatchResult, nq)
 	best := make([]float64, nq)
 	for k := range best {

@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"skewsim/internal/bitvec"
 	"skewsim/internal/lsf"
@@ -65,6 +66,11 @@ type Config struct {
 	// (dropping tombstoned vectors) until at or under the limit.
 	// Defaults to 4.
 	MaxSegments int
+	// Metrics, when non-nil, receives freeze/compaction counts and
+	// durations plus per-query work histograms (see NewMetrics). One
+	// Metrics instance may be shared across shards. Nil disables
+	// instrumentation (the query path then pays one nil compare).
+	Metrics *Metrics
 }
 
 // withDefaults fills unset fields. Non-positive values mean "default":
@@ -518,7 +524,18 @@ func (s *SegmentedIndex) getFilterSet() *lsf.FilterSet {
 	return fs
 }
 
-// forEach is the single traversal behind every query entry point: for
+// forEach runs the traversal and, when metrics are attached, records
+// the query's work stats — one observation per (shard-)query, canceled
+// or not, so the histograms see the same population the server serves.
+func (s *SegmentedIndex) forEach(q bitvec.Vector, stats *QueryStats, cc *lsf.CancelCheck, sink func(slot int32) bool) error {
+	err := s.traverse(q, stats, cc, sink)
+	if m := s.cfg.Metrics; m != nil {
+		m.observeQuery(stats)
+	}
+	return err
+}
+
+// traverse is the single traversal behind every query entry point: for
 // each repetition engine it computes F(q) once into a pooled arena, then
 // probes the active memtable, the flushing memtables, and every frozen
 // segment for each path, deduplicating slots index-wide through one
@@ -532,7 +549,7 @@ func (s *SegmentedIndex) getFilterSet() *lsf.FilterSet {
 // the nil (no-deadline) path pays one pointer compare per path. The
 // returned error is non-nil exactly when the traversal was cut short by
 // cc; a sink-initiated early stop returns nil.
-func (s *SegmentedIndex) forEach(q bitvec.Vector, stats *QueryStats, cc *lsf.CancelCheck, sink func(slot int32) bool) error {
+func (s *SegmentedIndex) traverse(q bitvec.Vector, stats *QueryStats, cc *lsf.CancelCheck, sink func(slot int32) bool) error {
 	fs := s.getFilterSet()
 	defer s.fsPool.Put(fs)
 	s.mu.RLock()
@@ -771,7 +788,12 @@ func (s *SegmentedIndex) worker() {
 		if len(s.flushing) > 0 {
 			mt := s.flushing[0]
 			s.mu.Unlock()
+			t0 := time.Now()
 			seg := s.buildSegment(mt)
+			if m := s.cfg.Metrics; m != nil {
+				m.FreezeSeconds.ObserveDuration(time.Since(t0))
+				m.Freezes.Inc()
+			}
 			s.mu.Lock()
 			s.flushing = s.flushing[1:]
 			if seg != nil {
@@ -790,7 +812,12 @@ func (s *SegmentedIndex) worker() {
 		a, b := s.pickSmallestLocked()
 		s.compacting = true
 		s.mu.Unlock()
+		t0 := time.Now()
 		merged := s.mergeSegments(a, b)
+		if m := s.cfg.Metrics; m != nil {
+			m.CompactSeconds.ObserveDuration(time.Since(t0))
+			m.Compactions.Inc()
+		}
 		s.mu.Lock()
 		s.segs = removeSegs(s.segs, a, b)
 		if merged != nil {

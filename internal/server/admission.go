@@ -88,6 +88,22 @@ func (g *gate) acquire(ctx context.Context) error {
 	}
 }
 
+// inflight reports how many admission slots are currently held.
+func (g *gate) inflight() int64 {
+	if g == nil {
+		return 0
+	}
+	return int64(len(g.slots))
+}
+
+// queueDepth reports how many requests are waiting for a slot.
+func (g *gate) queueDepth() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.queued.Load()
+}
+
 // release frees an admitted request's slot. Must be called exactly once
 // per successful acquire — after every shard goroutine of the fan-out
 // has finished, so a stalled shard keeps its slot held and the gate's

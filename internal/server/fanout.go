@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sort"
 	"sync/atomic"
@@ -22,11 +23,23 @@ import (
 // fan-out marked partial, so a single stalled shard degrades result
 // completeness instead of availability.
 
-// ShardError reports one shard's failure within a fan-out.
+// ShardError reports one shard's failure within a fan-out, including
+// where the shard was when it failed: "running" when its goroutine had
+// started the traversal (or returned an error from it), "queued" when
+// the deadline expired before any worker picked the shard up. The
+// distinction separates a slow shard (running) from a starved worker
+// pool (queued) when diagnosing partial results.
 type ShardError struct {
 	Shard int    `json:"shard"`
+	Stage string `json:"stage,omitempty"`
 	Err   string `json:"error"`
 }
+
+// ShardError stages.
+const (
+	StageQueued  = "queued"
+	StageRunning = "running"
+)
 
 // Fanout reports how a query's shard fan-out went: how many shards
 // contributed to the merged answer and what happened to the rest.
@@ -65,8 +78,8 @@ func (f *Fanout) Err() error {
 	return nil
 }
 
-func (f *Fanout) fail(i int, err error) {
-	f.Errs = append(f.Errs, ShardError{Shard: i, Err: err.Error()})
+func (f *Fanout) fail(i int, err error, stage string) {
+	f.Errs = append(f.Errs, ShardError{Shard: i, Stage: stage, Err: err.Error()})
 	if f.firstErr == nil {
 		f.firstErr = err
 	}
@@ -75,6 +88,14 @@ func (f *Fanout) fail(i int, err error) {
 // rejected builds the Fanout for a request that never got past
 // admission: zero shards answered, every query slot unused.
 func (s *Server) rejected(err error) *Fanout {
+	if m := s.metrics; m != nil {
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			m.RejectedQueueFull.Inc()
+		case errors.Is(err, ErrShed):
+			m.RejectedShed.Inc()
+		}
+	}
 	return &Fanout{Shards: len(s.shards), ok: make([]bool, len(s.shards)), firstErr: err}
 }
 
@@ -96,6 +117,7 @@ func (s *Server) fanOut(ctx context.Context, work func(i int) error, cleanup fun
 	}
 	ch := make(chan report, n)
 	var idx atomic.Int64
+	started := make([]atomic.Bool, n)
 	workers := s.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -110,6 +132,7 @@ func (s *Server) fanOut(ctx context.Context, work func(i int) error, cleanup fun
 				if i >= n {
 					return
 				}
+				started[i].Store(true)
 				// The stall point lets the fault harness hold a shard's
 				// goroutine exactly where a slow disk or a lock convoy
 				// would.
@@ -132,13 +155,20 @@ func (s *Server) fanOut(ctx context.Context, work func(i int) error, cleanup fun
 				f.ok[r.i] = true
 				f.Answered++
 			} else {
-				f.fail(r.i, r.err)
+				f.fail(r.i, r.err, StageRunning)
 			}
 		case <-done:
 			err := ctx.Err()
 			for i := 0; i < n; i++ {
 				if !reported[i] {
-					f.fail(i, err)
+					// A shard whose goroutine never started was still
+					// waiting for a pool worker; one that started is a
+					// straggler the reaper will drain.
+					stage := StageQueued
+					if started[i].Load() {
+						stage = StageRunning
+					}
+					f.fail(i, err, stage)
 				}
 			}
 			remaining := n - got
@@ -149,11 +179,20 @@ func (s *Server) fanOut(ctx context.Context, work func(i int) error, cleanup fun
 				cleanup()
 			}()
 			sortShardErrs(f.Errs)
+			if m := s.metrics; m != nil {
+				m.AbandonedShards.Add(int64(remaining))
+				if f.Partial() {
+					m.PartialFanouts.Inc()
+				}
+			}
 			return f
 		}
 	}
 	cleanup()
 	sortShardErrs(f.Errs)
+	if m := s.metrics; m != nil && f.Partial() {
+		m.PartialFanouts.Inc()
+	}
 	return f
 }
 

@@ -5,6 +5,8 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -263,9 +265,10 @@ func TestFaultBadTimeout(t *testing.T) {
 // the recovery middleware; http.ErrAbortHandler passes through for
 // net/http to handle.
 func TestFaultPanicRecovery(t *testing.T) {
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
 	h := recoverMiddleware(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
 		panic("boom: handler bug")
-	}))
+	}), quiet)
 	rr := httptest.NewRecorder()
 	h.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/stats", nil))
 	if rr.Code != http.StatusInternalServerError {
@@ -278,7 +281,7 @@ func TestFaultPanicRecovery(t *testing.T) {
 
 	abort := recoverMiddleware(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
 		panic(http.ErrAbortHandler)
-	}))
+	}), quiet)
 	func() {
 		defer func() {
 			if recover() != http.ErrAbortHandler {

@@ -5,7 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -135,12 +135,35 @@ type HandlerConfig struct {
 	// requests that ask for more via ?timeout_ms= and requests that ask
 	// for none. Zero means no cap.
 	MaxTimeout time.Duration
+	// Metrics, when non-nil, mounts GET /metrics (Prometheus text
+	// exposition) and records per-endpoint request counters and latency
+	// histograms. Usually the same Metrics handed to Config.Metrics.
+	Metrics *Metrics
+	// Logger receives structured server logs: handler panics and, with
+	// SlowQuery set, slow-request lines. Nil falls back to
+	// slog.Default() for panics and disables slow-request logging.
+	Logger *slog.Logger
+	// SlowQuery, when positive, logs any request slower than this at
+	// level WARN with its request id, endpoint, outcome, and the query
+	// shape/fan-out detail the handler annotated. Zero disables.
+	SlowQuery time.Duration
 }
 
-// NewHandler wraps srv in the HTTP/JSON API above.
+// NewHandler wraps srv in the HTTP/JSON API above. With hc.Metrics set
+// it also serves GET /metrics and instruments every route (see
+// instrument.go); with hc.Logger and hc.SlowQuery it logs slow
+// requests.
 func NewHandler(srv *Server, hc HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/insert", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(pattern, endpoint string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, instrument(hc, endpoint, h))
+	}
+	if hc.Metrics != nil {
+		// The exposition endpoint itself is deliberately uninstrumented:
+		// scrapes should not dilute the API outcome counters.
+		mux.Handle("GET /metrics", hc.Metrics.Registry().Handler())
+	}
+	handle("POST /v1/insert", "insert", func(w http.ResponseWriter, r *http.Request) {
 		var req insertRequest
 		if !decode(w, r, &req) {
 			return
@@ -162,7 +185,7 @@ func NewHandler(srv *Server, hc HandlerConfig) http.Handler {
 		// report them (retrying would duplicate the batch).
 		writeJSON(w, insertResponse{IDs: ids, NotDurable: err != nil})
 	})
-	mux.HandleFunc("POST /v1/delete", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /v1/delete", "delete", func(w http.ResponseWriter, r *http.Request) {
 		var req deleteRequest
 		if !decode(w, r, &req) {
 			return
@@ -175,7 +198,7 @@ func NewHandler(srv *Server, hc HandlerConfig) http.Handler {
 		}
 		writeJSON(w, resp)
 	})
-	mux.HandleFunc("POST /v1/search", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /v1/search", "search", func(w http.ResponseWriter, r *http.Request) {
 		var req searchRequest
 		if !decode(w, r, &req) {
 			return
@@ -233,14 +256,18 @@ func NewHandler(srv *Server, hc HandlerConfig) http.Handler {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("search: unknown mode %q", req.Mode))
 			return
 		}
+		annotateFanout(w, f, slog.Int("set_bits", len(req.Set)), req.Mode, resp.Stats)
 		if err := f.Err(); err != nil {
 			httpFanoutError(w, err)
 			return
 		}
 		resp.Partial, resp.ShardErrors = f.Partial(), f.Errs
+		if resp.Partial {
+			markPartial(w)
+		}
 		writeJSON(w, resp)
 	})
-	mux.HandleFunc("POST /v1/search/batch", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /v1/search/batch", "search_batch", func(w http.ResponseWriter, r *http.Request) {
 		var req batchSearchRequest
 		if !decode(w, r, &req) {
 			return
@@ -284,9 +311,13 @@ func NewHandler(srv *Server, hc HandlerConfig) http.Handler {
 		}
 		defer cancel()
 		results, stats, f := srv.SearchBatchContext(ctx, qs, thresholds, m)
+		annotateFanout(w, f, slog.Int("batch_queries", len(req.Sets)), req.Mode, stats)
 		if err := f.Err(); err != nil {
 			httpFanoutError(w, err)
 			return
+		}
+		if f.Partial() {
+			markPartial(w)
 		}
 		resp := batchSearchResponse{
 			Results:     make([]batchResultJSON, len(results)),
@@ -301,10 +332,10 @@ func NewHandler(srv *Server, hc HandlerConfig) http.Handler {
 		}
 		writeJSON(w, resp)
 	})
-	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/stats", "stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, srv.Stats())
 	})
-	mux.HandleFunc("POST /v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /v1/snapshot", "snapshot", func(w http.ResponseWriter, r *http.Request) {
 		if hc.SnapshotDir == "" {
 			httpError(w, http.StatusForbidden, errors.New("snapshot: disabled (no snapshot directory configured)"))
 			return
@@ -346,7 +377,7 @@ func NewHandler(srv *Server, hc HandlerConfig) http.Handler {
 		}
 		writeJSON(w, snapshotResponse{Bytes: n})
 	})
-	return recoverMiddleware(mux)
+	return recoverMiddleware(mux, hc.Logger)
 }
 
 // requestContext derives the request's deadline context: ?timeout_ms=
@@ -401,7 +432,10 @@ func httpFanoutError(w http.ResponseWriter, err error) {
 // look like a server crash to every client sharing the connection.
 // http.ErrAbortHandler passes through — it is the sanctioned way to
 // abort a response and net/http handles it quietly.
-func recoverMiddleware(next http.Handler) http.Handler {
+func recoverMiddleware(next http.Handler, logger *slog.Logger) http.Handler {
+	if logger == nil {
+		logger = slog.Default()
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			rec := recover()
@@ -411,7 +445,9 @@ func recoverMiddleware(next http.Handler) http.Handler {
 			if rec == http.ErrAbortHandler {
 				panic(rec)
 			}
-			log.Printf("skewsim: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			logger.Error("panic serving request",
+				"method", r.Method, "path", r.URL.Path,
+				"panic", fmt.Sprint(rec), "stack", string(debug.Stack()))
 			// Best effort: if the handler already wrote, this is a no-op
 			// on the status line and the client sees a torn body.
 			httpError(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", rec))

@@ -54,13 +54,21 @@ type Config struct {
 	// immediately. 0 rejects the moment the in-flight slots are taken,
 	// negative selects 4×MaxInFlight.
 	MaxQueue int
+	// Metrics, when non-nil, instruments the whole stack: the segment
+	// and WAL instrument sets are threaded into every shard, fan-out
+	// and admission counters are observed by the server, and size
+	// gauges over Stats() are registered at construction. One Server
+	// per Metrics (the gauges close over the server). Nil disables
+	// instrumentation.
+	Metrics *Metrics
 }
 
 // Server is a sharded segmented index. Safe for concurrent use.
 type Server struct {
 	shards  []*segment.SegmentedIndex
 	workers int
-	gate    *gate // query admission; nil admits everything
+	gate    *gate    // query admission; nil admits everything
+	metrics *Metrics // nil when uninstrumented
 
 	mu   sync.Mutex
 	next int64 // next external id
@@ -79,7 +87,11 @@ func New(cfg Config) (*Server, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("server: Shards %d must be >= 1", cfg.Shards)
 	}
-	s := &Server{workers: cfg.Workers, gate: configGate(cfg)}
+	s := &Server{workers: cfg.Workers, gate: configGate(cfg), metrics: cfg.Metrics}
+	if cfg.Metrics != nil {
+		cfg.Segment.Metrics = cfg.Metrics.Segment
+		cfg.WAL.Metrics = cfg.Metrics.WAL
+	}
 	for i := 0; i < k; i++ {
 		sh, err := newShard(cfg, i)
 		if err != nil {
@@ -94,6 +106,9 @@ func New(cfg Config) (*Server, error) {
 		if next := sh.NextID(); next > s.next {
 			s.next = next
 		}
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.registerServerGauges(s)
 	}
 	return s, nil
 }
@@ -396,7 +411,11 @@ func ReadSnapshot(r io.Reader, cfg Config) (*Server, error) {
 	if int(shards) != k {
 		return nil, fmt.Errorf("server: snapshot has %d shards, config %d", shards, k)
 	}
-	s := &Server{workers: cfg.Workers, gate: configGate(cfg), next: int64(next)}
+	s := &Server{workers: cfg.Workers, gate: configGate(cfg), metrics: cfg.Metrics, next: int64(next)}
+	if cfg.Metrics != nil {
+		cfg.Segment.Metrics = cfg.Metrics.Segment
+		cfg.WAL.Metrics = cfg.Metrics.WAL
+	}
 	ok := false
 	defer func() {
 		if !ok {
@@ -428,6 +447,9 @@ func ReadSnapshot(r io.Reader, cfg Config) (*Server, error) {
 		if next := sh.NextID(); next > s.next {
 			s.next = next
 		}
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.registerServerGauges(s)
 	}
 	ok = true
 	return s, nil

@@ -36,6 +36,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"skewsim/internal/dataio"
 	"skewsim/internal/faultinject"
@@ -83,6 +84,10 @@ type Options struct {
 	SegmentBytes int64
 	// Sync is the fsync policy. The zero value is SyncAlways.
 	Sync SyncPolicy
+	// Metrics, when non-nil, receives append/fsync counts and the
+	// group-commit batch/latency distributions. Share one Metrics
+	// across shards.
+	Metrics *Metrics
 }
 
 func (o Options) withDefaults() Options {
@@ -390,6 +395,9 @@ func (l *Log) AppendBatch(recs []Record) (uint64, error) {
 	l.bytes += int64(len(buf))
 	l.fileSize += int64(len(buf))
 	l.appended = true
+	if m := l.opts.Metrics; m != nil {
+		m.Appends.Add(int64(len(recs)))
+	}
 	if l.fileSize >= l.opts.SegmentBytes {
 		if err := l.rotateLocked(); err != nil {
 			return 0, err
@@ -413,6 +421,9 @@ func (l *Log) appendLocked(rec Record) (uint64, error) {
 	l.bytes += int64(len(frame))
 	l.fileSize += int64(len(frame))
 	l.appended = true
+	if m := l.opts.Metrics; m != nil {
+		m.Appends.Inc()
+	}
 	if l.fileSize >= l.opts.SegmentBytes {
 		if err := l.rotateLocked(); err != nil {
 			return 0, err
@@ -436,6 +447,7 @@ func (l *Log) Commit(lsn uint64) error {
 			continue
 		}
 		l.syncing = true
+		start := l.durable
 		l.cmu.Unlock()
 
 		l.mu.Lock()
@@ -447,7 +459,17 @@ func (l *Log) Commit(lsn uint64) error {
 		if closed {
 			err = ErrClosed
 		} else if err = faultinject.Fire(faultinject.WALFsync); err == nil {
-			err = f.Sync()
+			if m := l.opts.Metrics; m != nil {
+				t0 := time.Now()
+				err = f.Sync()
+				m.FsyncSeconds.ObserveDuration(time.Since(t0))
+				m.Fsyncs.Inc()
+				if err == nil && target > start {
+					m.CommitBatch.Observe(int64(target - start))
+				}
+			} else {
+				err = f.Sync()
+			}
 		}
 
 		l.cmu.Lock()
