@@ -14,11 +14,11 @@ BENCH_PATTERN ?= QueryPath|LSFTraversal|BuildSkewSearch|BuildChosenPath|Intersec
 # is guarded against, and the number of samples per benchmark (benchjson
 # keeps the per-benchmark minimum — single-sample records were noisy
 # enough to fake 18% swings on allocation-free kernels between PRs).
-BENCH_OUT ?= BENCH_PR8.json
-BENCH_PREV ?= BENCH_PR7.json
+BENCH_OUT ?= BENCH_PR9.json
+BENCH_PREV ?= BENCH_PR8.json
 BENCH_COUNT ?= 5
 
-.PHONY: all build vet test test-purego race fuzz bench bench-json bench-guard bench-obs-guard docs test-fault test-obs e2e
+.PHONY: all build vet test test-purego race fuzz bench bench-json bench-guard bench-obs-guard docs test-fault test-obs e2e test-cluster
 
 all: build vet test
 
@@ -53,10 +53,13 @@ race:
 # (internal/faultinject registry + the Fault* tests it arms) under the
 # race detector — injected fsync errors must surface as ErrNotDurable,
 # a failed checkpoint must leave recovery bit-identical, stalled shards
-# must degrade to partial answers within the deadline, and overload
-# must shed with 429/503 instead of growing goroutines.
+# must degrade to partial answers within the deadline, overload must
+# shed with 429/503 instead of growing goroutines, and the replication
+# faults (stalled feed, mid-stream disconnect, torn bootstrap snapshot,
+# SIGKILLed primary) must all end in a follower bit-identical to the
+# surviving state.
 test-fault:
-	$(GO) test -race -run 'Fault' ./internal/faultinject ./internal/segment ./internal/server
+	$(GO) test -race -run 'Fault' ./internal/faultinject ./internal/segment ./internal/server ./internal/replica
 
 # The observability acceptance run: the metrics core under the race
 # detector (concurrent registration + observation, exposition golden
@@ -64,13 +67,21 @@ test-fault:
 # the scrape parser behind `skewsim metrics` / `skewsim load
 # -scrape-metrics`.
 test-obs:
-	$(GO) test -race ./internal/obs ./cmd/skewsim
+	$(GO) test -race ./internal/obs ./internal/promscrape ./cmd/skewsim
 	$(GO) test -race -run 'Obs' ./internal/server
 
 # Boot a real daemon, drive it with skewsim load, scrape and validate
 # /metrics over the wire (see scripts/e2e_metrics.sh).
 e2e:
 	sh scripts/e2e_metrics.sh
+
+# The failover acceptance run: boot a primary, a replicating follower,
+# and a skewgate in front of both; load through the gateway, SIGKILL
+# the primary, and require zero read errors after the probe interval
+# plus a successful promotion that restores writes
+# (see scripts/e2e_cluster.sh).
+test-cluster:
+	sh scripts/e2e_cluster.sh
 
 # Short fuzz smoke over the byte-level parsers and the intersect kernel
 # (assembly vs portable differential). Each target gets a few seconds of

@@ -11,6 +11,7 @@ import (
 	"os"
 	"slices"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,9 +26,22 @@ import (
 // It measures the daemon end to end — JSON decode, shard fan-out,
 // segment merge — which is the number the serving-throughput section
 // of EXPERIMENTS.md records.
+//
+// -addr may be repeated (or comma-separated) to spread requests
+// round-robin over several targets — a replicated deployment's
+// gateway plus direct backends, or a static multi-node setup. Errors
+// are counted per target so a sick node stands out in the report.
 func runLoad(args []string) {
 	fs := flag.NewFlagSet("load", flag.ExitOnError)
-	addr := fs.String("addr", "http://localhost:8080", "skewsimd base URL")
+	var addrs []string
+	fs.Func("addr", "skewsimd base URL; repeat or comma-separate for several targets (default http://localhost:8080)", func(v string) error {
+		for _, a := range strings.Split(v, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, strings.TrimRight(a, "/"))
+			}
+		}
+		return nil
+	})
 	dataPath := fs.String("data", "", "sets to insert (optional)")
 	queryPath := fs.String("queries", "", "sets to search (optional)")
 	concurrency := fs.Int("concurrency", 8, "concurrent client connections")
@@ -48,13 +62,21 @@ func runLoad(args []string) {
 	if *dataPath == "" && *queryPath == "" {
 		fatal(fmt.Errorf("load needs -data and/or -queries"))
 	}
+	if len(addrs) == 0 {
+		addrs = []string{"http://localhost:8080"}
+	}
 	client := &http.Client{Timeout: 30 * time.Second}
 	if *scrape {
-		// After both phases: put the daemon's own overload accounting
+		// After both phases: put each daemon's own overload accounting
 		// next to the client-observed numbers reported above. (fatal
 		// exits skip this — a failed run has no meaningful scrape.)
-		defer scrapeReport(client, *addr)
+		defer func() {
+			for _, a := range addrs {
+				scrapeReport(client, a)
+			}
+		}()
 	}
+	target := func(i int) string { return addrs[i%len(addrs)] }
 
 	if *dataPath != "" {
 		vecs := loadVectors(*dataPath)
@@ -67,11 +89,11 @@ func runLoad(args []string) {
 			}
 			reqs = append(reqs, sets)
 		}
-		var st loadStats
+		st := newLoadStats(addrs)
 		lat, elapsed := fire(client, *concurrency, len(reqs), func(i int) error {
-			return postRetry(client, *addr+"/v1/insert", map[string]interface{}{"sets": reqs[i]}, &st)
+			return postRetry(client, target(i), "/v1/insert", map[string]interface{}{"sets": reqs[i]}, st)
 		})
-		report("insert", lat, elapsed, len(vecs), &st)
+		report("insert", lat, elapsed, len(vecs), st)
 	}
 	if *queryPath != "" {
 		qs := loadVectors(*queryPath)
@@ -90,18 +112,18 @@ func runLoad(args []string) {
 				}
 				reqs = append(reqs, sets)
 			}
-			var st loadStats
+			st := newLoadStats(addrs)
 			lat, elapsed := fire(client, *concurrency, len(reqs), func(i int) error {
 				body := map[string]interface{}{"sets": reqs[i], "mode": *mode}
 				if *mode == "first" {
 					body["threshold"] = *threshold
 				}
-				return postRetry(client, *addr+"/v1/search/batch", body, &st)
+				return postRetry(client, target(i), "/v1/search/batch", body, st)
 			})
-			report("search-batch", lat, elapsed, total, &st)
+			report("search-batch", lat, elapsed, total, st)
 			return
 		}
-		var st loadStats
+		st := newLoadStats(addrs)
 		lat, elapsed := fire(client, *concurrency, total, func(i int) error {
 			body := map[string]interface{}{"set": qs[i%len(qs)].Bits(), "mode": *mode}
 			switch *mode {
@@ -110,9 +132,9 @@ func runLoad(args []string) {
 			case "first":
 				body["threshold"] = *threshold
 			}
-			return postRetry(client, *addr+"/v1/search", body, &st)
+			return postRetry(client, target(i), "/v1/search", body, st)
 		})
-		report("search", lat, elapsed, total, &st)
+		report("search", lat, elapsed, total, st)
 	}
 }
 
@@ -122,6 +144,26 @@ type loadStats struct {
 	shed    atomic.Int64 // 429/503 rejections observed (before retries succeeded)
 	retried atomic.Int64 // requests that needed at least one retry
 	partial atomic.Int64 // 200 responses flagged "partial": true
+
+	// targets and perTarget attribute traffic to each -addr; the map is
+	// fully populated up front so workers only touch atomics.
+	targets   []string
+	perTarget map[string]*targetStats
+}
+
+// targetStats is one -addr's share of a phase.
+type targetStats struct {
+	requests atomic.Int64 // requests routed here (counting each retry once)
+	errors   atomic.Int64 // requests that ultimately failed here
+	shed     atomic.Int64 // 429/503 rejections this target issued
+}
+
+func newLoadStats(addrs []string) *loadStats {
+	st := &loadStats{targets: addrs, perTarget: make(map[string]*targetStats, len(addrs))}
+	for _, a := range addrs {
+		st.perTarget[a] = &targetStats{}
+	}
+	return st
 }
 
 // fire runs n requests through `concurrency` workers, returning the
@@ -171,20 +213,23 @@ func (e *statusError) retriable() bool {
 	return e.status == http.StatusTooManyRequests || e.status == http.StatusServiceUnavailable
 }
 
-// postRetry posts with capped exponential backoff on 429/503 (an
-// overloaded daemon sheds load expecting exactly this): the wait
-// honors Retry-After when the server sends one, doubles up to a cap
-// otherwise, and is jittered so a fleet of shed clients does not
+// postRetry posts to addr+path with capped exponential backoff on
+// 429/503 (an overloaded daemon sheds load expecting exactly this):
+// the wait honors Retry-After when the server sends one, doubles up to
+// a cap otherwise, and is jittered so a fleet of shed clients does not
 // return in lockstep. Other failures are returned immediately.
-func postRetry(client *http.Client, url string, body interface{}, st *loadStats) error {
+// Outcomes are attributed to addr in st's per-target table.
+func postRetry(client *http.Client, addr, path string, body interface{}, st *loadStats) error {
 	const (
 		maxAttempts = 8
 		baseBackoff = 50 * time.Millisecond
 		maxBackoff  = 2 * time.Second
 	)
+	ts := st.perTarget[addr]
+	ts.requests.Add(1)
 	backoff := baseBackoff
 	for attempt := 0; ; attempt++ {
-		err := post(client, url, body, st)
+		err := post(client, addr+path, body, st)
 		if err == nil {
 			if attempt > 0 {
 				st.retried.Add(1)
@@ -193,9 +238,11 @@ func postRetry(client *http.Client, url string, body interface{}, st *loadStats)
 		}
 		var se *statusError
 		if !errors.As(err, &se) || !se.retriable() || attempt == maxAttempts-1 {
+			ts.errors.Add(1)
 			return err
 		}
 		st.shed.Add(1)
+		ts.shed.Add(1)
 		wait := backoff
 		if se.retryAfter > wait {
 			wait = se.retryAfter
@@ -265,6 +312,21 @@ func report(phase string, lat []time.Duration, elapsed time.Duration, items int,
 	if shed, retried, partial := st.shed.Load(), st.retried.Load(), st.partial.Load(); shed+retried+partial > 0 {
 		fmt.Printf("%s: overload: %d shed (429/503), %d requests retried to success, %d partial answers\n",
 			phase, shed, retried, partial)
+	}
+	// With several targets (or any failures), break the traffic down so
+	// one sick node is visible next to its healthy peers.
+	anyErrors := false
+	for _, ts := range st.perTarget {
+		if ts.errors.Load() > 0 {
+			anyErrors = true
+		}
+	}
+	if len(st.targets) > 1 || anyErrors {
+		for _, a := range st.targets {
+			ts := st.perTarget[a]
+			fmt.Printf("%s: target %s: %d requests, %d errors, %d shed\n",
+				phase, a, ts.requests.Load(), ts.errors.Load(), ts.shed.Load())
+		}
 	}
 }
 

@@ -30,6 +30,17 @@
 // net/http/pprof on a separate listener (keep it off public interfaces;
 // profiles expose internals).
 //
+// Replication: -replica-of <primary-url> starts the daemon as a
+// read-only follower. It bootstraps from the primary's streamed
+// snapshot (or resumes from its persisted cursors), then continuously
+// pulls per-shard WAL frames from GET /v1/replica/wal and applies
+// them; /healthz reports role "follower" and writes get 403 until
+// POST /v1/admin/promote flips it to a primary. The follower's engine
+// flags (-shards, -seed, -reps, -b1/-alpha, -n, and -data/-dim/-pmax)
+// must match the primary's — shard placement and filter mappings are
+// derived from them. cmd/skewgate routes clients across a primary and
+// its followers with automatic failover.
+//
 // The engine runs the paper's adversarial scheme by default (-b1), or
 // the correlated scheme with -alpha. Item probabilities come from a
 // warm-start dataset (-data, the §9 estimation strategy) or from a
@@ -41,6 +52,7 @@
 //	skewsimd -addr :8080 -dim 4096 -n 100000 -shards 8
 //	skewsimd -wal-dir ./wal -fsync always -data s.txt    # durable serving
 //	skewsimd -restore index.snap -wal-dir ./wal          # snapshot + log tail
+//	skewsimd -addr :8081 -wal-dir ./wal2 -replica-of http://localhost:8080
 //	skewsimd -log-format json -slow-query-ms 250 -pprof-addr 127.0.0.1:6060
 package main
 
@@ -54,6 +66,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -62,6 +75,7 @@ import (
 	"skewsim/internal/dataio"
 	"skewsim/internal/dist"
 	"skewsim/internal/obs"
+	"skewsim/internal/replica"
 	"skewsim/internal/segment"
 	"skewsim/internal/server"
 	"skewsim/internal/wal"
@@ -107,6 +121,7 @@ func main() {
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, or error")
 		slowQueryMS = flag.Int64("slow-query-ms", 0, "log requests slower than this many milliseconds, with query shape and fan-out detail (0 disables)")
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty disables; bind to localhost)")
+		replicaOf   = flag.String("replica-of", "", "follow this primary base URL as a read-only replica (requires -wal-dir; engine flags must match the primary's)")
 	)
 	flag.Parse()
 
@@ -170,8 +185,36 @@ func main() {
 		cfg.WAL = wal.Options{Sync: policy, SegmentBytes: *walSegBytes}
 	}
 
-	var srv *server.Server
-	if *restorePath != "" {
+	var (
+		srv *server.Server
+		rep *replica.Replicator
+	)
+	if *replicaOf != "" {
+		if *walDir == "" {
+			fatal("-replica-of requires -wal-dir (the follower journals its applies and persists its cursors there)")
+		}
+		if *restorePath != "" {
+			fatal("-restore and -replica-of are mutually exclusive (the follower bootstraps from the primary)")
+		}
+		srv, rep, err = replica.Open(replica.Config{
+			Primary: strings.TrimRight(*replicaOf, "/"),
+			Server:  cfg,
+			Logger:  logger,
+			Metrics: replica.NewMetrics(metrics.Registry()),
+			OnFatal: func(err error) {
+				// The primary truncated past our cursor (or the configs
+				// disagree): nothing this process can do. Exit so the
+				// supervisor restarts us into a clean bootstrap.
+				logger.Error("replication cannot continue; exiting", "err", err)
+				os.Exit(1)
+			},
+		})
+		if err != nil {
+			fatal("opening follower", "primary", *replicaOf, "err", err)
+		}
+		rep.Start()
+		logger.Info("following primary", "primary", *replicaOf, "live", srv.Stats().Live)
+	} else if *restorePath != "" {
 		f, err := os.Open(*restorePath)
 		if err != nil {
 			fatal("opening snapshot", "err", err)
@@ -225,7 +268,7 @@ func main() {
 	if err != nil {
 		fatal("deriving verification threshold", "err", err)
 	}
-	handler := server.NewHandler(srv, server.HandlerConfig{
+	hcfg := server.HandlerConfig{
 		SnapshotDir:      *snapshotDir,
 		DefaultThreshold: verify,
 		DefaultTimeout:   *defTimeout,
@@ -233,7 +276,11 @@ func main() {
 		Metrics:          metrics,
 		Logger:           logger,
 		SlowQuery:        time.Duration(*slowQueryMS) * time.Millisecond,
-	})
+	}
+	if rep != nil {
+		hcfg.Promote = rep.Promote
+	}
+	handler := server.NewHandler(srv, hcfg)
 	hs := &http.Server{
 		Addr:    *addr,
 		Handler: handler,
@@ -276,6 +323,9 @@ func main() {
 	go func() { serveErr <- hs.ListenAndServe() }()
 	select {
 	case err := <-serveErr:
+		if rep != nil {
+			rep.Stop()
+		}
 		srv.Close()
 		fatal("listener failed", "err", err)
 	case <-ctx.Done():
@@ -289,6 +339,9 @@ func main() {
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Warn("listener", "err", err)
+	}
+	if rep != nil {
+		rep.Stop() // no new applies once the pullers are down
 	}
 	srv.Close() // stops shard workers, final WAL sync + close
 	logger.Info("shutdown complete (WAL synced and closed)")

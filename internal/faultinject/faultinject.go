@@ -44,6 +44,17 @@ const (
 	// shard failed. Args: the request context.Context and the shard
 	// number (int).
 	ServerShardStall Point = "server.shard-stall"
+	// ReplicaFeedStall fires in the replication feed handler
+	// (GET /v1/replica/wal) before any frames are read; a hook can block
+	// to simulate a stalled primary, and a non-nil return fails the
+	// request with a 500. Args: the shard number (int) and the requested
+	// from-LSN (uint64).
+	ReplicaFeedStall Point = "replica.feed-stall"
+	// ReplicaSnapshotTruncate fires in the bootstrap snapshot handler
+	// (GET /v1/replica/snapshot) after the header is written; a non-nil
+	// return aborts the response mid-stream, handing the follower a
+	// truncated snapshot. Args: none.
+	ReplicaSnapshotTruncate Point = "replica.snapshot-truncate"
 )
 
 // Hook is an injected behaviour. It receives the point's site-specific

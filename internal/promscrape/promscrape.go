@@ -1,0 +1,370 @@
+// Package promscrape parses and validates Prometheus text exposition
+// (version 0.0.4) on the client side. It backs `skewsim metrics` (the
+// CI e2e gate), `skewsim load -scrape-metrics`, and the skewgate
+// health/staleness probes, which read a backend's replication-lag
+// gauges off its /metrics. The parser is deliberately strict — unknown
+// sample families, malformed labels, or unparsable values are errors,
+// not skips — so a formatting regression in the exposition writer
+// (internal/obs) fails loudly at the first scrape.
+package promscrape
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Family is one parsed metric family: its TYPE and every sample line
+// that resolved to it (histogram _bucket/_sum/_count series included).
+type Family struct {
+	Name    string
+	Type    string
+	Help    bool
+	Samples []Sample
+}
+
+// Sample is one exposition sample line.
+type Sample struct {
+	Name   string // full sample name (with _bucket/_sum/_count suffix)
+	Labels map[string]string
+	Value  float64
+}
+
+// Parse parses the text format (version 0.0.4). Every sample must
+// belong to a family announced by a preceding # TYPE line.
+func Parse(r io.Reader) (map[string]*Family, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	fams := make(map[string]*Family)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "# HELP "):
+			name, _, _ := strings.Cut(strings.TrimPrefix(line, "# HELP "), " ")
+			if name == "" {
+				return nil, fmt.Errorf("line %d: HELP without a metric name", n)
+			}
+			fam := fams[name]
+			if fam == nil {
+				fam = &Family{Name: name}
+				fams[name] = fam
+			}
+			fam.Help = true
+		case strings.HasPrefix(line, "# TYPE "):
+			name, typ, ok := strings.Cut(strings.TrimPrefix(line, "# TYPE "), " ")
+			if !ok || name == "" {
+				return nil, fmt.Errorf("line %d: malformed TYPE line %q", n, line)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown metric type %q", n, typ)
+			}
+			fam := fams[name]
+			if fam == nil {
+				fam = &Family{Name: name}
+				fams[name] = fam
+			}
+			if fam.Type != "" && fam.Type != typ {
+				return nil, fmt.Errorf("line %d: family %s re-typed %s -> %s", n, name, fam.Type, typ)
+			}
+			fam.Type = typ
+		case strings.HasPrefix(line, "#"):
+			continue // free-form comment
+		default:
+			s, err := parseSampleLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", n, err)
+			}
+			fam := resolveFamily(fams, s.Name)
+			if fam == nil {
+				return nil, fmt.Errorf("line %d: sample %s has no preceding # TYPE", n, s.Name)
+			}
+			fam.Samples = append(fam.Samples, s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+// resolveFamily maps a sample name to its announced family, accounting
+// for the histogram/summary series suffixes.
+func resolveFamily(fams map[string]*Family, name string) *Family {
+	if f := fams[name]; f != nil && f.Type != "" {
+		return f
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, found := strings.CutSuffix(name, suffix)
+		if !found {
+			continue
+		}
+		if f := fams[base]; f != nil && (f.Type == "histogram" || f.Type == "summary") {
+			return f
+		}
+	}
+	return nil
+}
+
+// parseSampleLine parses `name{k="v",...} value` or `name value`,
+// unescaping label values (\\, \", \n).
+func parseSampleLine(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	brace := strings.IndexByte(line, '{')
+	sp := strings.IndexByte(line, ' ')
+	if brace >= 0 && (sp < 0 || brace < sp) {
+		s.Name = line[:brace]
+		rest = line[brace+1:]
+		var err error
+		if rest, err = parseLabels(rest, s.Labels); err != nil {
+			return s, fmt.Errorf("sample %s: %w", s.Name, err)
+		}
+	} else {
+		if sp < 0 {
+			return s, fmt.Errorf("sample line %q has no value", line)
+		}
+		s.Name = line[:sp]
+		rest = line[sp:]
+	}
+	rest = strings.TrimLeft(rest, " ")
+	// A trailing timestamp is legal in the format; the skewsim daemon
+	// never writes one, but accept "value [timestamp]".
+	valStr, _, _ := strings.Cut(rest, " ")
+	v, err := parseSampleValue(valStr)
+	if err != nil {
+		return s, fmt.Errorf("sample %s: bad value %q", s.Name, valStr)
+	}
+	s.Value = v
+	if !validSampleName(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	return s, nil
+}
+
+// parseLabels consumes `k="v",...}` and returns what follows the brace.
+func parseLabels(in string, out map[string]string) (string, error) {
+	for {
+		eq := strings.IndexByte(in, '=')
+		if eq < 0 {
+			return "", fmt.Errorf("label pair without '=' in %q", in)
+		}
+		key := in[:eq]
+		if key == "" {
+			return "", fmt.Errorf("empty label name")
+		}
+		in = in[eq+1:]
+		if len(in) == 0 || in[0] != '"' {
+			return "", fmt.Errorf("label %s: unquoted value", key)
+		}
+		in = in[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(in); i++ {
+			c := in[i]
+			if c == '\\' {
+				if i+1 >= len(in) {
+					return "", fmt.Errorf("label %s: dangling escape", key)
+				}
+				i++
+				switch in[i] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return "", fmt.Errorf("label %s: unknown escape \\%c", key, in[i])
+				}
+				continue
+			}
+			if c == '"' {
+				in = in[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return "", fmt.Errorf("label %s: unterminated value", key)
+		}
+		out[key] = val.String()
+		if strings.HasPrefix(in, ",") {
+			in = in[1:]
+			continue
+		}
+		if strings.HasPrefix(in, "}") {
+			return in[1:], nil
+		}
+		return "", fmt.Errorf("expected ',' or '}' after label %s", key)
+	}
+}
+
+func parseSampleValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func validSampleName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate enforces the invariants the daemon's exposition must
+// satisfy: every family has HELP + TYPE, and every histogram labelset
+// carries a +Inf bucket whose cumulative count equals its _count.
+func Validate(fams map[string]*Family) error {
+	for name, fam := range fams {
+		if fam.Type == "" {
+			return fmt.Errorf("family %s: missing # TYPE", name)
+		}
+		if !fam.Help {
+			return fmt.Errorf("family %s: missing # HELP", name)
+		}
+		if fam.Type != "histogram" {
+			continue
+		}
+		// Group the series by labelset (le excluded).
+		inf := map[string]float64{}
+		count := map[string]float64{}
+		seenCount := map[string]bool{}
+		for _, s := range fam.Samples {
+			key := labelKeyWithoutLe(s.Labels)
+			switch s.Name {
+			case name + "_bucket":
+				if s.Labels["le"] == "+Inf" {
+					inf[key] = s.Value
+				}
+			case name + "_count":
+				count[key] = s.Value
+				seenCount[key] = true
+			}
+		}
+		for key, c := range count {
+			v, ok := inf[key]
+			if !ok {
+				return fmt.Errorf("histogram %s{%s}: no +Inf bucket", name, key)
+			}
+			if v != c {
+				return fmt.Errorf("histogram %s{%s}: +Inf bucket %v != count %v", name, key, v, c)
+			}
+		}
+		for key := range inf {
+			if !seenCount[key] {
+				return fmt.Errorf("histogram %s{%s}: buckets without _count", name, key)
+			}
+		}
+	}
+	return nil
+}
+
+func labelKeyWithoutLe(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", k, labels[k])
+	}
+	return sb.String()
+}
+
+// Scrape fetches, parses, and validates addr's /metrics.
+func Scrape(client *http.Client, addr string) (map[string]*Family, error) {
+	resp, err := client.Get(strings.TrimSuffix(addr, "/") + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	fams, err := Parse(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("parsing /metrics: %w", err)
+	}
+	if err := Validate(fams); err != nil {
+		return nil, fmt.Errorf("validating /metrics: %w", err)
+	}
+	return fams, nil
+}
+
+// Sum sums a family's plain samples matching the label filter (nil
+// filter sums everything; histogram series are excluded).
+func Sum(fams map[string]*Family, name string, filter map[string]string) float64 {
+	fam := fams[name]
+	if fam == nil {
+		return 0
+	}
+	var total float64
+sample:
+	for _, s := range fam.Samples {
+		if s.Name != name {
+			continue // histogram series
+		}
+		for k, want := range filter {
+			if s.Labels[k] != want {
+				continue sample
+			}
+		}
+		total += s.Value
+	}
+	return total
+}
+
+// Value returns the single plain sample matching the label filter,
+// reporting whether exactly one matched — the gauge-reading probe the
+// gateway uses (a Sum over a gauge that is unexpectedly absent would
+// silently read 0).
+func Value(fams map[string]*Family, name string, filter map[string]string) (float64, bool) {
+	fam := fams[name]
+	if fam == nil {
+		return 0, false
+	}
+	var v float64
+	matched := 0
+sample:
+	for _, s := range fam.Samples {
+		if s.Name != name {
+			continue
+		}
+		for k, want := range filter {
+			if s.Labels[k] != want {
+				continue sample
+			}
+		}
+		v = s.Value
+		matched++
+	}
+	return v, matched == 1
+}

@@ -1,4 +1,4 @@
-package main
+package promscrape
 
 import (
 	"strings"
@@ -22,25 +22,45 @@ skewsim_index_live_vectors 400
 `
 
 func TestScrapeParseAndSum(t *testing.T) {
-	fams, err := parseExposition(strings.NewReader(sampleExposition))
+	fams, err := Parse(strings.NewReader(sampleExposition))
 	if err != nil {
-		t.Fatalf("parseExposition: %v", err)
+		t.Fatalf("Parse: %v", err)
 	}
-	if err := validateFamilies(fams); err != nil {
-		t.Fatalf("validateFamilies: %v", err)
+	if err := Validate(fams); err != nil {
+		t.Fatalf("Validate: %v", err)
 	}
-	if got := sumFamily(fams, "skewsim_http_requests_total", nil); got != 50 {
+	if got := Sum(fams, "skewsim_http_requests_total", nil); got != 50 {
 		t.Fatalf("sum of requests = %v, want 50", got)
 	}
-	if got := sumFamily(fams, "skewsim_http_requests_total", map[string]string{"outcome": "partial"}); got != 2 {
+	if got := Sum(fams, "skewsim_http_requests_total", map[string]string{"outcome": "partial"}); got != 2 {
 		t.Fatalf("partial requests = %v, want 2", got)
 	}
 	// Histogram series must not leak into the family sum.
-	if got := sumFamily(fams, "skewsim_http_request_seconds", nil); got != 0 {
+	if got := Sum(fams, "skewsim_http_request_seconds", nil); got != 0 {
 		t.Fatalf("histogram family plain-sample sum = %v, want 0", got)
 	}
-	if fams["skewsim_http_request_seconds"].typ != "histogram" {
-		t.Fatalf("request_seconds type = %q", fams["skewsim_http_request_seconds"].typ)
+	if fams["skewsim_http_request_seconds"].Type != "histogram" {
+		t.Fatalf("request_seconds type = %q", fams["skewsim_http_request_seconds"].Type)
+	}
+}
+
+func TestScrapeValue(t *testing.T) {
+	fams, err := Parse(strings.NewReader(sampleExposition))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if v, ok := Value(fams, "skewsim_index_live_vectors", nil); !ok || v != 400 {
+		t.Fatalf("Value(live_vectors) = %v, %v; want 400, true", v, ok)
+	}
+	if v, ok := Value(fams, "skewsim_http_requests_total", map[string]string{"outcome": "partial"}); !ok || v != 2 {
+		t.Fatalf("Value(partial) = %v, %v; want 2, true", v, ok)
+	}
+	// Ambiguous (two samples match) and absent both report !ok.
+	if _, ok := Value(fams, "skewsim_http_requests_total", map[string]string{"outcome": "ok"}); ok {
+		t.Fatal("Value over two matching samples reported ok")
+	}
+	if _, ok := Value(fams, "no_such_family", nil); ok {
+		t.Fatal("Value over an absent family reported ok")
 	}
 }
 
@@ -49,11 +69,11 @@ func TestScrapeLabelEscapes(t *testing.T) {
 # TYPE m counter
 m{path="a\"b\\c\nd"} 1
 `
-	fams, err := parseExposition(strings.NewReader(in))
+	fams, err := Parse(strings.NewReader(in))
 	if err != nil {
-		t.Fatalf("parseExposition: %v", err)
+		t.Fatalf("Parse: %v", err)
 	}
-	got := fams["m"].samples[0].labels["path"]
+	got := fams["m"].Samples[0].Labels["path"]
 	if got != "a\"b\\c\nd" {
 		t.Fatalf("unescaped label = %q", got)
 	}
@@ -70,9 +90,9 @@ func TestScrapeRejectsMalformed(t *testing.T) {
 		"buckets without count": "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\n",
 	}
 	for name, in := range cases {
-		fams, err := parseExposition(strings.NewReader(in))
+		fams, err := Parse(strings.NewReader(in))
 		if err == nil {
-			err = validateFamilies(fams)
+			err = Validate(fams)
 		}
 		if err == nil {
 			t.Errorf("%s: accepted malformed exposition", name)

@@ -1,0 +1,336 @@
+package replica
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"skewsim/internal/faultinject"
+	"skewsim/internal/obs"
+	"skewsim/internal/server"
+	"skewsim/internal/wal"
+)
+
+// Fault suite for replication (runs under `make test-fault`): a primary
+// whose feed stalls, a feed connection cut mid-stream, a torn bootstrap
+// snapshot, and a primary SIGKILLed after the follower caught up. The
+// invariant throughout is the cursor discipline — the follower may
+// re-pull but never skips, so every fault ends in convergence to the
+// primary's exact state.
+
+// faultMetrics builds a Metrics on a throwaway registry so tests can
+// read the fetch/bootstrap counters directly.
+func faultMetrics() *Metrics { return NewMetrics(obs.NewRegistry()) }
+
+// TestFaultReplicaFeedStall: the primary's feed handler fails (500) for
+// a while; the follower counts fetch errors, keeps retrying, and
+// converges once the feed recovers.
+func TestFaultReplicaFeedStall(t *testing.T) {
+	primary, ts := startPrimary(t, t.TempDir())
+	if _, err := primary.InsertBatch(sampleVectors(t, 150, 11)); err != nil {
+		t.Fatalf("InsertBatch: %v", err)
+	}
+
+	// Fail every feed request until disarmed.
+	var stalled atomic.Bool
+	stalled.Store(true)
+	restore := faultinject.Set(faultinject.ReplicaFeedStall, func(args ...any) error {
+		if stalled.Load() {
+			return errors.New("injected feed stall")
+		}
+		return nil
+	})
+	defer restore()
+
+	m := faultMetrics()
+	fsrv, rep, err := Open(Config{
+		Primary:  ts.URL,
+		Server:   followerConfig(t, t.TempDir()),
+		Interval: 10 * time.Millisecond,
+		Metrics:  m,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer fsrv.Close()
+	defer rep.Stop()
+	rep.Start()
+
+	// The stall must surface as fetch errors, not silence.
+	deadline := time.Now().Add(5 * time.Second)
+	for m.FetchErrors.Value() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d fetch errors recorded during stall", m.FetchErrors.Value())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if rep.lagRecords() != 0 && allCaughtUp(rep) {
+		t.Fatal("follower claims caught up while the feed is stalled")
+	}
+
+	stalled.Store(false)
+	waitCaughtUp(t, rep, 10*time.Second)
+	assertAgree(t, fsrv, primary, sampleVectors(t, 20, 71))
+}
+
+// TestFaultReplicaFeedDisconnectResume: the first few feed responses
+// are cut mid-body. Each cut is a fetch error (torn frames never
+// apply), the follower resumes from its applied cursor, and when the
+// dust settles the records-applied counter equals exactly the cursor
+// advance — nothing was applied twice.
+func TestFaultReplicaFeedDisconnectResume(t *testing.T) {
+	psrv, err := server.New(followerConfig(t, t.TempDir()))
+	if err != nil {
+		t.Fatalf("New primary: %v", err)
+	}
+	inner := server.NewHandler(psrv, server.HandlerConfig{})
+	var cuts atomic.Int32
+	cuts.Store(4)
+	proxy := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/replica/wal") && cuts.Load() > 0 {
+			rec := httptest.NewRecorder()
+			inner.ServeHTTP(rec, r)
+			if rec.Code == http.StatusOK && rec.Body.Len() > 1 && cuts.Add(-1) >= 0 {
+				for k, vs := range rec.Header() {
+					if k == "Content-Length" {
+						continue
+					}
+					for _, v := range vs {
+						w.Header().Add(k, v)
+					}
+				}
+				w.WriteHeader(rec.Code)
+				w.(http.Flusher).Flush()
+				_, _ = w.Write(rec.Body.Bytes()[:rec.Body.Len()/2])
+				panic(http.ErrAbortHandler) // cut the connection mid-stream
+			}
+			for k, vs := range rec.Header() {
+				for _, v := range vs {
+					w.Header().Add(k, v)
+				}
+			}
+			w.WriteHeader(rec.Code)
+			_, _ = w.Write(rec.Body.Bytes())
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(proxy)
+	t.Cleanup(func() { ts.Close(); psrv.Close() })
+
+	if _, err := psrv.InsertBatch(sampleVectors(t, 200, 13)); err != nil {
+		t.Fatalf("InsertBatch: %v", err)
+	}
+
+	m := faultMetrics()
+	fsrv, rep, err := Open(Config{
+		Primary:  ts.URL,
+		Server:   followerConfig(t, t.TempDir()),
+		Interval: 10 * time.Millisecond,
+		Metrics:  m,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer fsrv.Close()
+	defer rep.Stop()
+	before := rep.Cursors()
+	rep.Start()
+	waitCaughtUp(t, rep, 10*time.Second)
+
+	if cuts.Load() > 0 {
+		t.Fatalf("proxy cut only %d connections", 4-cuts.Load())
+	}
+	if m.FetchErrors.Value() == 0 {
+		t.Fatal("mid-stream cuts recorded no fetch errors")
+	}
+	// Exactly one apply per shipped record: the counter must equal the
+	// cursor advance, or some cut re-applied records it already had.
+	var advance int64
+	for i, c := range rep.Cursors() {
+		advance += int64(c - before[i])
+	}
+	if got := m.RecordsApplied.Value(); got != advance {
+		t.Fatalf("records applied %d != cursor advance %d (duplicate applies)", got, advance)
+	}
+	assertAgree(t, fsrv, psrv, sampleVectors(t, 20, 72))
+}
+
+// TestFaultReplicaSnapshotTruncatedBootstrap: the primary tears the
+// bootstrap snapshot stream twice; each torn attempt leaves no partial
+// state behind and the third attempt bootstraps cleanly.
+func TestFaultReplicaSnapshotTruncatedBootstrap(t *testing.T) {
+	primary, ts := startPrimary(t, t.TempDir())
+	if _, err := primary.InsertBatch(sampleVectors(t, 120, 17)); err != nil {
+		t.Fatalf("InsertBatch: %v", err)
+	}
+
+	var tears atomic.Int32
+	tears.Store(2)
+	restore := faultinject.Set(faultinject.ReplicaSnapshotTruncate, func(args ...any) error {
+		if tears.Add(-1) >= 0 {
+			return errors.New("injected snapshot tear")
+		}
+		return nil
+	})
+	defer restore()
+
+	m := faultMetrics()
+	fdir := t.TempDir()
+	fsrv, rep, err := Open(Config{
+		Primary:  ts.URL,
+		Server:   followerConfig(t, fdir),
+		StateDir: fdir,
+		Interval: 10 * time.Millisecond,
+		Metrics:  m,
+	})
+	if err != nil {
+		t.Fatalf("Open after torn snapshots: %v", err)
+	}
+	defer fsrv.Close()
+	defer rep.Stop()
+
+	if tears.Load() >= 0 {
+		t.Fatalf("snapshot tear fired only %d times", 2-tears.Load())
+	}
+	if got := m.Bootstraps.Value(); got != 1 {
+		t.Fatalf("bootstraps counted %d, want 1 (only the clean attempt)", got)
+	}
+	// A torn attempt must not leave a spool temp file behind.
+	if _, err := os.Stat(filepath.Join(fdir, bootSnapFile+".tmp")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("torn bootstrap left %s.tmp behind (stat err %v)", bootSnapFile, err)
+	}
+	rep.Start()
+	waitCaughtUp(t, rep, 10*time.Second)
+	assertAgree(t, fsrv, primary, sampleVectors(t, 20, 73))
+}
+
+const (
+	envPrimaryDir = "SKEWSIM_REPLICA_PRIMARY_DIR"
+)
+
+// TestReplicaPrimaryHelper is the sacrificial primary: re-executed by
+// TestFaultReplicaPrimaryKillPromote, it serves a fully-synced durable
+// server over HTTP, applies a deterministic workload, announces DONE,
+// and blocks until SIGKILLed.
+func TestReplicaPrimaryHelper(t *testing.T) {
+	dir := os.Getenv(envPrimaryDir)
+	if dir == "" {
+		t.Skip("primary helper: run only as a subprocess")
+	}
+	cfg := followerConfig(t, dir)
+	cfg.WAL.Sync = wal.SyncAlways // every acked write survives the SIGKILL
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatalf("helper New: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("helper listen: %v", err)
+	}
+	go http.Serve(ln, server.NewHandler(srv, server.HandlerConfig{})) //nolint:errcheck
+	fmt.Printf("ADDR http://%s\n", ln.Addr())
+
+	ids, err := srv.InsertBatch(sampleVectors(t, 180, 21))
+	if err != nil {
+		t.Fatalf("helper InsertBatch: %v", err)
+	}
+	for i := 0; i < len(ids); i += 7 {
+		srv.Delete(ids[i])
+	}
+	fmt.Println("DONE")
+	select {} // hold state until the parent SIGKILLs us
+}
+
+// TestFaultReplicaPrimaryKillPromote: the full failover drill. A
+// subprocess primary (SyncAlways) applies a workload, the follower
+// catches up, the primary is SIGKILLed, the follower is promoted — and
+// its state must be bit-identical (candidate sets and similarities) to
+// a reference recovered from the dead primary's own WAL, i.e. nothing
+// acked was lost and nothing was invented. The promoted node then
+// accepts writes.
+func TestFaultReplicaPrimaryKillPromote(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	pdir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run=TestReplicaPrimaryHelper$")
+	cmd.Env = append(os.Environ(), envPrimaryDir+"="+pdir)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatalf("StdoutPipe: %v", err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting helper: %v", err)
+	}
+	t.Cleanup(func() { _ = cmd.Process.Kill(); _, _ = cmd.Process.Wait() })
+
+	sc := bufio.NewScanner(stdout)
+	readUntil := func(prefix string) string {
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, prefix) {
+				return strings.TrimSpace(strings.TrimPrefix(line, prefix))
+			}
+		}
+		t.Fatalf("helper exited before printing %q (scan err %v)", prefix, sc.Err())
+		return ""
+	}
+	addr := readUntil("ADDR ")
+
+	fsrv, rep, err := Open(Config{
+		Primary:  addr,
+		Server:   followerConfig(t, t.TempDir()),
+		Interval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer fsrv.Close()
+	defer rep.Stop()
+	rep.Start()
+
+	readUntil("DONE")
+	// Quiesce: asynchronous shipping only promises the applied prefix,
+	// so catch up fully before pulling the trigger.
+	waitCaughtUp(t, rep, 15*time.Second)
+
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL, no shutdown path runs
+		t.Fatalf("killing primary: %v", err)
+	}
+	_, _ = cmd.Process.Wait()
+
+	if err := rep.Promote(); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if fsrv.IsReadOnly() {
+		t.Fatal("promoted follower still read-only")
+	}
+
+	// Reference: recover the dead primary's WAL in-process. SyncAlways
+	// means every acked write is on disk, so the promoted follower must
+	// match it exactly.
+	refCfg := followerConfig(t, pdir)
+	refCfg.WAL.Sync = wal.SyncAlways
+	ref, err := server.New(refCfg)
+	if err != nil {
+		t.Fatalf("recovering reference from dead primary's WAL: %v", err)
+	}
+	defer ref.Close()
+	assertAgree(t, fsrv, ref, sampleVectors(t, 25, 74))
+
+	if _, err := fsrv.Insert(sampleVectors(t, 1, 75)[0]); err != nil {
+		t.Fatalf("insert on promoted node: %v", err)
+	}
+}

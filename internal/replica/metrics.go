@@ -1,0 +1,48 @@
+package replica
+
+import "skewsim/internal/obs"
+
+// Metrics instruments a follower's replication: fetch and apply
+// counters at construction, the lag gauges once a Replicator exists
+// (they close over its cursors). One Replicator per Metrics.
+type Metrics struct {
+	reg *obs.Registry
+
+	// Fetches counts completed feed requests (frames or a clean 204);
+	// FetchErrors counts failed ones (transport, status, parse).
+	Fetches     *obs.Counter
+	FetchErrors *obs.Counter
+	// RecordsApplied counts feed records applied into the local server.
+	RecordsApplied *obs.Counter
+	// Bootstraps counts full snapshot bootstraps (fresh follower, or a
+	// restart after the primary truncated past our cursor).
+	Bootstraps *obs.Counter
+}
+
+// NewMetrics registers the replication counters on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		reg: reg,
+		Fetches: reg.Counter("skewsim_replica_fetches_total",
+			"Replication feed requests, by outcome.", obs.L("outcome", "ok")),
+		FetchErrors: reg.Counter("skewsim_replica_fetches_total",
+			"Replication feed requests, by outcome.", obs.L("outcome", "error")),
+		RecordsApplied: reg.Counter("skewsim_replica_records_applied_total",
+			"WAL records applied from the primary's feed."),
+		Bootstraps: reg.Counter("skewsim_replica_bootstraps_total",
+			"Full snapshot bootstraps from the primary."),
+	}
+}
+
+// registerLagGauges registers the scrape-time lag gauges over r: how
+// many primary records the cursors trail by, and for how long the
+// stalest shard has not been caught up. The failover gateway reads
+// lag_records to decide whether a follower is close enough to serve.
+func (m *Metrics) registerLagGauges(r *Replicator) {
+	m.reg.GaugeFunc("skewsim_replica_lag_records",
+		"Primary WAL records not yet applied locally, summed over shards.",
+		func() float64 { return float64(r.lagRecords()) })
+	m.reg.GaugeFunc("skewsim_replica_lag_seconds",
+		"Seconds since the stalest shard was last caught up (0 when current).",
+		func() float64 { return r.lagSeconds() })
+}

@@ -518,8 +518,8 @@ func TestUnknownDeadIDsPropagate(t *testing.T) {
 		t.Fatalf("New: %v", err)
 	}
 	defer s.Close()
-	s.noteDeadID(42)
-	s.noteDeadID(42)
+	s.NoteDeadID(42)
+	s.NoteDeadID(42)
 	s.applyDeadID(43)
 	s.applyDeadID(43)
 	s.mu.Lock()

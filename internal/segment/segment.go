@@ -193,6 +193,13 @@ type SegmentedIndex struct {
 	// (The log's own high-water mark would over-fence during a batch,
 	// whose records are all appended before the first apply.)
 	memMaxLSN uint64
+	// appliedLSN is the WAL LSN of the newest record of ANY kind whose
+	// in-memory apply has completed: unlike memMaxLSN it advances on
+	// deletes too, and during recovery it tracks the replay position.
+	// It is the replication cut point — a snapshot taken now plus the
+	// log from appliedLSN+1 reconstructs this state exactly, because a
+	// record appended but not yet applied is above it and gets shipped.
+	appliedLSN uint64
 
 	compacting  bool
 	persisting  bool // worker is writing a checkpoint segment file
@@ -368,6 +375,7 @@ func (s *SegmentedIndex) install(id int64, v bitvec.Vector, fss []*lsf.FilterSet
 		}
 		s.crashHook("insert-apply")
 		s.memMaxLSN = lsn
+		s.appliedLSN = lsn
 	}
 	s.applyInsertLocked(id, v, fss)
 	s.mu.Unlock()
@@ -450,6 +458,7 @@ func (s *SegmentedIndex) Delete(id int64) bool {
 			return false
 		}
 		s.crashHook("delete-apply")
+		s.appliedLSN = lsn
 	}
 	s.alive[slot] = false
 	s.live--
@@ -488,6 +497,25 @@ func (s *SegmentedIndex) WaitIdle() {
 
 func (s *SegmentedIndex) needsCompactLocked() bool {
 	return len(s.segs) > s.cfg.MaxSegments
+}
+
+// AppliedLSN reports the WAL LSN of the newest record (insert, delete,
+// or replayed checkpoint) fully applied in memory. A snapshot taken
+// after reading it, replayed with the log from AppliedLSN()+1 onward,
+// reconstructs this index exactly — the replication cut point. Zero
+// when no WAL is attached or nothing has been applied.
+func (s *SegmentedIndex) AppliedLSN() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.appliedLSN
+}
+
+// WAL returns the attached log, or nil before Recover. The replication
+// feed streams frames from it; callers must not Close it.
+func (s *SegmentedIndex) WAL() *wal.Log {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.wal
 }
 
 // Stats reports current sizes.

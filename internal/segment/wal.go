@@ -130,7 +130,7 @@ func (s *SegmentedIndex) RecoverWAL(log *wal.Log) error {
 				// Unknown or already-dead id (checkpointed dead list, or
 				// an insert fenced away and dropped by compaction): still
 				// burn the id so auto-assignment never reuses it.
-				s.noteDeadID(rec.ID)
+				s.NoteDeadID(rec.ID)
 			}
 		}
 		return nil
@@ -143,16 +143,20 @@ func (s *SegmentedIndex) RecoverWAL(log *wal.Log) error {
 	if maxSeq >= s.segSeq {
 		s.segSeq = maxSeq + 1
 	}
+	// Everything at or below the log head is now reflected in memory
+	// (replayed, fenced into a ckpt file, or a checkpoint record) — the
+	// replication cursor resumes from here.
+	s.appliedLSN = log.LastLSN()
 	s.mu.Unlock()
 	return nil
 }
 
-// noteDeadID registers id as used-and-dead without a slot:
+// NoteDeadID registers id as used-and-dead without a slot:
 // auto-assignment skips past it, and the id joins the dead list so
 // every future checkpoint file keeps carrying the tombstone — dropping
 // it would let a third-generation recovery re-derive nextAuto below the
 // id and reuse it, breaking the "ids are never reused" contract.
-func (s *SegmentedIndex) noteDeadID(id int64) {
+func (s *SegmentedIndex) NoteDeadID(id int64) {
 	s.mu.Lock()
 	s.noteDeadIDLocked(id)
 	s.mu.Unlock()
@@ -228,6 +232,7 @@ func (s *SegmentedIndex) InsertBatch(ids []int64, vs []bitvec.Vector) error {
 			// inside this loop must not fence batch inserts that have
 			// not been applied into a memtable yet.
 			s.memMaxLSN = base + 1 + uint64(i)
+			s.appliedLSN = s.memMaxLSN
 		}
 		s.applyInsertLocked(id, vs[i], all[i])
 	}

@@ -147,6 +147,10 @@ type HandlerConfig struct {
 	// level WARN with its request id, endpoint, outcome, and the query
 	// shape/fan-out detail the handler annotated. Zero disables.
 	SlowQuery time.Duration
+	// Promote, when non-nil, is invoked by POST /v1/admin/promote: a
+	// follower daemon wires it to stop replicating and leave read-only
+	// mode. Nil (a primary) makes the endpoint refuse with 409.
+	Promote func() error
 }
 
 // NewHandler wraps srv in the HTTP/JSON API above. With hc.Metrics set
@@ -163,7 +167,14 @@ func NewHandler(srv *Server, hc HandlerConfig) http.Handler {
 		// scrapes should not dilute the API outcome counters.
 		mux.Handle("GET /metrics", hc.Metrics.Registry().Handler())
 	}
+	// Liveness probe: uninstrumented for the same reason as /metrics.
+	mux.HandleFunc("GET /healthz", healthzHandler(srv))
+	replicaRoutes(srv, hc, handle)
 	handle("POST /v1/insert", "insert", func(w http.ResponseWriter, r *http.Request) {
+		if srv.IsReadOnly() {
+			httpError(w, http.StatusForbidden, errors.New("insert: read-only follower; send writes to the primary"))
+			return
+		}
 		var req insertRequest
 		if !decode(w, r, &req) {
 			return
@@ -186,6 +197,10 @@ func NewHandler(srv *Server, hc HandlerConfig) http.Handler {
 		writeJSON(w, insertResponse{IDs: ids, NotDurable: err != nil})
 	})
 	handle("POST /v1/delete", "delete", func(w http.ResponseWriter, r *http.Request) {
+		if srv.IsReadOnly() {
+			httpError(w, http.StatusForbidden, errors.New("delete: read-only follower; send writes to the primary"))
+			return
+		}
 		var req deleteRequest
 		if !decode(w, r, &req) {
 			return

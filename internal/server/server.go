@@ -18,6 +18,7 @@ import (
 	"io"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"skewsim/internal/bitvec"
 	"skewsim/internal/lsf"
@@ -69,6 +70,11 @@ type Server struct {
 	workers int
 	gate    *gate    // query admission; nil admits everything
 	metrics *Metrics // nil when uninstrumented
+
+	// readOnly marks a replication follower: the HTTP insert/delete
+	// endpoints refuse while set (see replica.go). In-process applies
+	// stay allowed.
+	readOnly atomic.Bool
 
 	mu   sync.Mutex
 	next int64 // next external id

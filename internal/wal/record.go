@@ -77,6 +77,17 @@ func appendRecord(dst []byte, rec Record) []byte {
 	return dst
 }
 
+// EncodeRecord appends the payload encoding of rec to dst — the same
+// bytes Append frames into the log. Exported for the replication feed
+// tests and follower-side tooling; the canonical write path is Append.
+func EncodeRecord(dst []byte, rec Record) []byte { return appendRecord(dst, rec) }
+
+// DecodeRecord parses a frame payload produced by EncodeRecord (or
+// streamed by Log.ReadFrom). The returned Bits slice is freshly
+// allocated, so the record stays valid after the payload buffer is
+// reused.
+func DecodeRecord(payload []byte) (Record, error) { return decodeRecord(payload) }
+
 // decodeRecord parses a frame payload. The returned Bits slice is
 // freshly allocated (payload buffers are reused by the frame reader).
 func decodeRecord(payload []byte) (Record, error) {

@@ -1,0 +1,139 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"skewsim/internal/dataio"
+)
+
+// Frame streaming: the replication feed (internal/server's
+// GET /v1/replica/wal) ships a log's records to followers as the same
+// CRC-framed bytes the log itself stores. ReadFrom re-frames the
+// records at or above a requested LSN into one contiguous buffer; the
+// follower walks it with dataio.NewFrameReader and DecodeRecord and
+// applies each record through the idempotent recovery path. LSNs in the
+// buffer are contiguous (checkpoint records are included — the follower
+// skips applying them but still advances its cursor), so a response's
+// records carry LSNs from, from+1, ..., from+count-1.
+
+// ErrCompacted reports a ReadFrom position that checkpoint truncation
+// has already deleted: the records below the oldest live log file are
+// durable only in checkpoint segment files now, so a follower that far
+// behind must bootstrap from a checkpoint snapshot instead of the log.
+var ErrCompacted = errors.New("wal: requested lsn truncated by checkpoint")
+
+// OldestLSN returns the lowest LSN still readable from the live log
+// files. A ReadFrom below it fails ErrCompacted; an empty or fully
+// truncated log reports LastLSN+1 (the next record to be appended).
+func (l *Log) OldestLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, fi := range l.files {
+		if fi.last != 0 {
+			return fi.base
+		}
+	}
+	return l.fileBase
+}
+
+// ReadFrom reads records with LSN >= from into one buffer of CRC
+// frames (payloads in EncodeRecord form), stopping after the frame that
+// carries the buffer past maxBytes. It returns the buffer and the
+// record count — the records are LSNs from..from+count-1. A from of 0
+// reads from the beginning; reading at the log head returns (nil, 0,
+// nil). Safe against concurrent appends, rotation, and checkpoint
+// truncation: a torn tail on the append head ends the read cleanly
+// (the frame completes in a later call), and a file deleted by a
+// concurrent checkpoint surfaces as ErrCompacted.
+func (l *Log) ReadFrom(from uint64, maxBytes int) ([]byte, int, error) {
+	if from == 0 {
+		from = 1
+	}
+	if maxBytes <= 0 {
+		maxBytes = 1 << 20
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, 0, ErrClosed
+	}
+	if from > l.lsn {
+		l.mu.Unlock()
+		return nil, 0, nil
+	}
+	oldest := l.fileBase
+	for _, fi := range l.files {
+		if fi.last != 0 {
+			oldest = fi.base
+			break
+		}
+	}
+	if from < oldest {
+		l.mu.Unlock()
+		return nil, 0, fmt.Errorf("%w (oldest %d, requested %d)", ErrCompacted, oldest, from)
+	}
+	// Snapshot the files that can hold LSNs >= from. The head file is
+	// always last; it may gain frames (or rotate into a closed file)
+	// while we read — both leave the path and the frames we want intact.
+	type span struct {
+		path string
+		base uint64
+	}
+	var spans []span
+	for _, fi := range l.files {
+		if fi.last != 0 && fi.last >= from {
+			spans = append(spans, span{fi.path, fi.base})
+		}
+	}
+	spans = append(spans, span{l.f.Name(), l.fileBase})
+	l.mu.Unlock()
+
+	var buf []byte
+	count := 0
+	for si, sp := range spans {
+		head := si == len(spans)-1
+		f, err := os.Open(sp.path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				// A checkpoint deleted the file between the snapshot and
+				// the open; everything it held is fenced now.
+				return nil, 0, fmt.Errorf("%w (file %s deleted mid-read)", ErrCompacted, filepath.Base(sp.path))
+			}
+			return nil, 0, fmt.Errorf("wal: %w", err)
+		}
+		fr := dataio.NewFrameReader(f)
+		lsn := sp.base
+		for {
+			payload, err := fr.Next()
+			if err == io.EOF {
+				break
+			}
+			if errors.Is(err, dataio.ErrTornFrame) {
+				if head {
+					break // a frame mid-write at the append head: next call gets it
+				}
+				f.Close()
+				return nil, 0, fmt.Errorf("wal: streaming %s: %w", filepath.Base(sp.path), err)
+			}
+			if err != nil {
+				f.Close()
+				return nil, 0, fmt.Errorf("wal: streaming %s: %w", filepath.Base(sp.path), err)
+			}
+			if lsn >= from {
+				buf = dataio.AppendFrame(buf, payload)
+				count++
+				if len(buf) >= maxBytes {
+					f.Close()
+					return buf, count, nil
+				}
+			}
+			lsn++
+		}
+		f.Close()
+	}
+	return buf, count, nil
+}

@@ -1,0 +1,199 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"skewsim/internal/dataio"
+)
+
+// decodeStream walks a ReadFrom buffer back into records.
+func decodeStream(t *testing.T, buf []byte) []Record {
+	t.Helper()
+	var recs []Record
+	fr := dataio.NewFrameReader(bytes.NewReader(buf))
+	for {
+		payload, err := fr.Next()
+		if err == io.EOF {
+			return recs
+		}
+		if err != nil {
+			t.Fatalf("stream frame: %v", err)
+		}
+		rec, err := DecodeRecord(payload)
+		if err != nil {
+			t.Fatalf("stream record: %v", err)
+		}
+		recs = append(recs, rec)
+	}
+}
+
+func TestReadFromStreamsAllRecords(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{SegmentBytes: 256, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const n = 50
+	for i := 0; i < n; i++ {
+		if _, err := l.Append(Record{Op: OpInsert, ID: int64(i), Bits: []uint32{uint32(i), uint32(i) + 7}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Small SegmentBytes forces several rotations; the stream must cross
+	// file boundaries with contiguous LSNs.
+	buf, count, err := l.ReadFrom(1, 1<<20)
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if count != n {
+		t.Fatalf("ReadFrom count = %d, want %d", count, n)
+	}
+	recs := decodeStream(t, buf)
+	for i, rec := range recs {
+		if rec.Op != OpInsert || rec.ID != int64(i) {
+			t.Fatalf("record %d = %+v", i, rec)
+		}
+	}
+	// Resume from the middle.
+	buf, count, err = l.ReadFrom(21, 1<<20)
+	if err != nil {
+		t.Fatalf("ReadFrom(21): %v", err)
+	}
+	if count != n-20 {
+		t.Fatalf("ReadFrom(21) count = %d, want %d", count, n-20)
+	}
+	if recs := decodeStream(t, buf); recs[0].ID != 20 {
+		t.Fatalf("resumed stream starts at id %d, want 20", recs[0].ID)
+	}
+	// At the head: nothing to stream.
+	if _, count, err := l.ReadFrom(uint64(n)+1, 1<<20); err != nil || count != 0 {
+		t.Fatalf("ReadFrom at head = %d records, err %v", count, err)
+	}
+}
+
+func TestReadFromHonorsMaxBytes(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 100; i++ {
+		if _, err := l.Append(Record{Op: OpInsert, ID: int64(i), Bits: []uint32{1, 2, 3}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []Record
+	from := uint64(1)
+	calls := 0
+	for {
+		buf, count, err := l.ReadFrom(from, 64)
+		if err != nil {
+			t.Fatalf("ReadFrom(%d): %v", from, err)
+		}
+		if count == 0 {
+			break
+		}
+		got = append(got, decodeStream(t, buf)...)
+		from += uint64(count)
+		calls++
+	}
+	if len(got) != 100 {
+		t.Fatalf("paged stream yielded %d records, want 100", len(got))
+	}
+	if calls < 10 {
+		t.Fatalf("64-byte pages took %d calls — cap not honored", calls)
+	}
+	for i, rec := range got {
+		if rec.ID != int64(i) {
+			t.Fatalf("record %d has id %d", i, rec.ID)
+		}
+	}
+}
+
+func TestReadFromBelowCheckpointIsCompacted(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{SegmentBytes: 128, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 40; i++ {
+		if _, err := l.Append(Record{Op: OpInsert, ID: int64(i), Bits: []uint32{uint32(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fence and truncate a prefix: whole files at or below LSN 20 go.
+	if err := l.Checkpoint(1, 20); err != nil {
+		t.Fatal(err)
+	}
+	oldest := l.OldestLSN()
+	if oldest <= 1 {
+		t.Fatalf("OldestLSN = %d after truncation, want > 1", oldest)
+	}
+	if _, _, err := l.ReadFrom(1, 1<<20); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("ReadFrom(1) after checkpoint = %v, want ErrCompacted", err)
+	}
+	// From the oldest surviving record the stream works and reaches the
+	// checkpoint record itself (LSN 41).
+	buf, count, err := l.ReadFrom(oldest, 1<<20)
+	if err != nil {
+		t.Fatalf("ReadFrom(%d): %v", oldest, err)
+	}
+	recs := decodeStream(t, buf)
+	if len(recs) != count || count == 0 {
+		t.Fatalf("count %d, decoded %d", count, len(recs))
+	}
+	if last := recs[len(recs)-1]; last.Op != OpCheckpoint || last.Through != 20 {
+		t.Fatalf("stream tail = %+v, want the checkpoint fence record", last)
+	}
+}
+
+func TestReadFromAfterReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append(Record{Op: OpInsert, ID: int64(i), Bits: []uint32{9}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	_, count, err := l2.ReadFrom(1, 1<<20)
+	if err != nil || count != 10 {
+		t.Fatalf("ReadFrom after reopen = %d records, err %v", count, err)
+	}
+	if got := l2.OldestLSN(); got != 1 {
+		t.Fatalf("OldestLSN after reopen = %d", got)
+	}
+}
+
+func TestEncodeDecodeRecordRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Op: OpInsert, ID: 42, Bits: []uint32{1, 5, 9}},
+		{Op: OpDelete, ID: 7},
+		{Op: OpCheckpoint, Seq: 3, Through: 99},
+	}
+	for _, want := range recs {
+		got, err := DecodeRecord(EncodeRecord(nil, want))
+		if err != nil {
+			t.Fatalf("round trip %v: %v", want.Op, err)
+		}
+		if got.Op != want.Op || got.ID != want.ID || got.Seq != want.Seq || got.Through != want.Through {
+			t.Fatalf("round trip %v: got %+v", want.Op, got)
+		}
+		if len(got.Bits) != len(want.Bits) {
+			t.Fatalf("round trip %v: bits %v", want.Op, got.Bits)
+		}
+	}
+}

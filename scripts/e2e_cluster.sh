@@ -1,0 +1,154 @@
+#!/usr/bin/env sh
+# End-to-end failover gate: boot a primary, a replicating follower, and
+# a skewgate in front of both; load through the gateway; SIGKILL the
+# primary; require that reads keep succeeding (zero errors once the
+# probe interval has passed) and that promoting the follower restores
+# writes through the same gateway address. This is the check that the
+# replication and failover plumbing works over real sockets and real
+# process death — the Go fault suite covers the same transitions
+# in-process with bit-identical state assertions.
+#
+# Usage: scripts/e2e_cluster.sh [base-port]
+set -eu
+
+BASE="${1:-18180}"
+P_PORT="$BASE"                    # primary
+F_PORT="$((BASE + 1))"            # follower
+G_PORT="$((BASE + 2))"            # gateway
+P_ADDR="http://127.0.0.1:${P_PORT}"
+F_ADDR="http://127.0.0.1:${F_PORT}"
+G_ADDR="http://127.0.0.1:${G_PORT}"
+WORK="$(mktemp -d)"
+P_PID=""
+F_PID=""
+G_PID=""
+
+cleanup() {
+    for pid in "$P_PID" "$F_PID" "$G_PID"; do
+        [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    done
+    for pid in "$P_PID" "$F_PID" "$G_PID"; do
+        [ -n "$pid" ] && wait "$pid" 2>/dev/null || true
+    done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "e2e-cluster: $*" >&2
+    echo "--- primary log ---" >&2; cat "$WORK/primary.log" >&2 || true
+    echo "--- follower log ---" >&2; cat "$WORK/follower.log" >&2 || true
+    echo "--- gateway log ---" >&2; cat "$WORK/gateway.log" >&2 || true
+    exit 1
+}
+
+# gauge ADDR NAME: print an integer-valued metric from ADDR/metrics.
+gauge() {
+    curl -fsS "$1/metrics" 2>/dev/null \
+        | awk -v name="$2" '$1 == name { printf "%d\n", $2; found = 1 } END { if (!found) print "-1" }'
+}
+
+echo "e2e-cluster: building binaries"
+go build -o "$WORK/datagen" ./cmd/datagen
+go build -o "$WORK/skewsim" ./cmd/skewsim
+go build -o "$WORK/skewsimd" ./cmd/skewsimd
+go build -o "$WORK/skewgate" ./cmd/skewgate
+
+echo "e2e-cluster: generating datasets"
+"$WORK/datagen" -uniform 0.05 -dim 256 -n 1500 -seed 7 > "$WORK/data1.txt"
+"$WORK/datagen" -uniform 0.05 -dim 256 -n 300 -seed 9 > "$WORK/data2.txt"
+"$WORK/datagen" -uniform 0.05 -dim 256 -n 200 -seed 8 > "$WORK/queries.txt"
+
+# Engine flags must match between primary and follower — replication
+# ships WAL records, not parameters.
+ENGINE_FLAGS="-n 4096 -dim 256 -shards 2 -memtable 512 -snapshot-dir=  -log-format json"
+
+echo "e2e-cluster: booting primary on $P_ADDR"
+# shellcheck disable=SC2086
+"$WORK/skewsimd" -addr "127.0.0.1:${P_PORT}" $ENGINE_FLAGS \
+    -wal-dir "$WORK/wal-primary" >"$WORK/primary.log" 2>&1 &
+P_PID=$!
+
+echo "e2e-cluster: booting follower on $F_ADDR (replica of primary)"
+# shellcheck disable=SC2086
+"$WORK/skewsimd" -addr "127.0.0.1:${F_PORT}" $ENGINE_FLAGS \
+    -wal-dir "$WORK/wal-follower" -replica-of "$P_ADDR" >"$WORK/follower.log" 2>&1 &
+F_PID=$!
+
+wait_healthz() {
+    i=0
+    until curl -fsS "$1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -ge 50 ] || { sleep 0.2; continue; }
+        fail "$1 never became healthy"
+    done
+}
+wait_healthz "$P_ADDR"
+wait_healthz "$F_ADDR"
+
+echo "e2e-cluster: booting gateway on $G_ADDR"
+"$WORK/skewgate" -addr "127.0.0.1:${G_PORT}" \
+    -backends "$P_ADDR,$F_ADDR" \
+    -probe-interval 200ms -max-lag-records 100000 \
+    -log-format json >"$WORK/gateway.log" 2>&1 &
+G_PID=$!
+wait_healthz "$G_ADDR"
+
+echo "e2e-cluster: loading through the gateway"
+"$WORK/skewsim" load -addr "$G_ADDR" -data "$WORK/data1.txt" \
+    -queries "$WORK/queries.txt" -concurrency 4
+
+echo "e2e-cluster: waiting for the follower to catch up"
+i=0
+until [ "$(gauge "$F_ADDR" skewsim_replica_lag_records)" = "0" ]; do
+    i=$((i + 1))
+    [ "$i" -ge 100 ] || { sleep 0.2; continue; }
+    fail "follower lag never reached 0 (now $(gauge "$F_ADDR" skewsim_replica_lag_records))"
+done
+
+echo "e2e-cluster: checking replication metrics on the follower"
+"$WORK/skewsim" metrics -addr "$F_ADDR" -require \
+skewsim_replica_fetches_total,\
+skewsim_replica_records_applied_total,\
+skewsim_replica_bootstraps_total,\
+skewsim_replica_lag_records,\
+skewsim_replica_lag_seconds
+
+echo "e2e-cluster: SIGKILLing the primary (pid $P_PID)"
+kill -9 "$P_PID"
+wait "$P_PID" 2>/dev/null || true
+P_PID=""
+
+# Give the prober one full interval to notice the corpse; after this
+# point every read through the gateway must succeed.
+sleep 1
+
+echo "e2e-cluster: reads through the gateway must not fail"
+# skewsim load exits non-zero if any request fails, which is exactly
+# the zero-5xx assertion.
+"$WORK/skewsim" load -addr "$G_ADDR" -queries "$WORK/queries.txt" \
+    -concurrency 4 -repeat 2
+
+echo "e2e-cluster: promoting the follower"
+curl -fsS -X POST "$F_ADDR/v1/admin/promote" >/dev/null \
+    || fail "promote request failed"
+
+# Wait for the prober to see the new role.
+i=0
+until curl -fsS "$G_ADDR/healthz" 2>/dev/null | grep -q '"role":"primary"'; do
+    i=$((i + 1))
+    [ "$i" -ge 50 ] || { sleep 0.2; continue; }
+    fail "gateway never saw the promoted primary"
+done
+
+echo "e2e-cluster: writes through the gateway must succeed again"
+"$WORK/skewsim" load -addr "$G_ADDR" -data "$WORK/data2.txt" -concurrency 2
+
+echo "e2e-cluster: checking failover metrics on the gateway"
+"$WORK/skewsim" metrics -addr "$G_ADDR" -require \
+skewgate_backend_healthy,\
+skewgate_backend_lag_records,\
+skewgate_requests_total,\
+skewgate_failovers_total
+
+echo "e2e-cluster: ok"
