@@ -8,17 +8,17 @@ GO ?= go
 # serialization, plus the serving subsystem (segmented query vs
 # frozen-only, shard fan-out, online insert) and the write-ahead log
 # (append path, batch framing, group commit).
-BENCH_PATTERN ?= QueryPath|LSFTraversal|BuildSkewSearch|BuildChosenPath|Intersect|Verify|SerializeIndex|Segmented|Shard|WAL
+BENCH_PATTERN ?= QueryPath|LSFTraversal|BuildSkewSearch|BuildChosenPath|Intersect|Verify|SerializeIndex|Segmented|Shard|WAL|PostingDecode|SegfileOpen|BloomSkip
 
 # The JSON perf record for this PR's benchmark snapshot, the baseline it
 # is guarded against, and the number of samples per benchmark (benchjson
 # keeps the per-benchmark minimum — single-sample records were noisy
 # enough to fake 18% swings on allocation-free kernels between PRs).
-BENCH_OUT ?= BENCH_PR9.json
-BENCH_PREV ?= BENCH_PR8.json
+BENCH_OUT ?= BENCH_PR10.json
+BENCH_PREV ?= BENCH_PR9.json
 BENCH_COUNT ?= 5
 
-.PHONY: all build vet test test-purego race fuzz bench bench-json bench-guard bench-obs-guard docs test-fault test-obs e2e test-cluster
+.PHONY: all build vet test test-purego race fuzz bench bench-json bench-guard bench-obs-guard docs test-fault test-obs e2e test-cluster test-storage
 
 all: build vet test
 
@@ -83,6 +83,16 @@ e2e:
 test-cluster:
 	sh scripts/e2e_cluster.sh
 
+# The beyond-RAM storage acceptance run: the differential suite (frozen
+# blob reopened via mmap zero-copy and heap decode, compressed and
+# plain, must answer bit-identically to the index that wrote it), the
+# resident-budget tiering tests, the cold-segment compaction
+# regression, the storage SIGKILL crash matrix (mid segment-file write,
+# mid compaction sweep, mid demote/promote), and the concurrent
+# query-during-retier stress — all under the race detector.
+test-storage:
+	$(GO) test -race -run 'FrozenBlob|PostingCodec|Storage|TierRace|Bloom' ./internal/lsf ./internal/segment ./internal/mmapio
+
 # Short fuzz smoke over the byte-level parsers and the intersect kernel
 # (assembly vs portable differential). Each target gets a few seconds of
 # mutation on top of the checked-in seeds.
@@ -93,6 +103,8 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzSerializeRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/lsf
 	$(GO) test -run '^$$' -fuzz '^FuzzPackedRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/bitvec
 	$(GO) test -run '^$$' -fuzz '^FuzzIntersectKernel$$' -fuzztime $(FUZZTIME) ./internal/bitvec
+	$(GO) test -run '^$$' -fuzz '^FuzzPostingCodec$$' -fuzztime $(FUZZTIME) ./internal/lsf
+	$(GO) test -run '^$$' -fuzz '^FuzzSegmentHeader$$' -fuzztime $(FUZZTIME) ./internal/segment
 
 # Smoke-run the micro-benchmarks: one iteration each, with allocation
 # counters, so CI catches benchmarks that stop compiling or crash

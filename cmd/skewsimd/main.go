@@ -110,6 +110,9 @@ func main() {
 		restorePath = flag.String("restore", "", "restore a /v1/snapshot file at startup instead of starting empty")
 		snapshotDir = flag.String("snapshot-dir", ".", "directory /v1/snapshot may write into (empty disables the endpoint)")
 		walDir      = flag.String("wal-dir", "", "write-ahead log root (per-shard logs under it); enables crash recovery at startup")
+		storageDir  = flag.String("storage-dir", "", "segment-file root (per-shard SKSEG1 files under it); persists frozen segments and enables beyond-RAM cold serving")
+		residentMB  = flag.Int64("resident-budget-mb", 0, "heap budget in MiB for frozen-segment arenas across all shards; segments past it serve mmap-backed cold (0 = unlimited; requires -storage-dir or -wal-dir)")
+		compressSeg = flag.Bool("compress-postings", false, "write segment files with delta+varint compressed posting arenas")
 		fsyncMode   = flag.String("fsync", "always", "WAL fsync policy: always (group commit per batch) or never (OS writeback)")
 		walSegBytes = flag.Int64("wal-segment-bytes", 0, "WAL file rotation size (0 = 4 MiB default)")
 		drain       = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain window for in-flight requests on SIGINT/SIGTERM")
@@ -175,7 +178,13 @@ func main() {
 			MemtableSize: *memtable,
 			MaxSegments:  *maxSegments,
 		},
-		WALDir: *walDir,
+		WALDir:           *walDir,
+		StorageDir:       *storageDir,
+		ResidentBytes:    *residentMB << 20,
+		CompressPostings: *compressSeg,
+	}
+	if *residentMB > 0 && *storageDir == "" && *walDir == "" {
+		fatal("-resident-budget-mb requires -storage-dir or -wal-dir (cold segments serve from their files)")
 	}
 	if *walDir != "" {
 		policy, err := wal.ParseSyncPolicy(*fsyncMode)

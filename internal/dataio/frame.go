@@ -40,6 +40,12 @@ var ErrTornFrame = errors.New("dataio: torn or corrupt frame")
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// Checksum returns the CRC-32C (Castagnoli) checksum of p — the same
+// polynomial the frame format uses, exported so other on-disk layouts
+// (the SKSEG1 segment container) checksum their sections consistently
+// with the WAL frames.
+func Checksum(p []byte) uint32 { return crc32.Checksum(p, castagnoli) }
+
 // AppendFrame appends the framed encoding of payload to dst and returns
 // the extended slice. Panics if payload exceeds MaxFramePayload (WAL
 // records are small; a violation is a programming error, not an input

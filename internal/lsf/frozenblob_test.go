@@ -1,0 +1,173 @@
+package lsf
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"skewsim/internal/bitvec"
+)
+
+// openFrozenVariants reopens ix through every AppendFrozen ×
+// OpenFrozenBytes combination the storage layer uses: resident
+// (heap-decoded) and zero-copy, each over uncompressed and compressed
+// posting encodings.
+func openFrozenVariants(t *testing.T, ix *Index, e *Engine, data []bitvec.Vector) map[string]*Index {
+	t.Helper()
+	out := map[string]*Index{"original": ix}
+	for _, compress := range []bool{false, true} {
+		blob := ix.AppendFrozen(nil, compress)
+		for _, zeroCopy := range []bool{false, true} {
+			name := "heap"
+			if zeroCopy {
+				name = "zerocopy"
+			}
+			if compress {
+				name += "+compressed"
+			}
+			rix, err := OpenFrozenBytes(blob, e, data, zeroCopy)
+			if err != nil {
+				t.Fatalf("%s: open: %v", name, err)
+			}
+			out[name] = rix
+		}
+	}
+	return out
+}
+
+// TestFrozenBlobDifferential: every reopened variant of a frozen blob
+// must behave bit-identically to the index it encoded — same stats,
+// same candidate streams in the same order, same query answers — for
+// randomized workloads. This is the zero-copy path's correctness
+// anchor: the unsafe views and the decode-on-read cold postings have
+// no behavior of their own to test, only equivalence.
+func TestFrozenBlobDifferential(t *testing.T) {
+	m := bitvec.BraunBlanquetMeasure
+	for seed := uint64(20); seed <= 24; seed++ {
+		e, data, queries := differentialWorkload(t, seed)
+		ix, err := BuildIndex(e, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ix.Stats()
+		for name, rix := range openFrozenVariants(t, ix, e, data) {
+			if got := rix.Stats(); got != want {
+				t.Fatalf("seed %d %s: stats %+v, original %+v", seed, name, got, want)
+			}
+			for k, q := range queries {
+				wantIDs, wantStats := ix.CandidateIDs(q)
+				gotIDs, gotStats := rix.CandidateIDs(q)
+				if gotStats != wantStats || len(gotIDs) != len(wantIDs) {
+					t.Fatalf("seed %d %s query %d: candidates %d (%+v), original %d (%+v)",
+						seed, name, k, len(gotIDs), gotStats, len(wantIDs), wantStats)
+				}
+				for i := range gotIDs {
+					if gotIDs[i] != wantIDs[i] {
+						t.Fatalf("seed %d %s query %d: candidate order diverged at %d: %d vs %d",
+							seed, name, k, i, gotIDs[i], wantIDs[i])
+					}
+				}
+				wID, wSim, _, wFound := ix.QueryBest(q, m)
+				gID, gSim, _, gFound := rix.QueryBest(q, m)
+				if gID != wID || gSim != wSim || gFound != wFound {
+					t.Fatalf("seed %d %s query %d: QueryBest (%d, %v, %v), original (%d, %v, %v)",
+						seed, name, k, gID, gSim, gFound, wID, wSim, wFound)
+				}
+			}
+			// The bucket dump (serialization, compaction's merge source)
+			// must also be identical, cold or not.
+			var a, b bytes.Buffer
+			if _, err := ix.WriteTo(&a); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := rix.WriteTo(&b); err != nil {
+				t.Fatalf("seed %d %s: WriteTo: %v", seed, name, err)
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Fatalf("seed %d %s: bucket dump diverged (%d vs %d bytes)", seed, name, a.Len(), b.Len())
+			}
+		}
+	}
+}
+
+// TestFrozenBlobColdReencode: a cold (compressed, zero-copy) index must
+// itself re-encode into valid blobs — the compaction-of-cold-segments
+// path streams through the decoder.
+func TestFrozenBlobColdReencode(t *testing.T) {
+	e, data, queries := differentialWorkload(t, 30)
+	ix, err := BuildIndex(e, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := OpenFrozenBytes(ix.AppendFrozen(nil, true), e, data, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cold.ColdPostings() {
+		t.Fatal("zero-copy compressed open is not cold")
+	}
+	for _, compress := range []bool{false, true} {
+		rix, err := OpenFrozenBytes(cold.AppendFrozen(nil, compress), e, data, false)
+		if err != nil {
+			t.Fatalf("re-encode compress=%v: %v", compress, err)
+		}
+		for k, q := range queries {
+			wantIDs, _ := ix.CandidateIDs(q)
+			gotIDs, _ := rix.CandidateIDs(q)
+			if len(gotIDs) != len(wantIDs) {
+				t.Fatalf("compress=%v query %d: %d candidates, original %d", compress, k, len(gotIDs), len(wantIDs))
+			}
+			for i := range gotIDs {
+				if gotIDs[i] != wantIDs[i] {
+					t.Fatalf("compress=%v query %d: diverged at %d", compress, k, i)
+				}
+			}
+		}
+	}
+}
+
+// TestFrozenBlobRejectsCorruption: every truncation must be rejected,
+// and single-byte flips must either be rejected or open into an index
+// that does not crash under traversal (CRC catches flips in the real
+// container; this layer only guarantees structural safety).
+func TestFrozenBlobRejectsCorruption(t *testing.T) {
+	e, data, queries := differentialWorkload(t, 31)
+	ix, err := BuildIndex(e, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, compress := range []bool{false, true} {
+		blob := ix.AppendFrozen(nil, compress)
+		// Every cut in the header and first sections, then a bounded odd
+		// stride across the rest (odd so cuts land at every alignment) —
+		// full per-byte sweeps of a several-hundred-KB blob are minutes
+		// under the race detector for no added structural coverage.
+		cutStride := (len(blob)/1024 + 1) | 1
+		cut := 0
+		for cut < len(blob) {
+			if _, err := OpenFrozenBytes(blob[:cut], e, data, false); !errors.Is(err, ErrFrozenBlob) && !errors.Is(err, ErrPostingCodec) {
+				t.Fatalf("compress=%v truncation at %d accepted (err=%v)", compress, cut, err)
+			}
+			if cut < 96 {
+				cut++
+			} else {
+				cut += cutStride
+			}
+		}
+		flipStride := (len(blob)/512 + 1) | 1
+		for off := 0; off < len(blob); off += flipStride {
+			mut := bytes.Clone(blob)
+			mut[off] ^= 0x5a
+			for _, zeroCopy := range []bool{false, true} {
+				rix, err := OpenFrozenBytes(mut, e, data, zeroCopy)
+				if err != nil {
+					continue
+				}
+				// Accepted: must traverse without panicking.
+				for _, q := range queries[:5] {
+					rix.CandidateIDs(q)
+				}
+			}
+		}
+	}
+}

@@ -51,7 +51,15 @@ type Index struct {
 	pathSpans []Span   // per bucket: the path's span in pathElems
 	pathElems []uint32 // arena of all distinct paths' elements
 	idOff     []uint32 // CSR offsets into ids; len = buckets + 1
-	ids       []int32  // all posting lists, bucket-major
+	ids       []int32  // all posting lists, bucket-major (nil when cold)
+
+	// cold, when non-nil, replaces ids with compressed decode-on-read
+	// posting storage (the spilled tier of internal/segment); see
+	// frozen.go. All structural validation happens at open, so decodes
+	// here never fail.
+	cold *coldPostings
+	// coldPool recycles per-traversal decode buffers for cold indexes.
+	coldPool sync.Pool
 
 	// stats from construction
 	totalFilters   int
@@ -91,7 +99,8 @@ func (ix *Index) bucketPath(b int32) []uint32 {
 	return ix.pathElems[s.Off : s.Off+s.Len]
 }
 
-// bucketIDs returns bucket b's posting list as a view into the CSR arena.
+// bucketIDs returns bucket b's posting list as a view into the CSR
+// arena. Resident indexes only; cold callers go through appendColdBucket.
 func (ix *Index) bucketIDs(b int32) []int32 {
 	return ix.ids[ix.idOff[b]:ix.idOff[b+1]]
 }
@@ -110,10 +119,16 @@ type PostingRef struct {
 // whether the path is indexed. Never allocates: one linear-probe walk
 // over the key table, path equality verified against the span arena.
 func (ix *Index) PathRef(path []uint32) (PostingRef, bool) {
+	return ix.PathRefHash(HashPath(path), path)
+}
+
+// PathRefHash is PathRef with a caller-precomputed HashPath(path) — the
+// segmented layer hashes each query path once and probes every frozen
+// segment (and its bloom filter) with the same key.
+func (ix *Index) PathRefHash(h uint64, path []uint32) (PostingRef, bool) {
 	if len(ix.tableIdx) == 0 {
 		return PostingRef{}, false
 	}
-	h := HashPath(path)
 	for slot := h & ix.tableMask; ; slot = (slot + 1) & ix.tableMask {
 		b := ix.tableIdx[slot]
 		if b < 0 {
@@ -126,9 +141,13 @@ func (ix *Index) PathRef(path []uint32) (PostingRef, bool) {
 	}
 }
 
-// RefIDs returns the posting list a PathRef resolved to, as a read-only
-// view into the CSR arena.
+// RefIDs returns the posting list a PathRef resolved to — a read-only
+// view into the CSR arena, or a freshly decoded slice on a cold index.
+// Hot paths that may see cold indexes should prefer RefIDsBuf.
 func (ix *Index) RefIDs(r PostingRef) []int32 {
+	if ix.cold != nil {
+		return ix.AppendRefIDs(nil, r)
+	}
 	return ix.ids[r.Off : r.Off+r.Len]
 }
 
@@ -156,6 +175,18 @@ func (ix *Index) Postings(path []uint32) []int32 { return ix.postings(path) }
 // segment compaction uses to merge frozen segments without recomputing
 // any filters.
 func (ix *Index) ForEachBucket(fn func(path []uint32, ids []int32)) {
+	if ix.cold != nil {
+		var scratch []int32
+		for b := range ix.pathSpans {
+			b := int32(b)
+			var err error
+			if scratch, err = ix.appendColdBucket(scratch[:0], b); err != nil {
+				panic(err) // unreachable: validated at open
+			}
+			fn(ix.bucketPath(b), scratch)
+		}
+		return
+	}
 	for b := range ix.pathSpans {
 		b := int32(b)
 		fn(ix.bucketPath(b), ix.bucketIDs(b))
@@ -491,6 +522,14 @@ func (ix *Index) traverse(q bitvec.Vector, stats *QueryStats, cc *CancelCheck, s
 	defer ix.refPool.Put(rs)
 	vis := ix.visitPool.Get(len(ix.data))
 	defer ix.visitPool.Put(vis)
+	var coldBuf *[]int32
+	if ix.cold != nil {
+		coldBuf, _ = ix.coldPool.Get().(*[]int32)
+		if coldBuf == nil {
+			coldBuf = new([]int32)
+		}
+		defer ix.coldPool.Put(coldBuf)
+	}
 	for base := 0; base < fs.Len(); base += refBlock {
 		if cc != nil && cc.Check() {
 			return
@@ -501,7 +540,13 @@ func (ix *Index) traverse(q bitvec.Vector, stats *QueryStats, cc *CancelCheck, s
 		}
 		refs := ix.resolveRefs(rs[:0], fs, base, end)
 		for _, r := range refs {
-			for _, id := range ix.ids[r.Off : r.Off+r.Len] {
+			var ids []int32
+			if coldBuf != nil {
+				ids = ix.RefIDsBuf(r, coldBuf)
+			} else {
+				ids = ix.ids[r.Off : r.Off+r.Len]
+			}
+			for _, id := range ids {
 				stats.Candidates++
 				if !vis.FirstVisit(id) {
 					continue

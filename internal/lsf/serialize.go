@@ -62,7 +62,18 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	entries := make([]entry, 0, len(ix.pathSpans))
 	for b := range ix.pathSpans {
 		b := int32(b)
-		entries = append(entries, entry{key: PathKey(ix.bucketPath(b)), ids: ix.bucketIDs(b)})
+		var ids []int32
+		if ix.cold != nil {
+			// Cold postings decode per bucket; entries outlive the loop, so
+			// each gets its own slice rather than a shared scratch.
+			var err error
+			if ids, err = ix.appendColdBucket(nil, b); err != nil {
+				panic(err) // unreachable: validated at open
+			}
+		} else {
+			ids = ix.bucketIDs(b)
+		}
+		entries = append(entries, entry{key: PathKey(ix.bucketPath(b)), ids: ids})
 	}
 	slices.SortFunc(entries, func(a, b entry) int { return strings.Compare(a.key, b.key) })
 	for _, e := range entries {

@@ -1,0 +1,8 @@
+//go:build !unix || purego
+
+package mmapio
+
+// open is the portable fallback: no mmap, plain read into the heap.
+// The purego build tag forces this path on unix too, so `make
+// test-purego` proves the whole storage suite against it.
+func open(path string) (*Mapping, error) { return openHeap(path) }

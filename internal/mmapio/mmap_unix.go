@@ -1,0 +1,36 @@
+//go:build unix && !purego
+
+package mmapio
+
+import (
+	"os"
+	"syscall"
+)
+
+// open memory-maps path read-only. A zero-length file has nothing to
+// map (mmap(2) rejects length 0), so it degrades to the heap path.
+func open(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return &Mapping{}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, syscall.EFBIG
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Filesystems without mmap support (some network mounts): fall
+		// back to the heap read rather than failing the open.
+		return openHeap(path)
+	}
+	return &Mapping{data: b, mapped: true, unmap: func() error { return syscall.Munmap(b) }}, nil
+}

@@ -1,0 +1,54 @@
+// Package mmapio memory-maps files for the zero-copy segment open path
+// (internal/lsf, internal/segment). On unix builds Open maps the file
+// read-only and queries serve straight from the page cache; everywhere
+// else — and under the purego build tag, which CI uses to prove every
+// portable fallback — it degrades to reading the file into the heap, so
+// callers never need to branch on platform.
+package mmapio
+
+import "os"
+
+// Mapping is one opened file: Data is either a read-only memory mapping
+// or a heap copy of the file (Mapped reports which). Data is immutable;
+// it must not be written through and must not be referenced after Close.
+type Mapping struct {
+	data   []byte
+	mapped bool
+	unmap  func() error
+}
+
+// Data returns the file contents. Views into it (the zero-copy arenas)
+// are valid until Close.
+func (m *Mapping) Data() []byte { return m.data }
+
+// Mapped reports whether Data is a true memory mapping (false: heap copy).
+func (m *Mapping) Mapped() bool { return m.mapped }
+
+// Bytes returns the file length.
+func (m *Mapping) Bytes() int64 { return int64(len(m.data)) }
+
+// Close releases the mapping (or frees the heap copy to the GC). Any
+// outstanding view into Data becomes invalid. Safe to call twice.
+func (m *Mapping) Close() error {
+	u := m.unmap
+	m.data, m.unmap = nil, nil
+	if u != nil {
+		return u()
+	}
+	return nil
+}
+
+// Open maps path read-only, falling back to a plain heap read where
+// mapping is unavailable (non-unix, purego builds, zero-length files).
+func Open(path string) (*Mapping, error) {
+	return open(path)
+}
+
+// openHeap is the portable fallback: the whole file read onto the heap.
+func openHeap(path string) (*Mapping, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapping{data: b}, nil
+}

@@ -54,13 +54,18 @@ func startPrimary(t *testing.T, dir string) (*server.Server, *httptest.Server) {
 	return srv, ts
 }
 
-// waitCaughtUp polls until the replicator's cursors cover every
-// shard's feed (lag 0) or the deadline passes.
+// waitCaughtUp polls until every shard's feed has reported caught-up
+// (a 204) at some point AFTER this call began, with lag 0. The "after"
+// matters: caughtUp flags and lastSeen headers go stale between pull
+// ticks, so a shard can look drained on data observed before the
+// primary's final writes. Callers quiesce the primary first, so a
+// fresh 204 per shard proves the follower really holds everything.
 func waitCaughtUp(t *testing.T, r *Replicator, deadline time.Duration) {
 	t.Helper()
-	stop := time.Now().Add(deadline)
+	start := time.Now()
+	stop := start.Add(deadline)
 	for time.Now().Before(stop) {
-		if r.lagRecords() == 0 && allCaughtUp(r) {
+		if r.lagRecords() == 0 && allCaughtUpSince(r, start) {
 			return
 		}
 		time.Sleep(10 * time.Millisecond)
@@ -68,15 +73,19 @@ func waitCaughtUp(t *testing.T, r *Replicator, deadline time.Duration) {
 	t.Fatalf("follower not caught up after %v (lag %d records)", deadline, r.lagRecords())
 }
 
-func allCaughtUp(r *Replicator) bool {
+func allCaughtUpSince(r *Replicator, since time.Time) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for _, up := range r.caughtUp {
-		if !up {
+	for i, up := range r.caughtUp {
+		if !up || r.lastCaught[i].Before(since) {
 			return false
 		}
 	}
 	return true
+}
+
+func allCaughtUp(r *Replicator) bool {
+	return allCaughtUpSince(r, time.Time{})
 }
 
 // assertAgree compares two servers' answers: identical live counts and

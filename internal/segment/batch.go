@@ -130,10 +130,14 @@ func (s *SegmentedIndex) SearchBatchContext(ctx context.Context, sess []*verify.
 			}
 		}
 	}
+	hashes := make([][]uint64, nq)
 	var refs []lsf.PostingRef
+	var coldBuf []int32
 	for r, eng := range s.engines {
 		stats.Reps++
-		// One filter generation for the whole batch.
+		// One filter generation for the whole batch, and one path hash
+		// per (query, filter) shared by every layer below: memtable
+		// bucket maps, segment bloom filters, and frozen key tables.
 		for k := range sess {
 			fs := s.getFilterSet()
 			eng.FiltersIntoCancel(sess[k].Query(), fs, cc)
@@ -142,6 +146,10 @@ func (s *SegmentedIndex) SearchBatchContext(ctx context.Context, sess []*verify.
 				stats.Truncated++
 			}
 			fss[k] = fs
+			hashes[k] = hashes[k][:0]
+			for i := 0; i < fs.Len(); i++ {
+				hashes[k] = append(hashes[k], lsf.HashPath(fs.Path(i)))
+			}
 		}
 		if cc.Err() != nil {
 			releaseFss()
@@ -156,11 +164,11 @@ func (s *SegmentedIndex) SearchBatchContext(ctx context.Context, sess []*verify.
 					return out, stats, cc.Err()
 				}
 				path := fs.Path(i)
-				for _, slot := range s.mem.reps[r].postings(path) {
+				for _, slot := range s.mem.reps[r].postingsHash(hashes[k][i], path) {
 					emit(k, slot)
 				}
 				for _, mt := range s.flushing {
-					for _, slot := range mt.reps[r].postings(path) {
+					for _, slot := range mt.reps[r].postingsHash(hashes[k][i], path) {
 						emit(k, slot)
 					}
 				}
@@ -168,7 +176,9 @@ func (s *SegmentedIndex) SearchBatchContext(ctx context.Context, sess []*verify.
 		}
 		// Frozen segments: visit each once for the whole batch; per
 		// query, resolve all bucket probes first, then walk the posting
-		// spans in ascending arena offset.
+		// spans in ascending arena offset. The segment bloom filter
+		// screens each probe; for a cold segment a skip avoids touching
+		// the mapping at all.
 		for _, g := range s.segs {
 			ix := g.reps[r]
 			for k, fs := range fss {
@@ -178,7 +188,15 @@ func (s *SegmentedIndex) SearchBatchContext(ctx context.Context, sess []*verify.
 				}
 				refs = refs[:0]
 				for i := 0; i < fs.Len(); i++ {
-					if ref, ok := ix.PathRef(fs.Path(i)); ok && ref.Len > 0 {
+					h := hashes[k][i]
+					if g.bloom != nil {
+						stats.BloomProbes++
+						if !g.bloom.mayContain(h) {
+							stats.BloomSkips++
+							continue
+						}
+					}
+					if ref, ok := ix.PathRefHash(h, fs.Path(i)); ok && ref.Len > 0 {
 						refs = append(refs, ref)
 					}
 				}
@@ -186,7 +204,7 @@ func (s *SegmentedIndex) SearchBatchContext(ctx context.Context, sess []*verify.
 					return cmp.Compare(a.Off, b.Off)
 				})
 				for _, ref := range refs {
-					for _, lid := range ix.RefIDs(ref) {
+					for _, lid := range ix.RefIDsBuf(ref, &coldBuf) {
 						emit(k, g.slots[lid])
 					}
 				}

@@ -1,0 +1,93 @@
+package segment
+
+import (
+	"skewsim/internal/lsf"
+)
+
+// Per-segment bloom filter over path-hash keys. A query path probes
+// every frozen segment per repetition; on a skewed workload most
+// segments do not contain most paths, so one filter per segment (over
+// the union of every repetition's bucket keys) turns the common miss
+// into a couple of cache lines instead of a key-table probe — and, for
+// a cold segment, instead of touching the mapping at all. Sized at
+// ~12 bits per key with bloomHashes probes (~0.1% false positives), a
+// false positive costs only the probe the filter would have skipped,
+// never a wrong result.
+//
+// Filters key on lsf.HashPath, which depends only on the path elements
+// (not the engine), so one filter serves all repetitions, freeze/merge
+// build it from ForEachBucketHash without touching any path, and the
+// SKSEG1 container persists it verbatim (sectBloom).
+
+const (
+	bloomBitsPerKey = 12
+	bloomHashes     = 8
+)
+
+type bloomFilter struct {
+	words []uint64 // power-of-two length
+	mask  uint64   // bit-index mask: len(words)*64 - 1
+}
+
+// newBloomFilter sizes an empty filter for nkeys keys.
+func newBloomFilter(nkeys int) *bloomFilter {
+	bits := nkeys * bloomBitsPerKey
+	words := 1
+	for words*64 < bits {
+		words <<= 1
+	}
+	return &bloomFilter{words: make([]uint64, words), mask: uint64(words)*64 - 1}
+}
+
+// bloomFromWords adopts a deserialized word array (the SKSEG1 open
+// path); len(words) must be a power of two.
+func bloomFromWords(words []uint64) *bloomFilter {
+	return &bloomFilter{words: words, mask: uint64(len(words))*64 - 1}
+}
+
+// h2 derives the double-hashing stride from h: an independent-enough
+// second mix (the odd multiplier keeps every stride odd after |1, so
+// probes cycle through the whole bit space).
+func bloomStride(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	return h | 1
+}
+
+func (f *bloomFilter) add(h uint64) {
+	d := bloomStride(h)
+	for i := 0; i < bloomHashes; i++ {
+		bit := h & f.mask
+		f.words[bit>>6] |= 1 << (bit & 63)
+		h += d
+	}
+}
+
+// mayContain reports whether h might have been added: false means
+// definitely absent, true means probe the segment.
+func (f *bloomFilter) mayContain(h uint64) bool {
+	d := bloomStride(h)
+	for i := 0; i < bloomHashes; i++ {
+		bit := h & f.mask
+		if f.words[bit>>6]&(1<<(bit&63)) == 0 {
+			return false
+		}
+		h += d
+	}
+	return true
+}
+
+// buildSegBloom constructs a segment's filter from the bucket keys of
+// all its repetition indexes (duplicate keys across repetitions are
+// harmless — add is idempotent).
+func buildSegBloom(reps []*lsf.Index) *bloomFilter {
+	nkeys := 0
+	for _, ix := range reps {
+		nkeys += ix.Stats().Buckets
+	}
+	f := newBloomFilter(nkeys)
+	for _, ix := range reps {
+		ix.ForEachBucketHash(f.add)
+	}
+	return f
+}

@@ -273,9 +273,16 @@ func TestCrashRecoveryDifferential(t *testing.T) {
 // and asserts it died by SIGKILL at the fault point.
 func runCrashHelper(t *testing.T, dir, fsync, point, script string, trigger int) {
 	t.Helper()
+	runCrashHelperNamed(t, "TestCrashHelper", dir, fsync, point, script, trigger)
+}
+
+// runCrashHelperNamed runs `name` (a helper test function gated on the
+// SKEWSIM_CRASH_* env vars) as the sacrificial subprocess.
+func runCrashHelperNamed(t *testing.T, name, dir, fsync, point, script string, trigger int) {
+	t.Helper()
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
-	cmd := exec.CommandContext(ctx, os.Args[0], "-test.run=^TestCrashHelper$")
+	cmd := exec.CommandContext(ctx, os.Args[0], "-test.run=^"+name+"$")
 	cmd.Env = append(os.Environ(),
 		envCrashPoint+"="+point,
 		envCrashDir+"="+dir,

@@ -53,6 +53,8 @@ func (s *SegmentedIndex) buildSegment(mt *memtable) *frozenSeg {
 		bl.AddTruncated(mt.reps[r].truncated)
 		seg.reps[r] = bl.Freeze()
 	}
+	seg.bloom = buildSegBloom(seg.reps)
+	seg.arenaBytes = segArenaBytes(seg.reps)
 	return seg
 }
 
@@ -107,6 +109,8 @@ func (s *SegmentedIndex) mergeSegments(a, b *frozenSeg) *frozenSeg {
 		}
 		merged.reps[r] = bl.Freeze()
 	}
+	merged.bloom = buildSegBloom(merged.reps)
+	merged.arenaBytes = segArenaBytes(merged.reps)
 	return merged
 }
 

@@ -66,7 +66,14 @@ func (m *memRep) add(path []uint32, slot int32) {
 
 // postings returns the slots sharing the exact path, or nil.
 func (m *memRep) postings(path []uint32) []int32 {
-	for _, b := range m.buckets[lsf.HashPath(path)] {
+	return m.postingsHash(lsf.HashPath(path), path)
+}
+
+// postingsHash is postings with the path hash precomputed — the
+// traversal hashes each path once and reuses it across every memtable
+// layer, frozen key table, and segment bloom filter.
+func (m *memRep) postingsHash(h uint64, path []uint32) []int32 {
+	for _, b := range m.buckets[h] {
 		if slices.Equal(b.path, path) {
 			return b.slots
 		}

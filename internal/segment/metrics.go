@@ -41,6 +41,19 @@ type Metrics struct {
 	BatchCandidates *obs.Histogram
 	BatchFilters    *obs.Histogram
 	BatchDistinct   *obs.Histogram
+
+	// Storage tiering: Demotions/Promotions count completed tier moves
+	// (a cold segment's heap arenas dropped / rebuilt); DecodeSeconds is
+	// the duration of one promotion's full heap decode. BloomProbes /
+	// BloomSkips count per-segment bloom filter consultations and the
+	// probes they saved — skips/probes is the filter's hit rate on the
+	// workload. Resident/cold byte and segment gauges are Stats() fields
+	// (scrape-time GaugeFuncs, per the note above).
+	Demotions     *obs.Counter
+	Promotions    *obs.Counter
+	DecodeSeconds *obs.Histogram
+	BloomProbes   *obs.Counter
+	BloomSkips    *obs.Counter
 }
 
 // NewMetrics registers the segment layer's instruments on reg.
@@ -56,6 +69,11 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		FreezeSeconds:  reg.Histogram("skewsim_segment_freeze_seconds", "Duration of one memtable freeze.", dur),
 		CompactSeconds: reg.Histogram("skewsim_segment_compact_seconds", "Duration of one segment compaction.", dur),
 		QueryTruncated: reg.Counter("skewsim_query_truncated_total", "Repetitions whose filter generation hit the budget."),
+		Demotions:      reg.Counter("skewsim_segment_demotions_total", "Frozen segments demoted to cold (mmap-backed) serving."),
+		Promotions:     reg.Counter("skewsim_segment_promotions_total", "Cold segments promoted back to resident heap arenas."),
+		DecodeSeconds:  reg.Histogram("skewsim_segment_decode_seconds", "Duration of one promotion's segment decode.", dur),
+		BloomProbes:    reg.Counter("skewsim_segment_bloom_probes_total", "Per-segment bloom filter consultations."),
+		BloomSkips:     reg.Counter("skewsim_segment_bloom_skips_total", "Segment probes skipped by the bloom filter."),
 	}
 	m.QueryCandidates = reg.Histogram("skewsim_query_candidates", "Candidate occurrences per shard-query.", work, single)
 	m.QueryFilters = reg.Histogram("skewsim_query_filters", "Generated filters per shard-query.", work, single)
@@ -75,6 +93,7 @@ func (m *Metrics) observeQuery(st *QueryStats) {
 	if st.Truncated > 0 {
 		m.QueryTruncated.Add(int64(st.Truncated))
 	}
+	m.observeBloom(st)
 }
 
 // observeBatch records one batch traversal's aggregate stats.
@@ -84,5 +103,15 @@ func (m *Metrics) observeBatch(st *QueryStats) {
 	m.BatchDistinct.Observe(int64(st.Distinct))
 	if st.Truncated > 0 {
 		m.QueryTruncated.Add(int64(st.Truncated))
+	}
+	m.observeBloom(st)
+}
+
+func (m *Metrics) observeBloom(st *QueryStats) {
+	if st.BloomProbes > 0 {
+		m.BloomProbes.Add(int64(st.BloomProbes))
+	}
+	if st.BloomSkips > 0 {
+		m.BloomSkips.Add(int64(st.BloomSkips))
 	}
 }

@@ -45,6 +45,7 @@ import (
 
 	"skewsim/internal/bitvec"
 	"skewsim/internal/lsf"
+	"skewsim/internal/mmapio"
 	"skewsim/internal/verify"
 	"skewsim/internal/wal"
 )
@@ -71,6 +72,23 @@ type Config struct {
 	// Metrics instance may be shared across shards. Nil disables
 	// instrumentation (the query path then pays one nil compare).
 	Metrics *Metrics
+	// StorageDir, when set, is where frozen segments persist as SKSEG1
+	// container files (see storage.go) and the root of the beyond-RAM
+	// tier: segments past the resident budget drop their heap arenas
+	// and serve zero-copy from the mapped file. Empty keeps the
+	// pre-PR-10 behaviour — segment files live in the WAL directory
+	// when a WAL is attached, nowhere otherwise, and nothing demotes.
+	StorageDir string
+	// ResidentBytes caps the heap bytes of frozen posting arenas:
+	// newest segments stay resident until the budget is spent, older
+	// file-backed ones demote to their mapping. 0 means unlimited
+	// (everything resident). Adjustable at runtime (SetResidentBudget).
+	ResidentBytes int64
+	// CompressPostings selects delta+varint posting compression inside
+	// segment files. Cold compressed segments decode posting lists on
+	// read; resident ones decode once at promotion. Candidate sets are
+	// identical either way (asserted by the storage tests).
+	CompressPostings bool
 }
 
 // withDefaults fills unset fields. Non-positive values mean "default":
@@ -96,11 +114,28 @@ func (c *Config) withDefaults() Config {
 type frozenSeg struct {
 	slots []int32 // local id -> slot
 	reps  []*lsf.Index
-	// walSeq is the sequence number of the checkpoint segment file
-	// persisting this segment in the WAL directory, 0 when the segment
-	// has no durable side file (no WAL attached, or restored from a
-	// snapshot rather than a checkpoint file).
+	// walSeq is the sequence number of the segment file persisting this
+	// segment (ckpt-<seq>.seg), 0 when the segment has no durable side
+	// file (no storage configured, or restored from a snapshot rather
+	// than a segment file).
 	walSeq uint64
+
+	// bloom is the segment's path-key filter (see bloom.go), consulted
+	// before any repetition probe; nil (snapshot restores) means always
+	// probe. Immutable once the segment is visible.
+	bloom *bloomFilter
+	// Tiering state, owned by the worker goroutine; reps/mapping swaps
+	// happen under the index write lock. path is the SKSEG1 file ("" =
+	// memory only, not demotable); mapping is non-nil exactly while the
+	// segment serves cold (its reps are zero-copy views into it);
+	// arenaBytes is the resident heap cost of the posting arenas, the
+	// unit Config.ResidentBytes budgets; tierFailed pins the segment in
+	// its current tier after a failed move (set once, never cleared —
+	// compaction replaces the segment wholesale).
+	path       string
+	mapping    *mmapio.Mapping
+	arenaBytes int64
+	tierFailed bool
 }
 
 func (g *frozenSeg) size() int { return len(g.slots) }
@@ -116,12 +151,14 @@ type Match struct {
 // QueryStats aggregates the work of one query across repetitions and
 // layers, extending lsf.QueryStats with the segment dimension.
 type QueryStats struct {
-	Reps       int // repetition engines traversed
-	Filters    int // Σ |F(q)| over repetitions
-	Candidates int // candidate occurrences over all layers
-	Distinct   int // distinct live candidates streamed
-	Truncated  int // repetitions whose filter generation hit the budget
-	Segments   int // frozen segments consulted
+	Reps        int // repetition engines traversed
+	Filters     int // Σ |F(q)| over repetitions
+	Candidates  int // candidate occurrences over all layers
+	Distinct    int // distinct live candidates streamed
+	Truncated   int // repetitions whose filter generation hit the budget
+	Segments    int // frozen segments consulted
+	BloomProbes int // per-(path, segment) bloom filter checks
+	BloomSkips  int // segment probes skipped by the bloom filter
 }
 
 // Merge accumulates another query's stats into s (the shard router sums
@@ -134,6 +171,8 @@ func (s *QueryStats) Merge(o QueryStats) {
 	s.Distinct += o.Distinct
 	s.Truncated += o.Truncated
 	s.Segments += o.Segments
+	s.BloomProbes += o.BloomProbes
+	s.BloomSkips += o.BloomSkips
 }
 
 // IndexStats is a point-in-time size report.
@@ -146,6 +185,12 @@ type IndexStats struct {
 	SegmentSizes []int // per-segment vector counts (tombstones included)
 	Freezes      int64 // memtables frozen since construction
 	Compactions  int64 // merges performed since construction
+	// Storage tier sizes: segments serving from heap arenas vs from
+	// their mapped file, and the heap bytes of the resident posting
+	// arenas (the quantity Config.ResidentBytes caps).
+	ResidentSegments int
+	ColdSegments     int
+	ResidentBytes    int64
 	// WAL reports the attached write-ahead log's sizes; nil when the
 	// index runs without durability.
 	WAL *wal.Stats `json:",omitempty"`
@@ -203,6 +248,7 @@ type SegmentedIndex struct {
 
 	compacting  bool
 	persisting  bool // worker is writing a checkpoint segment file
+	tiering     bool // worker is demoting or promoting a segment
 	recovering  bool // WAL recovery in progress: worker pauses (see RecoverWAL)
 	freezes     int64
 	compactions int64
@@ -484,13 +530,14 @@ func (s *SegmentedIndex) Flush() {
 	}
 }
 
-// WaitIdle blocks until no freeze, compaction, or WAL checkpoint work
-// is pending or running. Insert/Delete/Query may of course create new
-// work afterwards.
+// WaitIdle blocks until no freeze, compaction, tier move, or WAL
+// checkpoint work is pending or running. Insert/Delete/Query may of
+// course create new work afterwards.
 func (s *SegmentedIndex) WaitIdle() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for (len(s.flushing) > 0 || s.compacting || s.persisting || s.needsCompactLocked()) && !s.closed {
+	for (len(s.flushing) > 0 || s.compacting || s.persisting || s.tiering ||
+		s.needsCompactLocked() || s.needsRetierLocked()) && !s.closed {
 		s.cond.Wait()
 	}
 }
@@ -535,6 +582,12 @@ func (s *SegmentedIndex) Stats() IndexStats {
 	}
 	for _, g := range s.segs {
 		st.SegmentSizes = append(st.SegmentSizes, g.size())
+		if g.mapping != nil {
+			st.ColdSegments++
+		} else {
+			st.ResidentSegments++
+			st.ResidentBytes += g.arenaBytes
+		}
 	}
 	if s.wal != nil {
 		ws := s.wal.Stats()
@@ -596,6 +649,10 @@ func (s *SegmentedIndex) traverse(q bitvec.Vector, stats *QueryStats, cc *lsf.Ca
 		stats.Distinct++
 		return sink(slot)
 	}
+	// Per-traversal decode scratch for cold compressed segments (unused
+	// — and never allocated — while every consulted segment is resident
+	// or uncompressed).
+	var coldBuf []int32
 	for r, eng := range s.engines {
 		fs.Reset()
 		eng.FiltersIntoCancel(q, fs, cc)
@@ -612,20 +669,30 @@ func (s *SegmentedIndex) traverse(q bitvec.Vector, stats *QueryStats, cc *lsf.Ca
 				return cc.Err()
 			}
 			path := fs.Path(k)
-			for _, slot := range s.mem.reps[r].postings(path) {
+			// One hash per (repetition, path) serves the memtable maps,
+			// every segment's key table, and every segment's bloom filter.
+			h := lsf.HashPath(path)
+			for _, slot := range s.mem.reps[r].postingsHash(h, path) {
 				if !emit(slot) {
 					return nil
 				}
 			}
 			for _, mt := range s.flushing {
-				for _, slot := range mt.reps[r].postings(path) {
+				for _, slot := range mt.reps[r].postingsHash(h, path) {
 					if !emit(slot) {
 						return nil
 					}
 				}
 			}
 			for _, g := range s.segs {
-				for _, lid := range g.reps[r].Postings(path) {
+				if g.bloom != nil {
+					stats.BloomProbes++
+					if !g.bloom.mayContain(h) {
+						stats.BloomSkips++
+						continue
+					}
+				}
+				for _, lid := range g.reps[r].PostingsBuf(h, path, &coldBuf) {
 					if !emit(g.slots[lid]) {
 						return nil
 					}
@@ -806,7 +873,8 @@ func (s *SegmentedIndex) worker() {
 		// before the log is attached would get no checkpoint segment
 		// file, yet a later checkpoint could fence (and truncate) the
 		// log records that are its only durable copy.
-		for !s.closed && (s.recovering || (len(s.flushing) == 0 && !s.needsCompactLocked())) {
+		for !s.closed && (s.recovering ||
+			(len(s.flushing) == 0 && !s.needsCompactLocked() && !s.needsRetierLocked())) {
 			s.cond.Wait()
 		}
 		if s.closed {
@@ -829,34 +897,53 @@ func (s *SegmentedIndex) worker() {
 			}
 			s.freezes++
 			s.cond.Broadcast()
-			if seg != nil && s.wal != nil {
-				// Persist the frozen segment next to the log and fence
-				// the insert prefix it covers (drops the lock for the
-				// file IO).
+			if seg != nil && s.storageDirLocked() != "" {
+				// Persist the frozen segment and, with a WAL attached,
+				// fence the insert prefix it covers (drops the lock for
+				// the file IO).
 				s.persistFreezeLocked(seg, mt.rotLSN)
 			}
 			continue
 		}
-		a, b := s.pickSmallestLocked()
-		s.compacting = true
+		if s.needsCompactLocked() {
+			a, b := s.pickSmallestLocked()
+			s.compacting = true
+			s.mu.Unlock()
+			t0 := time.Now()
+			merged := s.mergeSegments(a, b)
+			if m := s.cfg.Metrics; m != nil {
+				m.CompactSeconds.ObserveDuration(time.Since(t0))
+				m.Compactions.Inc()
+			}
+			s.mu.Lock()
+			s.segs = removeSegs(s.segs, a, b)
+			if merged != nil {
+				s.segs = append(s.segs, merged)
+			}
+			s.compacting = false
+			s.compactions++
+			s.cond.Broadcast()
+			if s.storageDirLocked() != "" {
+				s.persistCompactionLocked(merged, a, b)
+			}
+			continue
+		}
+		// Tier maintenance: one segment per pass (re-evaluated each
+		// time around, so fresh freezes and compactions take priority).
+		g, demote, ok := s.retierActionLocked()
+		if !ok {
+			continue
+		}
+		s.tiering = true
 		s.mu.Unlock()
-		t0 := time.Now()
-		merged := s.mergeSegments(a, b)
-		if m := s.cfg.Metrics; m != nil {
-			m.CompactSeconds.ObserveDuration(time.Since(t0))
-			m.Compactions.Inc()
+		if demote {
+			s.demoteSeg(g)
+		} else {
+			s.promoteSeg(g)
 		}
 		s.mu.Lock()
-		s.segs = removeSegs(s.segs, a, b)
-		if merged != nil {
-			s.segs = append(s.segs, merged)
-		}
-		s.compacting = false
-		s.compactions++
+		s.tiering = false
 		s.cond.Broadcast()
-		if s.wal != nil {
-			s.persistCompactionLocked(merged, a, b)
-		}
 	}
 }
 

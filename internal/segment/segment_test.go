@@ -401,7 +401,7 @@ func TestSnapshotRejectsGarbage(t *testing.T) {
 	for _, tc := range [][]byte{
 		nil,
 		[]byte("not a snapshot"),
-		append([]byte("SKSEG1"), bytes.Repeat([]byte{0xff}, 16)...),
+		append([]byte("SKSNP1"), bytes.Repeat([]byte{0xff}, 16)...),
 	} {
 		if _, err := ReadSnapshot(bytes.NewReader(tc), cfg); err == nil {
 			t.Fatalf("ReadSnapshot(%q...) succeeded on garbage", tc)

@@ -17,7 +17,7 @@ import (
 // memtable vectors are stored raw and re-inserted on restore, which
 // recomputes their filters deterministically. All little-endian:
 //
-//	magic    [6]byte "SKSEG1"
+//	magic    [6]byte "SKSNP1"
 //	reps     uint32  (validated against Config.Params on restore)
 //	nextAuto int64   (auto-id high-water mark)
 //	segCount uint32
@@ -27,7 +27,12 @@ import (
 //	  reps × lsf bucket dump
 //	memCount uint32  (memtable vectors: active + flushing)
 //	memCount × vector: ext int64, alive uint8, nbits uint32, bits []uint32
-var segMagic = [6]byte{'S', 'K', 'S', 'E', 'G', '1'}
+//
+// (The magic was "SKSEG1" through PR 9; that name now belongs to the
+// on-disk segment container in storage.go. Both ends of the snapshot
+// stream — WriteSnapshot and its replication wrapper — live in this
+// repository, so the rename is not a wire break.)
+var snapMagic = [6]byte{'S', 'K', 'S', 'N', 'P', '1'}
 
 // WriteSnapshot serializes the index under the read lock: one
 // consistent cut, concurrent with queries, blocking writers for the
@@ -66,7 +71,7 @@ func (s *SegmentedIndex) WriteSnapshot(w io.Writer) (int64, error) {
 		}
 		return write(bits)
 	}
-	if err := write(segMagic); err != nil {
+	if err := write(snapMagic); err != nil {
 		return n, err
 	}
 	if err := write(uint32(len(s.engines))); err != nil {
@@ -135,7 +140,7 @@ func ReadSnapshot(r io.Reader, cfg Config) (*SegmentedIndex, error) {
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("segment: reading magic: %w", err)
 	}
-	if magic != segMagic {
+	if magic != snapMagic {
 		return nil, fmt.Errorf("segment: bad magic %q", magic)
 	}
 	var reps, segCount uint32

@@ -1,19 +1,12 @@
 package segment
 
 import (
-	"bufio"
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
-	"sort"
-	"strconv"
-	"strings"
 
 	"skewsim/internal/bitvec"
-	"skewsim/internal/faultinject"
 	"skewsim/internal/lsf"
 	"skewsim/internal/wal"
 )
@@ -50,19 +43,14 @@ import (
 // candidate sets the uncrashed index would serve; the crash tests
 // assert exactly that differentially.
 
-// segMagicCkpt heads a checkpoint segment file:
-//
-//	magic  [6]byte "SKCKP1"
-//	reps   uint32  (validated against Config.Params)
-//	count  uint32
-//	count × vector: ext int64, nbits uint32, bits []uint32
-//	dead   uint32  (global tombstone list at write time)
-//	dead × ext int64
-//	reps × lsf bucket dump (lsf.Index.WriteTo)
-//
-// No per-vector alive flags: tombstones are the union of every ckpt
-// file's dead list plus the surviving delete records.
-var segMagicCkpt = [6]byte{'S', 'K', 'C', 'K', 'P', '1'}
+// Checkpoint segment files are SKSEG1 containers (storage.go): the
+// vectors, the global tombstone snapshot at write time, the bloom
+// filter, and the frozen per-repetition arenas verbatim — so recovery
+// (and the cold tier) opens them without rebuilding anything. No
+// per-vector alive flags: tombstones are the union of every file's
+// dead list plus the surviving delete records. (Through PR 9 these
+// files were "SKCKP1" bucket dumps; the format carried no
+// compatibility promise — recovery and writing live in this package.)
 
 const ckptPrefix, ckptSuffix = "ckpt-", ".seg"
 
@@ -109,7 +97,15 @@ func (s *SegmentedIndex) RecoverWAL(log *wal.Log) error {
 		s.cond.Broadcast()
 		s.mu.Unlock()
 	}()
-	maxSeq, err := s.loadCkptSegments(log.Dir())
+	// Segment files live in Config.StorageDir when set, else next to
+	// the log (the pre-PR-10 layout).
+	dir := s.cfg.StorageDir
+	if dir == "" {
+		dir = log.Dir()
+	} else if err := os.MkdirAll(dir, 0o777); err != nil {
+		return fmt.Errorf("segment: %w", err)
+	}
+	maxSeq, err := s.loadSegFiles(dir)
 	if err != nil {
 		return err
 	}
@@ -272,40 +268,48 @@ func (s *SegmentedIndex) gatherSegLocked(seg *frozenSeg) segDump {
 	return d
 }
 
-// persistFreezeLocked writes seg's checkpoint file and appends the
-// checkpoint record fencing inserts through rotLSN. Caller holds the
-// write lock; the file IO runs with it released. Failures leave the log
-// un-fenced — recovery replays the records instead, so durability is
-// preserved either way.
+// persistFreezeLocked writes seg's SKSEG1 segment file and, with a WAL
+// attached, appends the checkpoint record fencing inserts through
+// rotLSN. Caller holds the write lock; the file IO runs with it
+// released. Failures leave the log un-fenced — recovery replays the
+// records instead, so durability is preserved either way.
 func (s *SegmentedIndex) persistFreezeLocked(seg *frozenSeg, rotLSN uint64) {
 	w := s.wal
+	dir := s.storageDirLocked()
 	seq := s.segSeq
 	s.segSeq++
 	seg.walSeq = seq
 	dump := s.gatherSegLocked(seg)
+	compress := s.cfg.CompressPostings
 	s.persisting = true
 	s.mu.Unlock()
-	err := writeCkptFile(w.Dir(), seq, dump, seg.reps)
+	path, err := writeSegFile(dir, seq, dump, seg.reps, seg.bloom, compress, s.crashHook)
 	s.crashHook("freeze-checkpoint")
-	if err == nil {
+	if err == nil && w != nil {
 		// Log-file truncation and replay-skip fence; an error (e.g. log
 		// closed during shutdown) only delays truncation.
 		_ = w.Checkpoint(seq, rotLSN)
 	}
 	s.mu.Lock()
+	if err == nil {
+		seg.path = path // now demotable
+	}
 	s.persisting = false
 	s.cond.Broadcast()
 }
 
-// persistCompactionLocked writes the merged segment's checkpoint file
-// and removes the inputs' files. No checkpoint record: compaction does
-// not extend the durable insert prefix, it only rewrites it. The new
-// file lands before the old ones go, so a crash in between at worst
-// re-loads both generations (idempotent by id). Caller holds the lock.
+// persistCompactionLocked writes the merged segment's file and removes
+// the inputs' files (closing their mappings — the inputs left the
+// visible segment list under the write lock, so no traversal can still
+// reach them). No checkpoint record: compaction does not extend the
+// durable insert prefix, it only rewrites it. The new file lands
+// before the old ones go, so a crash in between at worst re-loads both
+// generations (idempotent by id). Caller holds the lock.
 func (s *SegmentedIndex) persistCompactionLocked(merged, a, b *frozenSeg) {
-	w := s.wal
+	dir := s.storageDirLocked()
 	var seq uint64
 	var dump segDump
+	compress := s.cfg.CompressPostings
 	if merged != nil {
 		seq = s.segSeq
 		s.segSeq++
@@ -315,86 +319,26 @@ func (s *SegmentedIndex) persistCompactionLocked(merged, a, b *frozenSeg) {
 	s.persisting = true
 	s.mu.Unlock()
 	ok := true
+	var path string
 	if merged != nil {
-		if err := writeCkptFile(w.Dir(), seq, dump, merged.reps); err != nil {
+		var err error
+		if path, err = writeSegFile(dir, seq, dump, merged.reps, merged.bloom, compress, s.crashHook); err != nil {
 			ok = false // keep the inputs' files: they still cover the data
 		}
 	}
+	closeSegFile(a)
+	closeSegFile(b)
+	s.crashHook("compaction-sweep")
 	if ok {
-		removeCkptFile(w.Dir(), a.walSeq)
-		removeCkptFile(w.Dir(), b.walSeq)
+		removeCkptFile(dir, a.walSeq)
+		removeCkptFile(dir, b.walSeq)
 	}
 	s.mu.Lock()
+	if merged != nil && ok {
+		merged.path = path
+	}
 	s.persisting = false
 	s.cond.Broadcast()
-}
-
-// writeCkptFile atomically persists one frozen segment: write to a
-// temp name, fsync, rename into place, fsync the directory. The frozen
-// lsf indexes are immutable, so no index lock is needed.
-func writeCkptFile(dir string, seq uint64, dump segDump, reps []*lsf.Index) (err error) {
-	if err = faultinject.Fire(faultinject.SegmentCheckpointWrite, seq); err != nil {
-		return fmt.Errorf("segment: checkpoint: %w", err)
-	}
-	final := filepath.Join(dir, ckptName(seq))
-	tmp := final + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("segment: checkpoint: %w", err)
-	}
-	defer func() {
-		if err != nil {
-			f.Close()
-			os.Remove(tmp)
-		}
-	}()
-	bw := bufio.NewWriter(f)
-	write := func(v interface{}) error { return binary.Write(bw, binary.LittleEndian, v) }
-	if err = write(segMagicCkpt); err != nil {
-		return err
-	}
-	if err = write(uint32(len(reps))); err != nil {
-		return err
-	}
-	if err = write(uint32(len(dump.exts))); err != nil {
-		return err
-	}
-	for i, ext := range dump.exts {
-		if err = write(ext); err != nil {
-			return err
-		}
-		bits := dump.vecs[i].Bits()
-		if err = write(uint32(len(bits))); err != nil {
-			return err
-		}
-		if err = write(bits); err != nil {
-			return err
-		}
-	}
-	if err = write(uint32(len(dump.dead))); err != nil {
-		return err
-	}
-	if err = write(dump.dead); err != nil {
-		return err
-	}
-	if err = bw.Flush(); err != nil {
-		return err
-	}
-	for _, rep := range reps {
-		if _, err = rep.WriteTo(f); err != nil {
-			return err
-		}
-	}
-	if err = f.Sync(); err != nil {
-		return err
-	}
-	if err = f.Close(); err != nil {
-		return err
-	}
-	if err = os.Rename(tmp, final); err != nil {
-		return err
-	}
-	return syncDir(dir)
 }
 
 func removeCkptFile(dir string, seq uint64) {
@@ -417,49 +361,6 @@ func syncDir(dir string) error {
 	return err
 }
 
-// loadCkptSegments reads every checkpoint segment file in dir (ascending
-// sequence) into s, returning the highest sequence seen. Vectors whose
-// id is already registered reuse their existing slot — the idempotence
-// that makes snapshot-plus-tail and crash-repeated freezes safe.
-func (s *SegmentedIndex) loadCkptSegments(dir string) (uint64, error) {
-	ents, err := os.ReadDir(dir)
-	if err != nil {
-		return 0, fmt.Errorf("segment: %w", err)
-	}
-	type ckpt struct {
-		seq  uint64
-		path string
-	}
-	var files []ckpt
-	for _, e := range ents {
-		name := e.Name()
-		if !e.Type().IsRegular() || !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptSuffix) {
-			continue
-		}
-		seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, ckptPrefix), ckptSuffix), 10, 64)
-		if err != nil {
-			return 0, fmt.Errorf("segment: malformed checkpoint file name %q", name)
-		}
-		files = append(files, ckpt{seq, filepath.Join(dir, name)})
-	}
-	sort.Slice(files, func(i, j int) bool { return files[i].seq < files[j].seq })
-	var maxSeq uint64
-	dead := make(map[int64]bool)
-	for _, c := range files {
-		if err := s.loadCkptFile(c.path, c.seq, dead); err != nil {
-			return 0, err
-		}
-		maxSeq = c.seq
-	}
-	// Apply the union of every file's tombstone list only after all
-	// vectors are registered: an id may be listed dead by an older file
-	// while its vector arrives with a newer one.
-	for id := range dead {
-		s.applyDeadID(id)
-	}
-	return maxSeq, nil
-}
-
 // applyDeadID re-applies one checkpointed tombstone: kill the slot if
 // the id is known and live; otherwise burn the id AND keep it on the
 // dead list (its vector was compacted away — the checkpoint dead lists
@@ -477,89 +378,6 @@ func (s *SegmentedIndex) applyDeadID(id int64) {
 		return
 	}
 	s.noteDeadIDLocked(id)
-}
-
-func (s *SegmentedIndex) loadCkptFile(path string, seq uint64, dead map[int64]bool) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return fmt.Errorf("segment: %w", err)
-	}
-	defer f.Close()
-	br := bufio.NewReader(f)
-	var magic [6]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return fmt.Errorf("segment: %s: reading magic: %w", filepath.Base(path), err)
-	}
-	if magic != segMagicCkpt {
-		return fmt.Errorf("segment: %s: bad magic %q", filepath.Base(path), magic)
-	}
-	var reps, count uint32
-	if err := binary.Read(br, binary.LittleEndian, &reps); err != nil {
-		return fmt.Errorf("segment: %s: header: %w", filepath.Base(path), err)
-	}
-	if int(reps) != len(s.engines) {
-		return fmt.Errorf("segment: %s has %d repetitions, config %d", filepath.Base(path), reps, len(s.engines))
-	}
-	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
-		return fmt.Errorf("segment: %s: header: %w", filepath.Base(path), err)
-	}
-	const maxReasonable = 1 << 24
-	if count > maxReasonable {
-		return fmt.Errorf("segment: %s: implausible segment size %d", filepath.Base(path), count)
-	}
-	seg := &frozenSeg{
-		slots:  make([]int32, count),
-		reps:   make([]*lsf.Index, len(s.engines)),
-		walSeq: seq,
-	}
-	data := make([]bitvec.Vector, count)
-	for i := uint32(0); i < count; i++ {
-		var ext int64
-		var nbits uint32
-		if err := binary.Read(br, binary.LittleEndian, &ext); err != nil {
-			return fmt.Errorf("segment: %s: vector %d: %w", filepath.Base(path), i, err)
-		}
-		if err := binary.Read(br, binary.LittleEndian, &nbits); err != nil {
-			return fmt.Errorf("segment: %s: vector %d: %w", filepath.Base(path), i, err)
-		}
-		if nbits > maxReasonable {
-			return fmt.Errorf("segment: %s: implausible vector size %d", filepath.Base(path), nbits)
-		}
-		bits := make([]uint32, nbits)
-		if err := binary.Read(br, binary.LittleEndian, bits); err != nil {
-			return fmt.Errorf("segment: %s: vector %d: %w", filepath.Base(path), i, err)
-		}
-		v := bitvec.New(bits...)
-		slot := s.findOrRestoreSlot(ext, v)
-		seg.slots[i] = slot
-		data[i] = v
-	}
-	var deadCount uint32
-	if err := binary.Read(br, binary.LittleEndian, &deadCount); err != nil {
-		return fmt.Errorf("segment: %s: dead list: %w", filepath.Base(path), err)
-	}
-	if deadCount > maxReasonable {
-		return fmt.Errorf("segment: %s: implausible dead count %d", filepath.Base(path), deadCount)
-	}
-	for i := uint32(0); i < deadCount; i++ {
-		var id int64
-		if err := binary.Read(br, binary.LittleEndian, &id); err != nil {
-			return fmt.Errorf("segment: %s: dead list: %w", filepath.Base(path), err)
-		}
-		dead[id] = true
-	}
-	for ri := range seg.reps {
-		ix, err := lsf.ReadIndexFrom(br, s.engines[ri], data)
-		if err != nil {
-			return fmt.Errorf("segment: %s: repetition %d: %w", filepath.Base(path), ri, err)
-		}
-		seg.reps[ri] = ix
-	}
-	s.mu.Lock()
-	s.segs = append(s.segs, seg)
-	s.cond.Broadcast() // compaction may be due if the load overflows MaxSegments
-	s.mu.Unlock()
-	return nil
 }
 
 // findOrRestoreSlot returns the slot already registered for ext, or

@@ -74,6 +74,12 @@ func (m *Metrics) registerServerGauges(s *Server) {
 		stat(func(st Stats) float64 { return float64(st.Flushing) }))
 	reg.GaugeFunc("skewsim_index_segments", "Frozen CSR segments across shards.",
 		stat(func(st Stats) float64 { return float64(st.Segments) }))
+	reg.GaugeFunc("skewsim_index_resident_segments", "Heap-resident frozen segments across shards.",
+		stat(func(st Stats) float64 { return float64(st.ResidentSegments) }))
+	reg.GaugeFunc("skewsim_index_cold_segments", "Mmap-backed cold frozen segments across shards.",
+		stat(func(st Stats) float64 { return float64(st.ColdSegments) }))
+	reg.GaugeFunc("skewsim_index_resident_bytes", "Heap bytes held by resident frozen-segment arenas.",
+		stat(func(st Stats) float64 { return float64(st.ResidentBytes) }))
 	reg.GaugeFunc("skewsim_wal_bytes", "Live write-ahead log bytes across shards.",
 		stat(func(st Stats) float64 { return float64(st.WALBytes) }))
 	reg.GaugeFunc("skewsim_wal_files", "Live write-ahead log files across shards.",

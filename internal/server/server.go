@@ -46,6 +46,27 @@ type Config struct {
 	WALDir string
 	// WAL tunes the per-shard logs (fsync policy, rotation size).
 	WAL wal.Options
+	// StorageDir, when non-empty, gives each shard a segment-file
+	// directory under StorageDir/shard-NNN: frozen segments persist as
+	// mmap-able SKSEG1 files there, New reopens whatever files the
+	// directories hold, and segments past the resident budget serve
+	// straight from the map. Without WALDir this is persistence of
+	// frozen segments only (memtable contents are lost on crash); with
+	// WALDir the log replays the unfrozen tail, and the segment files
+	// simply live here instead of in the log directory. The shard count
+	// must not change across runs of the same StorageDir.
+	StorageDir string
+	// ResidentBytes, when positive, bounds the heap bytes the shards
+	// collectively spend on frozen-segment arenas (split evenly across
+	// shards); segments past the budget are demoted to mmap-backed cold
+	// serving, newest-first resident. Requires StorageDir (or WALDir —
+	// segment files are the demotion target). 0 keeps everything
+	// resident.
+	ResidentBytes int64
+	// CompressPostings writes new segment files with delta+varint
+	// compressed posting arenas (smaller files and cold footprint,
+	// decode-on-read when serving cold). Readable either way.
+	CompressPostings bool
 	// MaxInFlight bounds concurrently executing query fan-outs (the
 	// admission gate; see admission.go). 0 selects 4×GOMAXPROCS,
 	// negative disables admission control entirely.
@@ -119,22 +140,51 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// newShard builds shard i: a bare segmented index without WALDir, a
-// log-recovered one with it.
+// newShard builds shard i: a bare segmented index with neither WALDir
+// nor StorageDir, a storage-opened one with only StorageDir, a
+// log-recovered one with WALDir.
 func newShard(cfg Config, i int) (*segment.SegmentedIndex, error) {
+	seg := shardSegConfig(cfg, i)
 	if cfg.WALDir == "" {
-		return segment.New(cfg.Segment)
+		if seg.StorageDir != "" {
+			return segment.Open(seg)
+		}
+		return segment.New(seg)
 	}
 	log, err := wal.Open(shardWALDir(cfg.WALDir, i), cfg.WAL)
 	if err != nil {
 		return nil, err
 	}
-	sh, err := segment.Recover(cfg.Segment, log)
+	sh, err := segment.Recover(seg, log)
 	if err != nil {
 		log.Close()
 		return nil, err
 	}
 	return sh, nil
+}
+
+// shardSegConfig specializes the shared segment config for shard i:
+// its own storage subdirectory and an even share of the resident
+// budget.
+func shardSegConfig(cfg Config, i int) segment.Config {
+	seg := cfg.Segment
+	if cfg.StorageDir != "" {
+		seg.StorageDir = shardWALDir(cfg.StorageDir, i)
+	}
+	if cfg.ResidentBytes > 0 {
+		k := cfg.Shards
+		if k == 0 {
+			k = 4
+		}
+		seg.ResidentBytes = cfg.ResidentBytes / int64(k)
+		if seg.ResidentBytes == 0 {
+			seg.ResidentBytes = 1 // a positive budget must stay a bound
+		}
+	}
+	if cfg.CompressPostings {
+		seg.CompressPostings = true
+	}
+	return seg
 }
 
 func shardWALDir(root string, i int) string {
@@ -312,7 +362,12 @@ type Stats struct {
 	Compacts   int64
 	WALRecords int64
 	WALBytes   int64
-	PerShard   []segment.IndexStats
+	// Storage tiering across shards: heap-resident vs mmap-backed cold
+	// frozen segments and the heap bytes the resident ones hold.
+	ResidentSegments int
+	ColdSegments     int
+	ResidentBytes    int64
+	PerShard         []segment.IndexStats
 }
 
 // Stats reports aggregated sizes plus the per-shard breakdown.
@@ -327,6 +382,9 @@ func (s *Server) Stats() Stats {
 		st.Segments += is.Segments
 		st.Freezes += is.Freezes
 		st.Compacts += is.Compactions
+		st.ResidentSegments += is.ResidentSegments
+		st.ColdSegments += is.ColdSegments
+		st.ResidentBytes += is.ResidentBytes
 		if is.WAL != nil {
 			st.WALRecords += is.WAL.Records
 			st.WALBytes += is.WAL.Bytes
@@ -429,7 +487,7 @@ func ReadSnapshot(r io.Reader, cfg Config) (*Server, error) {
 		}
 	}()
 	for i := 0; i < k; i++ {
-		sh, err := segment.ReadSnapshot(br, cfg.Segment)
+		sh, err := segment.ReadSnapshot(br, shardSegConfig(cfg, i))
 		if err != nil {
 			return nil, fmt.Errorf("server: shard %d: %w", i, err)
 		}
